@@ -1,0 +1,270 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mbt"
+	"repro/internal/mpt"
+	"repro/internal/mvmbt"
+	"repro/internal/postree"
+	"repro/internal/prolly"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// runExperiment benchmarks one paper artifact end to end at TinyScale. The
+// medium- and full-scale runs are driven by cmd/siribench; these benches
+// exist so `go test -bench` regenerates (a scaled-down copy of) every table
+// and figure.
+func runExperiment(b *testing.B, name string) {
+	exp, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := bench.TinyScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.FprintAll(io.Discard, tables)
+	}
+}
+
+func BenchmarkFig01StorageVsVersions(b *testing.B)   { runExperiment(b, "fig1") }
+func BenchmarkFig06ThroughputYCSB(b *testing.B)      { runExperiment(b, "fig6") }
+func BenchmarkFig07ThroughputRealData(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFig08Diff(b *testing.B)                { runExperiment(b, "fig8") }
+func BenchmarkFig09TreeHeight(b *testing.B)          { runExperiment(b, "fig9") }
+func BenchmarkFig10LatencyYCSB(b *testing.B)         { runExperiment(b, "fig10") }
+func BenchmarkFig11LatencyWiki(b *testing.B)         { runExperiment(b, "fig11") }
+func BenchmarkFig12LatencyEthereum(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkFig13MBTBreakdown(b *testing.B)        { runExperiment(b, "fig13") }
+func BenchmarkFig14StorageSingleGroup(b *testing.B)  { runExperiment(b, "fig14") }
+func BenchmarkFig15StorageWiki(b *testing.B)         { runExperiment(b, "fig15") }
+func BenchmarkFig16StorageEthereum(b *testing.B)     { runExperiment(b, "fig16") }
+func BenchmarkFig17CollabOverlap(b *testing.B)       { runExperiment(b, "fig17") }
+func BenchmarkFig18CollabBatchSize(b *testing.B)     { runExperiment(b, "fig18") }
+func BenchmarkTable3StructureParams(b *testing.B)    { runExperiment(b, "table3") }
+func BenchmarkFig19AblationInvariance(b *testing.B)  { runExperiment(b, "fig19") }
+func BenchmarkFig20AblationRecursive(b *testing.B)   { runExperiment(b, "fig20") }
+func BenchmarkFig21ForkbaseIntegration(b *testing.B) { runExperiment(b, "fig21") }
+func BenchmarkFig22ForkbaseVsNoms(b *testing.B)      { runExperiment(b, "fig22") }
+
+// --- per-operation micro-benchmarks across the four candidates ---
+
+const microRecords = 10000
+
+func microDataset() []core.Entry {
+	y := workload.NewYCSB(workload.YCSBConfig{Records: microRecords, Seed: 5})
+	return y.Dataset()
+}
+
+func microCandidates() map[string]func() core.Index {
+	return map[string]func() core.Index{
+		"POS-Tree": func() core.Index {
+			return postree.New(store.NewMemStore(), postree.DefaultConfig())
+		},
+		"MBT": func() core.Index {
+			t, err := mbt.New(store.NewMemStore(), mbt.Config{Capacity: 1024, Fanout: 32})
+			if err != nil {
+				panic(err)
+			}
+			return t
+		},
+		"MPT": func() core.Index {
+			return mpt.New(store.NewMemStore())
+		},
+		"MVMB+-Tree": func() core.Index {
+			return mvmbt.New(store.NewMemStore(), mvmbt.DefaultConfig())
+		},
+		"Prolly-Tree": func() core.Index {
+			return prolly.New(store.NewMemStore(), prolly.ConfigForNodeSize(1024))
+		},
+	}
+}
+
+func loadMicro(b *testing.B, mk func() core.Index) core.Index {
+	b.Helper()
+	idx, err := bench.LoadBatched(mk(), microDataset(), 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+func BenchmarkGet(b *testing.B) {
+	y := workload.NewYCSB(workload.YCSBConfig{Records: microRecords, Seed: 5})
+	for name, mk := range microCandidates() {
+		b.Run(name, func(b *testing.B) {
+			idx := loadMicro(b, mk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := y.Key(i % microRecords)
+				if _, ok, err := idx.Get(key); err != nil || !ok {
+					b.Fatalf("Get(%q) = %v, %v", key, ok, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	y := workload.NewYCSB(workload.YCSBConfig{Records: microRecords, Seed: 5})
+	for name, mk := range microCandidates() {
+		b.Run(name, func(b *testing.B) {
+			idx := loadMicro(b, mk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := i % microRecords
+				next, err := idx.Put(y.Key(id), y.Value(id, i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				idx = next
+			}
+		})
+	}
+}
+
+func BenchmarkPutBatch1000(b *testing.B) {
+	y := workload.NewYCSB(workload.YCSBConfig{Records: microRecords, Seed: 5})
+	for name, mk := range microCandidates() {
+		b.Run(name, func(b *testing.B) {
+			idx := loadMicro(b, mk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch := make([]core.Entry, 1000)
+				for j := range batch {
+					id := (i*1000 + j) % microRecords
+					batch[j] = core.Entry{Key: y.Key(id), Value: y.Value(id, i+1)}
+				}
+				next, err := idx.PutBatch(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				idx = next
+			}
+		})
+	}
+}
+
+func BenchmarkDiffOnePercent(b *testing.B) {
+	y := workload.NewYCSB(workload.YCSBConfig{Records: microRecords, Seed: 5})
+	for name, mk := range microCandidates() {
+		b.Run(name, func(b *testing.B) {
+			left := loadMicro(b, mk)
+			batch := make([]core.Entry, microRecords/100)
+			for j := range batch {
+				id := j * 97 % microRecords
+				batch[j] = core.Entry{Key: y.Key(id), Value: y.Value(id, 999)}
+			}
+			right, err := left.PutBatch(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				diffs, err := left.Diff(right)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(diffs) == 0 {
+					b.Fatal("no diffs")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	y := workload.NewYCSB(workload.YCSBConfig{Records: microRecords, Seed: 5})
+	for name, mk := range microCandidates() {
+		b.Run(name, func(b *testing.B) {
+			idx := loadMicro(b, mk)
+			root := idx.RootHash()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				proof, err := idx.Prove(y.Key(i % microRecords))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := idx.VerifyProof(root, proof); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBulkBuild measures the bottom-up batched build path that gives
+// POS-Tree its write edge in Figure 7(b).
+func BenchmarkBulkBuild(b *testing.B) {
+	entries := core.SortEntries(microDataset())
+	b.Run("POS-Tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := postree.Build(store.NewMemStore(), postree.DefaultConfig(), entries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Prolly-Tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prolly.Build(store.NewMemStore(), prolly.ConfigForNodeSize(1024), entries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MVMB+-Tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mvmbt.Build(store.NewMemStore(), mvmbt.DefaultConfig(), entries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestExamplesStayRunnable is a root-level smoke check that the example
+// scenario logic embedded in the benchmarks matches the library: a quick
+// cross-index equivalence pass over identical contents.
+func TestCrossIndexEquivalence(t *testing.T) {
+	y := workload.NewYCSB(workload.YCSBConfig{Records: 2000, Seed: 5})
+	dataset := y.Dataset()
+	var heads []core.Index
+	for name, mk := range microCandidates() {
+		idx, err := bench.LoadBatched(mk(), dataset, 500)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		heads = append(heads, idx)
+	}
+	// All five indexes must agree on every record and on the count.
+	for i := 0; i < 2000; i += 113 {
+		key := y.Key(i)
+		want, _, _ := heads[0].Get(key)
+		for _, h := range heads[1:] {
+			got, ok, err := h.Get(key)
+			if err != nil || !ok || string(got) != string(want) {
+				t.Fatalf("%s disagrees on %q", h.Name(), key)
+			}
+		}
+	}
+	for _, h := range heads {
+		n, err := h.Count()
+		if err != nil || n != 2000 {
+			t.Fatalf("%s Count = %d, %v", h.Name(), n, err)
+		}
+	}
+}

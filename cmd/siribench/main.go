@@ -1,0 +1,73 @@
+// Command siribench regenerates the tables and figures of "Analysis of
+// Indexing Structures for Immutable Data" (SIGMOD 2020).
+//
+// Usage:
+//
+//	siribench [-scale small|medium|full] [experiment ...]
+//	siribench -list
+//
+// With no experiment arguments every experiment runs in paper order. Output
+// is a text table per figure/subfigure with the same rows and series the
+// paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scaleName := flag.String("scale", "medium", "experiment scale: small, medium or full")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: siribench [-scale small|medium|full] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "experiments (default: all):\n")
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.Name, e.Desc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	scale, err := bench.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var experiments []bench.Experiment
+	if flag.NArg() == 0 {
+		experiments = bench.Experiments()
+	} else {
+		for _, name := range flag.Args() {
+			e, err := bench.ByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			experiments = append(experiments, e)
+		}
+	}
+
+	fmt.Printf("siribench: scale=%s, %d experiment(s)\n\n", scale.Name, len(experiments))
+	for _, e := range experiments {
+		start := time.Now()
+		tables, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		bench.FprintAll(os.Stdout, tables)
+		fmt.Printf("[%s done in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Analysis of Indexing
+// Structures for Immutable Data" (Yue et al., SIGMOD 2020): the three SIRI
+// index structures — Merkle Patricia Trie, Merkle Bucket Tree and
+// Pattern-Oriented-Split Tree — plus the MVMB+-Tree baseline, a Prolly Tree,
+// a Forkbase-style client/server engine, the paper's workload generators,
+// and a benchmark harness regenerating every table and figure of the
+// evaluation. See README.md for a tour and DESIGN.md for the system map.
+package repro

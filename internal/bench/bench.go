@@ -1,0 +1,344 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment is a function producing text tables with
+// the same rows and series the paper plots; cmd/siribench drives them and
+// the repository-root benchmarks wrap them in testing.B.
+//
+// Absolute numbers depend on hardware; the claims these experiments
+// reproduce are the shapes: which index wins, by roughly what factor, and
+// where the crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mbt"
+	"repro/internal/mpt"
+	"repro/internal/mvmbt"
+	"repro/internal/postree"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// Scale bounds the experiment sizes. The paper's full scale (2.56M records
+// per cell across 9 configurations) is hours of compute; Small keeps every
+// experiment in seconds and Medium in minutes while preserving the shapes.
+type Scale struct {
+	Name string
+	// YCSBCounts are the x-axis record counts for Figures 6, 14 and 21.
+	YCSBCounts []int
+	// Ops is the operation count per throughput/latency measurement.
+	Ops int
+	// Batch is the write batch size (the paper's default is 4000).
+	Batch int
+	// LatencyRecords is the dataset size for Figure 10 (paper: 160k).
+	LatencyRecords int
+	// DiffCounts are the x-axis record counts for Figure 8.
+	DiffCounts []int
+	// Wiki parameters (Figures 7a, 11, 15).
+	WikiPages, WikiVersions, WikiUpdates int
+	// Ethereum parameters (Figures 7b, 12, 16).
+	EthBlocks, EthTxPerBlock int
+	// Collaboration parameters (Figures 17–20, Table 3).
+	CollabParties, CollabInit, CollabOps int
+	// NodeSize is the tuned index node size (paper: ~1KB).
+	NodeSize int
+	// MBTBuckets is the bucket count for MBT instances.
+	MBTBuckets int
+	// Figure 1 parameters: initial records, updates per version, and the
+	// version counts at which storage/time are sampled (paper: 100k
+	// records, 1k updates, 100–500 versions).
+	Fig1Records     int
+	Fig1Updates     int
+	Fig1Checkpoints []int
+}
+
+// TinyScale keeps the full experiment suite runnable in a few seconds
+// total; it exercises every code path and is what the repository-root
+// testing.B benchmarks use.
+func TinyScale() Scale {
+	return Scale{
+		Name:           "tiny",
+		YCSBCounts:     []int{200, 400},
+		Ops:            300,
+		Batch:          100,
+		LatencyRecords: 500,
+		DiffCounts:     []int{300, 600},
+		WikiPages:      300, WikiVersions: 6, WikiUpdates: 30,
+		EthBlocks: 5, EthTxPerBlock: 30,
+		CollabParties: 2, CollabInit: 300, CollabOps: 600,
+		NodeSize:    512,
+		MBTBuckets:  64,
+		Fig1Records: 500, Fig1Updates: 50, Fig1Checkpoints: []int{2, 4},
+	}
+}
+
+// SmallScale keeps everything under a few seconds per experiment — used by
+// the go test benchmarks.
+func SmallScale() Scale {
+	return Scale{
+		Name:           "small",
+		YCSBCounts:     []int{1000, 2000, 4000, 8000},
+		Ops:            2000,
+		Batch:          500,
+		LatencyRecords: 8000,
+		DiffCounts:     []int{2000, 4000, 8000},
+		WikiPages:      2000, WikiVersions: 20, WikiUpdates: 100,
+		EthBlocks: 20, EthTxPerBlock: 100,
+		CollabParties: 4, CollabInit: 5000, CollabOps: 20000,
+		NodeSize:    1024,
+		MBTBuckets:  512,
+		Fig1Records: 5000, Fig1Updates: 100, Fig1Checkpoints: []int{10, 20, 30, 40, 50},
+	}
+}
+
+// MediumScale is the default for cmd/siribench: minutes per experiment,
+// with enough range for the crossovers to show.
+func MediumScale() Scale {
+	return Scale{
+		Name:           "medium",
+		YCSBCounts:     []int{10000, 20000, 40000, 80000, 160000},
+		Ops:            10000,
+		Batch:          4000,
+		LatencyRecords: 160000,
+		DiffCounts:     []int{50000, 100000, 150000, 200000, 250000},
+		WikiPages:      20000, WikiVersions: 50, WikiUpdates: 200,
+		EthBlocks: 50, EthTxPerBlock: 150,
+		CollabParties: 10, CollabInit: 40000, CollabOps: 160000,
+		NodeSize:    1024,
+		MBTBuckets:  4096,
+		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
+	}
+}
+
+// FullScale approaches the paper's settings; expect long runtimes.
+func FullScale() Scale {
+	return Scale{
+		Name:           "full",
+		YCSBCounts:     []int{10000, 20000, 40000, 80000, 160000, 320000, 640000, 1280000, 2560000},
+		Ops:            10000,
+		Batch:          4000,
+		LatencyRecords: 160000,
+		DiffCounts:     []int{500000, 1000000, 1500000, 2000000, 2500000},
+		WikiPages:      100000, WikiVersions: 300, WikiUpdates: 500,
+		EthBlocks: 300, EthTxPerBlock: 150,
+		CollabParties: 10, CollabInit: 40000, CollabOps: 160000,
+		NodeSize:    1024,
+		MBTBuckets:  4096,
+		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
+	}
+}
+
+// ScaleByName resolves small/medium/full.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return SmallScale(), nil
+	case "medium", "":
+		return MediumScale(), nil
+	case "full":
+		return FullScale(), nil
+	}
+	return Scale{}, fmt.Errorf("bench: unknown scale %q (want small, medium or full)", name)
+}
+
+// Candidate describes one index class under test.
+type Candidate struct {
+	Name string
+	// New returns an empty index over a fresh store.
+	New func() (core.Index, error)
+	// PerOpWrites applies write workloads one operation at a time, the
+	// way the paper's implementations of MPT, MBT and the baseline work;
+	// §5.2 applies batching — "taking advantage of the bottom-up build
+	// order" — to POS-Tree only.
+	PerOpWrites bool
+}
+
+// CandidateSet returns the paper's four candidates — POS-Tree, MBT, MPT and
+// the MVMB+-Tree baseline — tuned to the scale's node size.
+func CandidateSet(sc Scale) []Candidate {
+	return []Candidate{
+		{
+			Name: "POS-Tree",
+			New: func() (core.Index, error) {
+				return postree.New(store.NewMemStore(), postree.ConfigForNodeSize(sc.NodeSize)), nil
+			},
+		},
+		{
+			Name: "MBT",
+			New: func() (core.Index, error) {
+				return mbt.New(store.NewMemStore(), mbt.Config{Capacity: sc.MBTBuckets, Fanout: 32})
+			},
+			PerOpWrites: true,
+		},
+		{
+			Name: "MPT",
+			New: func() (core.Index, error) {
+				return mpt.New(store.NewMemStore()), nil
+			},
+			PerOpWrites: true,
+		},
+		{
+			Name: "MVMB+-Tree",
+			New: func() (core.Index, error) {
+				return mvmbt.New(store.NewMemStore(), mvmbt.ConfigForNodeSize(sc.NodeSize)), nil
+			},
+			PerOpWrites: true,
+		},
+	}
+}
+
+// LoadBatched applies entries to idx in batches, returning the final
+// version. This is how every experiment loads datasets (the paper batches
+// all loads; §5.4.2 uses 4000 as the default batch size).
+func LoadBatched(idx core.Index, entries []core.Entry, batch int) (core.Index, error) {
+	if batch <= 0 {
+		batch = 4000
+	}
+	for start := 0; start < len(entries); start += batch {
+		end := start + batch
+		if end > len(entries) {
+			end = len(entries)
+		}
+		next, err := idx.PutBatch(entries[start:end])
+		if err != nil {
+			return nil, err
+		}
+		idx = next
+	}
+	return idx, nil
+}
+
+// Throughput runs ops against idx — reads individually, writes batched —
+// and returns operations per second plus the final version. A batch of 1
+// (or less) applies writes per operation, the paper's mode for the
+// non-batching candidates.
+func Throughput(idx core.Index, ops []workloadOp, batch int) (float64, core.Index, error) {
+	if batch <= 1 {
+		return throughputPerOp(idx, ops)
+	}
+	start := time.Now()
+	var writeBuf []core.Entry
+	flush := func() error {
+		if len(writeBuf) == 0 {
+			return nil
+		}
+		next, err := idx.PutBatch(writeBuf)
+		if err != nil {
+			return err
+		}
+		idx = next
+		writeBuf = writeBuf[:0]
+		return nil
+	}
+	for _, op := range ops {
+		if op.Write {
+			writeBuf = append(writeBuf, op.Entry)
+			if len(writeBuf) >= batch {
+				if err := flush(); err != nil {
+					return 0, nil, err
+				}
+			}
+			continue
+		}
+		if _, _, err := idx.Get(op.Entry.Key); err != nil {
+			return 0, nil, err
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, nil, err
+	}
+	elapsed := time.Since(start)
+	return float64(len(ops)) / elapsed.Seconds(), idx, nil
+}
+
+// throughputPerOp applies every operation individually.
+func throughputPerOp(idx core.Index, ops []workloadOp) (float64, core.Index, error) {
+	start := time.Now()
+	for _, op := range ops {
+		if op.Write {
+			next, err := idx.Put(op.Entry.Key, op.Entry.Value)
+			if err != nil {
+				return 0, nil, err
+			}
+			idx = next
+			continue
+		}
+		if _, _, err := idx.Get(op.Entry.Key); err != nil {
+			return 0, nil, err
+		}
+	}
+	return float64(len(ops)) / time.Since(start).Seconds(), idx, nil
+}
+
+// WriteBatchFor returns the batch size a candidate uses for write
+// workloads: the configured batch for batching candidates, 1 for per-op
+// candidates.
+func WriteBatchFor(c Candidate, batch int) int {
+	if c.PerOpWrites {
+		return 1
+	}
+	return batch
+}
+
+// workloadOp aliases workload.Op so experiment code can hand the generated
+// streams straight to the measurement helpers.
+type workloadOp = workload.Op
+
+// Latencies measures per-operation latency for ops, returning the samples.
+func Latencies(idx core.Index, ops []workloadOp) ([]time.Duration, core.Index, error) {
+	out := make([]time.Duration, 0, len(ops))
+	for _, op := range ops {
+		start := time.Now()
+		if op.Write {
+			next, err := idx.Put(op.Entry.Key, op.Entry.Value)
+			if err != nil {
+				return nil, nil, err
+			}
+			idx = next
+		} else {
+			if _, _, err := idx.Get(op.Entry.Key); err != nil {
+				return nil, nil, err
+			}
+		}
+		out = append(out, time.Since(start))
+	}
+	return out, idx, nil
+}
+
+// Percentile returns the p-quantile (0..1) of samples.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration{}, samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Mean returns the average of samples.
+func Mean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / time.Duration(len(samples))
+}
+
+// MB renders bytes as megabytes.
+func MB(b int64) float64 { return float64(b) / (1 << 20) }
+
+// reachOf wraps core.ReachStats with a uniform error prefix.
+func reachOf(idx core.Index) (core.Reach, error) {
+	r, err := core.ReachStats(idx)
+	if err != nil {
+		return core.Reach{}, fmt.Errorf("bench: reach stats for %s: %w", idx.Name(), err)
+	}
+	return r, nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/postree"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// gigabitBytesPerSecond models the paper's 1 Gigabit Ethernet card for the
+// transmission-time series of Figure 1.
+const gigabitBytesPerSecond = 125_000_000
+
+// Fig01 reproduces Figure 1: storage and transmission time for an evolving
+// dataset, with and without deduplication. A dataset of Fig1Records records
+// receives Fig1Updates record updates per version; at each checkpoint we
+// report the deduplicated footprint (unique pages across all versions) and
+// the raw footprint (every version stored separately), plus the time to
+// ship each over gigabit Ethernet.
+func Fig01(sc Scale) ([]*Table, error) {
+	y := workload.NewYCSB(workload.YCSBConfig{Records: sc.Fig1Records, Seed: 1})
+	s := store.NewMemStore()
+	idx, err := postree.Build(s, postree.ConfigForNodeSize(sc.NodeSize), y.Dataset())
+	if err != nil {
+		return nil, err
+	}
+
+	versionBytes := func(v core.Index) (int64, error) {
+		r, err := reachOf(v)
+		if err != nil {
+			return 0, err
+		}
+		return r.Bytes, nil
+	}
+
+	table := &Table{
+		ID:     "Figure 1",
+		Title:  "storage (MB) and transmission time (s) vs #versions, deduplicated vs raw",
+		XLabel: "#Versions",
+		Columns: []string{
+			"Storage-Dedup(MB)", "Storage-Raw(MB)", "Time-Dedup(s)", "Time-Raw(s)",
+		},
+		Note: fmt.Sprintf("%d records, %d updates/version, POS-Tree pages", sc.Fig1Records, sc.Fig1Updates),
+	}
+
+	var cur core.Index = idx
+	var rawTotal int64
+	base, err := versionBytes(cur)
+	if err != nil {
+		return nil, err
+	}
+	rawTotal = base
+
+	last := sc.Fig1Checkpoints[len(sc.Fig1Checkpoints)-1]
+	ci := 0
+	for v := 1; v <= last; v++ {
+		updates := make([]core.Entry, sc.Fig1Updates)
+		z := workload.NewZipfian(uint64(sc.Fig1Records), 0, int64(v)*31)
+		for j := range updates {
+			id := int(z.Next())
+			updates[j] = core.Entry{Key: y.Key(id), Value: y.Value(id, v)}
+		}
+		cur, err = cur.PutBatch(updates)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := versionBytes(cur)
+		if err != nil {
+			return nil, err
+		}
+		rawTotal += vb
+
+		if ci < len(sc.Fig1Checkpoints) && v == sc.Fig1Checkpoints[ci] {
+			dedup := s.Stats().UniqueBytes
+			table.AddRow(fmt.Sprint(v),
+				f1(MB(dedup)),
+				f1(MB(rawTotal)),
+				f2(float64(dedup)/gigabitBytesPerSecond),
+				f2(float64(rawTotal)/gigabitBytesPerSecond),
+			)
+			ci++
+		}
+	}
+	return []*Table{table}, nil
+}

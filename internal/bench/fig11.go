@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Fig11 reproduces Figure 11: latency distributions on the Wiki dataset,
+// read and write.
+func Fig11(sc Scale) ([]*Table, error) {
+	w := workload.NewWiki(workload.WikiConfig{
+		Pages: sc.WikiPages, Versions: sc.WikiVersions,
+		UpdatesPerVersion: sc.WikiUpdates, Seed: 7,
+	})
+	mkDataset := func(write bool) func() ([]core.Entry, []workloadOp) {
+		return func() ([]core.Entry, []workloadOp) {
+			dataset := w.Dataset()
+			rng := rand.New(rand.NewSource(21))
+			ops := make([]workloadOp, sc.Ops)
+			for i := range ops {
+				p := rng.Intn(sc.WikiPages)
+				ops[i] = workloadOp{Write: write, Entry: core.Entry{Key: w.Key(p)}}
+				if write {
+					ops[i].Entry.Value = w.Value(p, 500+i)
+				}
+			}
+			return dataset, ops
+		}
+	}
+	read, err := latencyTable(sc, "Figure 11(a)", false, 0, mkDataset(false))
+	if err != nil {
+		return nil, err
+	}
+	read.Title = "Wiki read latency (µs): mean / p50 / p90 / p99"
+	write, err := latencyTable(sc, "Figure 11(b)", true, 0, mkDataset(true))
+	if err != nil {
+		return nil, err
+	}
+	write.Title = "Wiki write latency (µs): mean / p50 / p90 / p99"
+	return []*Table{read, write}, nil
+}

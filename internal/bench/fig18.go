@@ -1,0 +1,27 @@
+package bench
+
+import "fmt"
+
+// Fig18 reproduces Figure 18: the same four collaboration metrics as
+// Figure 17, with the overlap ratio fixed at 50% and the write batch size
+// swept instead. Larger batches produce fewer stored versions and rewrite a
+// larger portion of the structure per batch, lowering both ratios.
+func Fig18(sc Scale) ([]*Table, error) {
+	// Batch sizes scale with the configured default: paper uses
+	// 1000..16000 around a 4000 default.
+	sizes := []int{sc.Batch / 4, sc.Batch / 2, sc.Batch, sc.Batch * 2, sc.Batch * 4}
+	for i, s := range sizes {
+		if s < 1 {
+			sizes[i] = 1
+		}
+	}
+	tables, err := collabTables(sc, "Figure 18", "Batch size",
+		func(x int) (float64, int) { return 0.5, x }, sizes)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tables {
+		t.Note += fmt.Sprintf("; overlap fixed at 50%%, batch default %d", sc.Batch)
+	}
+	return tables, nil
+}

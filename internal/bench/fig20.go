@@ -1,0 +1,12 @@
+package bench
+
+import "repro/internal/postree"
+
+// Fig20 reproduces Figure 20: POS-Tree with the Recursively Identical
+// property disabled (every node copied per update) shares nothing between
+// versions — both ratios collapse to zero.
+func Fig20(sc Scale) ([]*Table, error) {
+	return ablationTables(sc, "Figure 20",
+		"Recursively identical", "Non-recursively-identical",
+		postree.AblationNoRecursiveIdentity)
+}

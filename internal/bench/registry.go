@@ -1,0 +1,48 @@
+package bench
+
+import "fmt"
+
+// Experiment is one runnable paper artifact.
+type Experiment struct {
+	// Name is the CLI identifier (e.g. "fig6", "table3").
+	Name string
+	// Desc summarizes what the experiment reproduces.
+	Desc string
+	// Run executes the experiment at the given scale.
+	Run func(Scale) ([]*Table, error)
+}
+
+// Experiments lists every reproduced table and figure in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "storage and transmission time, deduplicated vs raw", Fig01},
+		{"fig6", "YCSB throughput grid: skew × write ratio × dataset size", Fig06},
+		{"fig7", "throughput on Wiki and Ethereum datasets", Fig07},
+		{"fig8", "diff latency between independently loaded versions", Fig08},
+		{"fig9", "traversed tree height distribution", Fig09},
+		{"fig10", "YCSB latency distributions (read/write × balanced/skewed)", Fig10},
+		{"fig11", "Wiki latency distributions", Fig11},
+		{"fig12", "Ethereum latency distributions", Fig12},
+		{"fig13", "MBT lookup breakdown: load vs scan", Fig13},
+		{"fig14", "single-group storage usage and node counts", Fig14},
+		{"fig15", "Wiki storage usage and node counts", Fig15},
+		{"fig16", "Ethereum storage usage and node counts", Fig16},
+		{"fig17", "collaboration metrics vs overlap ratio", Fig17},
+		{"fig18", "collaboration metrics vs batch size", Fig18},
+		{"table3", "deduplication ratio vs structure parameters", Table3},
+		{"fig19", "ablation: structurally invariant property", Fig19},
+		{"fig20", "ablation: recursively identical property", Fig20},
+		{"fig21", "system throughput integrated with Forkbase engine", Fig21},
+		{"fig22", "Forkbase (POS-Tree) vs Noms (Prolly Tree)", Fig22},
+	}
+}
+
+// ByName resolves an experiment by CLI name.
+func ByName(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", name)
+}

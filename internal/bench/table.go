@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment output: an x-axis label, one column per series,
+// and one row per x value — matching the corresponding paper figure.
+type Table struct {
+	// ID names the paper artifact, e.g. "Figure 6(a)".
+	ID string
+	// Title describes the measurement and units.
+	Title string
+	// XLabel names the first column (the x axis).
+	XLabel string
+	// Columns are the series names (e.g. the four indexes).
+	Columns []string
+	// Rows hold the x value and one cell per column.
+	Rows []Row
+	// Note carries caveats (e.g. scaled-down parameters).
+	Note string
+}
+
+// Row is one x value with its series cells.
+type Row struct {
+	X     string
+	Cells []string
+}
+
+// AddRow appends a row; cells are formatted by the caller.
+func (t *Table) AddRow(x string, cells ...string) {
+	t.Rows = append(t.Rows, Row{X: x, Cells: cells})
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Note)
+	}
+	headers := append([]string{t.XLabel}, t.Columns...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		cells := append([]string{r.X}, r.Cells...)
+		for i, c := range cells {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(sb.String(), " "))
+	}
+	printRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, r := range t.Rows {
+		printRow(append([]string{r.X}, r.Cells...))
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// FprintAll renders a sequence of tables.
+func FprintAll(w io.Writer, tables []*Table) {
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+}
+
+// f1, f2, f3 format floats with fixed precision for table cells.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

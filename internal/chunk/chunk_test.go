@@ -1,0 +1,282 @@
+package chunk
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+)
+
+func testItems(n, size int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([][]byte, n)
+	for i := range items {
+		b := make([]byte, size)
+		rng.Read(b)
+		items[i] = b
+	}
+	return items
+}
+
+// chunkAll returns the boundary positions (item indexes after which a
+// boundary falls) for the given item sequence.
+func chunkAll(c *Chunker, items [][]byte) []int {
+	c.Reset()
+	var cuts []int
+	for i, it := range items {
+		if c.Item(it) {
+			cuts = append(cuts, i)
+		}
+	}
+	return cuts
+}
+
+func TestChunkerDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	items := testItems(2000, 64, 1)
+	a := chunkAll(NewChunker(cfg), items)
+	b := chunkAll(NewChunker(cfg), items)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same sequence chunked differently across runs")
+	}
+	if len(a) == 0 {
+		t.Fatal("no boundaries found in 128KB of random data")
+	}
+}
+
+func TestChunkerRespectsSizeBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	items := testItems(5000, 64, 2)
+	c := NewChunker(cfg)
+	size := 0
+	for _, it := range items {
+		size += len(it)
+		if c.Item(it) {
+			if size > cfg.MaxLeafBytes+len(it) {
+				t.Fatalf("chunk of %d bytes exceeds max %d", size, cfg.MaxLeafBytes)
+			}
+			size = 0
+		}
+	}
+	// Note: chunks smaller than MinLeafBytes cannot close via pattern, only
+	// via the tail of the sequence, which this loop never flushes.
+}
+
+func TestChunkerMinBytesSuppressesEarlyBoundaries(t *testing.T) {
+	cfg := DefaultConfig()
+	items := testItems(5000, 16, 3)
+	c := NewChunker(cfg)
+	size := 0
+	for _, it := range items {
+		size += len(it)
+		if c.Item(it) {
+			// Pattern matches below MinLeafBytes are suppressed; a cut
+			// this small could only come from a match at >= MinLeafBytes,
+			// impossible when size < MinLeafBytes.
+			if size < cfg.MinLeafBytes {
+				t.Fatalf("boundary at %d bytes, below min %d", size, cfg.MinLeafBytes)
+			}
+			size = 0
+		}
+	}
+}
+
+func TestChunkerExpectedSizeTracksConfig(t *testing.T) {
+	// Average chunk size should be within a factor of ~2 of the 2^LeafBits
+	// target (min/max clamping skews it somewhat).
+	for _, target := range []int{512, 1024, 2048, 4096} {
+		cfg := ConfigForNodeSize(target)
+		items := testItems(200000, 32, int64(target))
+		cuts := chunkAll(NewChunker(cfg), items)
+		if len(cuts) < 10 {
+			t.Fatalf("target %d: too few chunks (%d)", target, len(cuts))
+		}
+		total := 32 * (cuts[len(cuts)-1] + 1)
+		avg := total / len(cuts)
+		if avg < target/2 || avg > target*3 {
+			t.Errorf("target %d: average chunk %d bytes", target, avg)
+		}
+	}
+}
+
+func TestChunkerResyncAfterPrefixEdit(t *testing.T) {
+	// The core property behind incremental edits: chunking restarted at a
+	// canonical boundary reproduces the canonical suffix boundaries.
+	cfg := DefaultConfig()
+	items := testItems(3000, 64, 4)
+	cuts := chunkAll(NewChunker(cfg), items)
+	if len(cuts) < 3 {
+		t.Skip("not enough chunks")
+	}
+	start := cuts[1] + 1 // restart right after the second boundary
+	c := NewChunker(cfg)
+	c.Reset()
+	var cuts2 []int
+	for i := start; i < len(items); i++ {
+		if c.Item(items[i]) {
+			cuts2 = append(cuts2, i)
+		}
+	}
+	want := cuts[2:]
+	if fmt.Sprint(cuts2) != fmt.Sprint(want) {
+		t.Fatalf("restarted chunking diverged:\n got %v\nwant %v", cuts2, want)
+	}
+}
+
+func TestRollerWindowSlides(t *testing.T) {
+	// After the window is saturated, the fingerprint must depend only on
+	// the last `window` bytes.
+	r1 := NewRoller(8)
+	r2 := NewRoller(8)
+	prefix1 := []byte("AAAAAAAAAAAAAAAA")
+	prefix2 := []byte("BBBBBBBBBBBBBBBB")
+	tail := []byte("same-tail-bytes")
+	var h1, h2 uint64
+	for _, b := range prefix1 {
+		h1 = r1.Roll(b)
+	}
+	for _, b := range prefix2 {
+		h2 = r2.Roll(b)
+	}
+	if h1 == h2 {
+		t.Fatal("different windows produced equal fingerprints (unlikely)")
+	}
+	for _, b := range tail {
+		h1 = r1.Roll(b)
+		h2 = r2.Roll(b)
+	}
+	if h1 != h2 {
+		t.Fatal("fingerprint depends on bytes outside the window")
+	}
+}
+
+func TestRollerResetClearsState(t *testing.T) {
+	r := NewRoller(16)
+	for _, b := range []byte("some earlier content") {
+		r.Roll(b)
+	}
+	r.Reset()
+	h1 := r.Roll('x')
+	fresh := NewRoller(16)
+	h2 := fresh.Roll('x')
+	if h1 != h2 {
+		t.Fatal("Reset did not clear roller state")
+	}
+}
+
+func TestNewRollerPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRoller(0)
+}
+
+func TestHashBoundaryProbability(t *testing.T) {
+	// With k bits, roughly 1 in 2^k random digests should be boundaries.
+	const n = 1 << 16
+	for _, bits := range []uint{2, 4, 5} {
+		count := 0
+		for i := 0; i < n; i++ {
+			h := hash.Of([]byte(fmt.Sprintf("digest-%d", i)))
+			if HashBoundary(h, bits) {
+				count++
+			}
+		}
+		want := n >> bits
+		if count < want/2 || count > want*2 {
+			t.Errorf("bits=%d: %d boundaries, want ≈%d", bits, count, want)
+		}
+	}
+}
+
+func TestInternalChunkerForcesMaxFanout(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewInternalChunker(cfg)
+	streak := 0
+	for i := 0; i < 10000; i++ {
+		h := hash.Of([]byte(fmt.Sprintf("child-%d", i)))
+		streak++
+		if c.Child(h) {
+			if streak > cfg.MaxFanout {
+				t.Fatalf("fanout %d exceeds max %d", streak, cfg.MaxFanout)
+			}
+			streak = 0
+		}
+	}
+}
+
+func TestInternalChunkerMatchesHashBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewInternalChunker(cfg)
+	for i := 0; i < 1000; i++ {
+		h := hash.Of([]byte(fmt.Sprintf("c%d", i)))
+		got := c.Child(h)
+		if HashBoundary(h, cfg.InternalBits) && !got {
+			t.Fatal("pattern digest did not cut")
+		}
+	}
+}
+
+func TestWindowChunkerDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	items := testItems(4000, 46, 7)
+	run := func() []int {
+		c := NewWindowChunker(cfg)
+		var cuts []int
+		for i, it := range items {
+			if c.Child(it) {
+				cuts = append(cuts, i)
+			}
+		}
+		return cuts
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("window chunker nondeterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("window chunker produced no boundaries")
+	}
+}
+
+func TestConfigForNodeSizeMonotone(t *testing.T) {
+	prev := uint(0)
+	for _, target := range []int{128, 512, 1024, 4096, 1 << 20} {
+		cfg := ConfigForNodeSize(target)
+		if cfg.LeafBits < prev {
+			t.Fatalf("LeafBits not monotone at %d", target)
+		}
+		if 1<<cfg.LeafBits > target {
+			t.Fatalf("2^LeafBits=%d exceeds target %d", 1<<cfg.LeafBits, target)
+		}
+		prev = cfg.LeafBits
+		if cfg.MaxFanout <= 1 {
+			t.Fatalf("MaxFanout=%d at target %d", cfg.MaxFanout, target)
+		}
+	}
+}
+
+func TestChunkerPrefixStabilityProperty(t *testing.T) {
+	// Appending items never changes boundaries already emitted: chunking is
+	// strictly left-to-right.
+	cfg := ConfigForNodeSize(256) // small chunks so short inputs still cut
+	f := func(seed int64, n uint8) bool {
+		items := testItems(int(n)+50, 32, seed)
+		full := chunkAll(NewChunker(cfg), items)
+		half := chunkAll(NewChunker(cfg), items[:len(items)/2])
+		// every boundary of the half-run must appear as a prefix of full
+		for i, c := range half {
+			if i >= len(full) || full[i] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package codec implements the length-prefixed binary encoding shared by all
+// node serializations in this repository. Every Merkle node is encoded to a
+// canonical byte string before hashing, so encodings must be deterministic:
+// the same logical node always produces the same bytes, and therefore the
+// same digest.
+//
+// The format is deliberately simple — unsigned varints for lengths and
+// counts, raw bytes for payloads — so that decoding is allocation-light and
+// the canonical property is easy to audit.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Common decoding errors.
+var (
+	ErrShortBuffer = errors.New("codec: buffer too short")
+	ErrOverflow    = errors.New("codec: varint overflows uint64")
+	ErrTrailing    = errors.New("codec: trailing bytes after decode")
+)
+
+// Writer accumulates a canonical encoding. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity preallocated for an encoding of
+// roughly n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// Bytes returns the accumulated encoding. The returned slice aliases the
+// writer's buffer; callers that retain it must not keep writing.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the writer for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Byte appends a single raw byte (used for node-kind tags).
+func (w *Writer) Byte(b byte) {
+	w.buf = append(w.buf, b)
+}
+
+// Raw appends bytes with no length prefix. Use only for fixed-size fields
+// such as 32-byte hashes, where the length is implied by the schema.
+func (w *Writer) Raw(b []byte) {
+	w.buf = append(w.buf, b...)
+}
+
+// Bytes32 appends exactly 32 bytes; it panics if b has a different length,
+// because that would corrupt the canonical schema.
+func (w *Writer) Bytes32(b []byte) {
+	if len(b) != 32 {
+		panic(fmt.Sprintf("codec: Bytes32 with %d bytes", len(b)))
+	}
+	w.buf = append(w.buf, b...)
+}
+
+// LenBytes appends a varint length followed by the bytes.
+func (w *Writer) LenBytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.Raw(b)
+}
+
+// Reader decodes a canonical encoding produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps buf for decoding. The reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done returns nil when the buffer has been fully consumed, and ErrTrailing
+// otherwise. Decoders call it last to reject malformed encodings.
+func (r *Reader) Done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// Uvarint decodes an unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	switch {
+	case n > 0:
+		r.off += n
+		return v, nil
+	case n == 0:
+		return 0, ErrShortBuffer
+	default:
+		return 0, ErrOverflow
+	}
+}
+
+// Byte decodes a single raw byte.
+func (r *Reader) Byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, ErrShortBuffer
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+// Raw returns the next n bytes without copying. The slice aliases the
+// underlying buffer.
+func (r *Reader) Raw(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, ErrShortBuffer
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// Bytes32 returns the next 32 bytes.
+func (r *Reader) Bytes32() ([]byte, error) {
+	return r.Raw(32)
+}
+
+// LenBytes decodes a varint length followed by that many bytes. The returned
+// slice aliases the underlying buffer; callers that mutate or retain it past
+// the buffer's lifetime must copy.
+func (r *Reader) LenBytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, ErrShortBuffer
+	}
+	return r.Raw(int(n))
+}
+
+// LenBytesCopy is LenBytes but returns a fresh copy, for decoders that
+// retain the value beyond the encoding's lifetime.
+func (r *Reader) LenBytesCopy() ([]byte, error) {
+	b, err := r.LenBytes()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.Byte(7)
+	w.Uvarint(0)
+	w.Uvarint(300)
+	w.Uvarint(math.MaxUint64)
+	w.LenBytes([]byte("payload"))
+	w.LenBytes(nil)
+	h := bytes.Repeat([]byte{0xab}, 32)
+	w.Bytes32(h)
+
+	r := NewReader(w.Bytes())
+	if b, err := r.Byte(); err != nil || b != 7 {
+		t.Fatalf("Byte = %v, %v", b, err)
+	}
+	for _, want := range []uint64{0, 300, math.MaxUint64} {
+		got, err := r.Uvarint()
+		if err != nil || got != want {
+			t.Fatalf("Uvarint = %v, %v; want %v", got, err, want)
+		}
+	}
+	if b, err := r.LenBytes(); err != nil || string(b) != "payload" {
+		t.Fatalf("LenBytes = %q, %v", b, err)
+	}
+	if b, err := r.LenBytes(); err != nil || len(b) != 0 {
+		t.Fatalf("empty LenBytes = %q, %v", b, err)
+	}
+	if b, err := r.Bytes32(); err != nil || !bytes.Equal(b, h) {
+		t.Fatalf("Bytes32 = %x, %v", b, err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done = %v", err)
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader(nil)
+	if _, err := r.Byte(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Byte on empty = %v", err)
+	}
+	if _, err := r.Uvarint(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Uvarint on empty = %v", err)
+	}
+	if _, err := r.Bytes32(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Bytes32 on empty = %v", err)
+	}
+}
+
+func TestLenBytesLengthLies(t *testing.T) {
+	// A declared length longer than the remaining buffer must error, not
+	// panic or over-read.
+	w := NewWriter(8)
+	w.Uvarint(1000)
+	w.Raw([]byte("short"))
+	r := NewReader(w.Bytes())
+	if _, err := r.LenBytes(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("LenBytes with lying length = %v", err)
+	}
+}
+
+func TestDoneDetectsTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if _, err := r.Byte(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Done(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("Done with trailing = %v", err)
+	}
+}
+
+func TestBytes32PanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWriter(0).Bytes32([]byte{1})
+}
+
+func TestLenBytesCopyDoesNotAlias(t *testing.T) {
+	w := NewWriter(16)
+	w.LenBytes([]byte("alias"))
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got, err := r.LenBytesCopy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[1] = 'X' // mutate underlying buffer (first payload byte)
+	if string(got) != "alias" {
+		t.Fatalf("LenBytesCopy aliases the buffer: %q", got)
+	}
+}
+
+func TestRawNegativeLength(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if _, err := r.Raw(-1); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Raw(-1) = %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Any sequence of (uvarint, len-bytes) pairs must round-trip exactly.
+	f := func(nums []uint64, blobs [][]byte) bool {
+		w := NewWriter(64)
+		for _, n := range nums {
+			w.Uvarint(n)
+		}
+		w.Uvarint(uint64(len(blobs)))
+		for _, b := range blobs {
+			w.LenBytes(b)
+		}
+		r := NewReader(w.Bytes())
+		for _, n := range nums {
+			got, err := r.Uvarint()
+			if err != nil || got != n {
+				return false
+			}
+		}
+		cnt, err := r.Uvarint()
+		if err != nil || cnt != uint64(len(blobs)) {
+			return false
+		}
+		for _, b := range blobs {
+			got, err := r.LenBytes()
+			if err != nil || !bytes.Equal(got, b) {
+				return false
+			}
+		}
+		return r.Done() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

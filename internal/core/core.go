@@ -1,0 +1,244 @@
+// Package core defines the Structurally Invariant and Reusable Index (SIRI)
+// abstractions shared by every index in this repository: the common Index
+// interface (lookup, update, diff, merge, proofs), entries, and the
+// deduplication metrics from §4.2 and §5.4.2 of the paper.
+//
+// All indexes are immutable: mutating operations return a new Index value
+// representing the new version, and versions share unmodified nodes through
+// a content-addressed store (copy-on-write at node granularity).
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// Entry is one key-value record.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// String renders the entry for test failures and logs.
+func (e Entry) String() string { return fmt.Sprintf("%q=%q", e.Key, e.Value) }
+
+// Index is an immutable, tamper-evident key-value index — the common
+// behaviour of MPT, MBT, POS-Tree and the MVMB+-Tree baseline. Mutating
+// methods return the new version; the receiver remains valid and unchanged.
+type Index interface {
+	// Name identifies the index class (e.g. "POS-Tree") for reports.
+	Name() string
+	// Store returns the content-addressed store backing this index.
+	Store() store.Store
+	// RootHash returns the Merkle digest covering the entire state. Two
+	// instances of a structurally invariant class with equal contents
+	// have equal root hashes.
+	RootHash() hash.Hash
+
+	// Get returns the value stored under key.
+	Get(key []byte) (value []byte, ok bool, err error)
+	// Put returns a new version with key set to value.
+	Put(key, value []byte) (Index, error)
+	// PutBatch returns a new version with all entries applied. Later
+	// duplicates of the same key win.
+	PutBatch(entries []Entry) (Index, error)
+	// Delete returns a new version without key. Deleting an absent key
+	// returns the receiver unchanged.
+	Delete(key []byte) (Index, error)
+
+	// Iterate visits every entry. Ordered structures visit in key order;
+	// MBT visits in bucket order. Return false from fn to stop early.
+	Iterate(fn func(key, value []byte) bool) error
+	// Count returns the number of entries.
+	Count() (int, error)
+	// PathLength returns the number of nodes traversed from the root to
+	// the entry holding key (the lookup path length of Figure 9).
+	PathLength(key []byte) (int, error)
+
+	// Diff compares this version against another instance of the same
+	// class sharing the same store, returning every record present in
+	// only one side or differing between them (§4.1.3).
+	Diff(other Index) ([]DiffEntry, error)
+
+	// Prove returns a tamper-evidence proof for key; VerifyProof checks a
+	// proof against a trusted root digest.
+	Prove(key []byte) (*Proof, error)
+	VerifyProof(root hash.Hash, proof *Proof) error
+}
+
+// DiffEntry reports one divergent key from Index.Diff. Left is the value in
+// the receiver, Right the value in the argument; nil marks absence.
+type DiffEntry struct {
+	Key   []byte
+	Left  []byte
+	Right []byte
+}
+
+// Proof is a Merkle proof: the encodings of every node on the path from the
+// root to the entry. Index.VerifyProof recomputes each digest and checks the
+// links bottom-up, so any tampering with the value or the path is detected.
+type Proof struct {
+	Key   []byte
+	Value []byte
+	// Path holds node encodings from root (index 0) to the node
+	// containing the entry.
+	Path [][]byte
+}
+
+// Common errors.
+var (
+	// ErrConflict reports a merge conflict: a key updated to different
+	// values on both sides.
+	ErrConflict = errors.New("core: merge conflict")
+	// ErrInvalidProof reports a proof that fails verification.
+	ErrInvalidProof = errors.New("core: invalid proof")
+	// ErrMissingNode reports a dangling hash: a node referenced but not
+	// present in the store.
+	ErrMissingNode = errors.New("core: node missing from store")
+	// ErrTypeMismatch reports a Diff or Merge across different index
+	// classes.
+	ErrTypeMismatch = errors.New("core: index class mismatch")
+	// ErrEmptyKey reports an empty or nil key, which no index accepts.
+	ErrEmptyKey = errors.New("core: empty key")
+	// ErrNotFound reports a proof request for an absent key.
+	ErrNotFound = errors.New("core: key not found")
+)
+
+// SortEntries orders entries by key and collapses duplicate keys, keeping
+// the last occurrence (batch semantics: later writes win). The input slice
+// is not modified; the result is freshly allocated.
+func SortEntries(entries []Entry) []Entry {
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	sort.SliceStable(out, func(i, j int) bool {
+		return bytes.Compare(out[i].Key, out[j].Key) < 0
+	})
+	// Collapse duplicates keeping the last occurrence (stable sort keeps
+	// input order within equal keys).
+	w := 0
+	for i := 0; i < len(out); i++ {
+		if i+1 < len(out) && bytes.Equal(out[i].Key, out[i+1].Key) {
+			continue
+		}
+		out[w] = out[i]
+		w++
+	}
+	return out[:w]
+}
+
+// ValidateEntries rejects batches containing empty keys.
+func ValidateEntries(entries []Entry) error {
+	for i, e := range entries {
+		if len(e.Key) == 0 {
+			return fmt.Errorf("%w: entry %d", ErrEmptyKey, i)
+		}
+	}
+	return nil
+}
+
+// ResolveFunc arbitrates a merge conflict for key, given the two conflicting
+// values. It returns the value to keep.
+type ResolveFunc func(key, left, right []byte) []byte
+
+// TakeLeft resolves conflicts in favour of the receiver side.
+func TakeLeft(_, left, _ []byte) []byte { return left }
+
+// TakeRight resolves conflicts in favour of the argument side.
+func TakeRight(_, _, right []byte) []byte { return right }
+
+// Merge combines all records from both indexes (§4.1.4): it diffs the two
+// versions and applies every record present only in right — or resolved by
+// resolve when both sides hold different values — onto left. With a nil
+// resolve, any conflict aborts with ErrConflict, matching the paper's
+// semantics of interrupting the merge for user selection.
+func Merge(left, right Index, resolve ResolveFunc) (Index, error) {
+	diffs, err := left.Diff(right)
+	if err != nil {
+		return nil, fmt.Errorf("merge: %w", err)
+	}
+	var batch []Entry
+	for _, d := range diffs {
+		switch {
+		case d.Left == nil: // right-only record: adopt it
+			batch = append(batch, Entry{Key: d.Key, Value: d.Right})
+		case d.Right == nil: // left-only record: already present
+		default: // both sides differ: conflict
+			if resolve == nil {
+				return nil, fmt.Errorf("%w: key %q", ErrConflict, d.Key)
+			}
+			batch = append(batch, Entry{Key: d.Key, Value: resolve(d.Key, d.Left, d.Right)})
+		}
+	}
+	if len(batch) == 0 {
+		return left, nil
+	}
+	return left.PutBatch(batch)
+}
+
+// Merge3 performs a three-way merge of two versions derived from a common
+// base. A key changed on only one side takes that side's value; a key
+// changed on both sides to different values is a conflict.
+func Merge3(base, left, right Index, resolve ResolveFunc) (Index, error) {
+	leftDiffs, err := base.Diff(left)
+	if err != nil {
+		return nil, fmt.Errorf("merge3: %w", err)
+	}
+	rightDiffs, err := base.Diff(right)
+	if err != nil {
+		return nil, fmt.Errorf("merge3: %w", err)
+	}
+	// Index left-side changes by key. d.Right is the value in the derived
+	// version (nil = deleted there).
+	leftCh := make(map[string][]byte, len(leftDiffs))
+	for _, d := range leftDiffs {
+		leftCh[string(d.Key)] = d.Right
+	}
+	var batch []Entry
+	var dels [][]byte
+	for _, d := range rightDiffs {
+		key := string(d.Key)
+		lv, changedLeft := leftCh[key]
+		rv := d.Right
+		if !changedLeft {
+			// Only right changed: adopt.
+			if rv == nil {
+				dels = append(dels, d.Key)
+			} else {
+				batch = append(batch, Entry{Key: d.Key, Value: rv})
+			}
+			continue
+		}
+		// Both changed.
+		if bytes.Equal(lv, rv) {
+			continue // converged on the same value (or both deleted)
+		}
+		if resolve == nil {
+			return nil, fmt.Errorf("%w: key %q", ErrConflict, d.Key)
+		}
+		v := resolve(d.Key, lv, rv)
+		if v == nil {
+			dels = append(dels, d.Key)
+		} else {
+			batch = append(batch, Entry{Key: d.Key, Value: v})
+		}
+	}
+	out := left
+	if len(batch) > 0 {
+		out, err = out.PutBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range dels {
+		out, err = out.Delete(k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// mapIndex is a minimal in-memory Index used to exercise the generic merge
+// logic without depending on any concrete tree.
+type mapIndex struct {
+	s store.Store
+	m map[string][]byte
+}
+
+func newMapIndex() *mapIndex {
+	return &mapIndex{s: store.NewMemStore(), m: map[string][]byte{}}
+}
+
+func (x *mapIndex) clone() *mapIndex {
+	c := &mapIndex{s: x.s, m: make(map[string][]byte, len(x.m))}
+	for k, v := range x.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+func (x *mapIndex) Name() string       { return "map" }
+func (x *mapIndex) Store() store.Store { return x.s }
+
+func (x *mapIndex) RootHash() hash.Hash {
+	keys := make([]string, 0, len(x.m))
+	for k := range x.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts [][]byte
+	for _, k := range keys {
+		parts = append(parts, []byte(k), x.m[k])
+	}
+	return hash.Of(parts...)
+}
+
+func (x *mapIndex) Get(key []byte) ([]byte, bool, error) {
+	v, ok := x.m[string(key)]
+	return v, ok, nil
+}
+
+func (x *mapIndex) Put(key, value []byte) (Index, error) {
+	c := x.clone()
+	c.m[string(key)] = value
+	return c, nil
+}
+
+func (x *mapIndex) PutBatch(entries []Entry) (Index, error) {
+	c := x.clone()
+	for _, e := range entries {
+		c.m[string(e.Key)] = e.Value
+	}
+	return c, nil
+}
+
+func (x *mapIndex) Delete(key []byte) (Index, error) {
+	c := x.clone()
+	delete(c.m, string(key))
+	return c, nil
+}
+
+func (x *mapIndex) Iterate(fn func(k, v []byte) bool) error {
+	keys := make([]string, 0, len(x.m))
+	for k := range x.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn([]byte(k), x.m[k]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (x *mapIndex) Count() (int, error)                 { return len(x.m), nil }
+func (x *mapIndex) PathLength(key []byte) (int, error)  { return 1, nil }
+func (x *mapIndex) Prove(key []byte) (*Proof, error)    { return nil, errors.New("unsupported") }
+func (x *mapIndex) VerifyProof(hash.Hash, *Proof) error { return errors.New("unsupported") }
+
+func (x *mapIndex) Diff(other Index) ([]DiffEntry, error) {
+	o, ok := other.(*mapIndex)
+	if !ok {
+		return nil, ErrTypeMismatch
+	}
+	keys := map[string]bool{}
+	for k := range x.m {
+		keys[k] = true
+	}
+	for k := range o.m {
+		keys[k] = true
+	}
+	var out []DiffEntry
+	for k := range keys {
+		l, r := x.m[k], o.m[k]
+		if !bytes.Equal(l, r) {
+			out = append(out, DiffEntry{Key: []byte(k), Left: l, Right: r})
+		}
+	}
+	return out, nil
+}
+
+func mustPut(t *testing.T, idx Index, k, v string) Index {
+	t.Helper()
+	out, err := idx.Put([]byte(k), []byte(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSortEntriesOrdersAndDedups(t *testing.T) {
+	in := []Entry{
+		{Key: []byte("b"), Value: []byte("1")},
+		{Key: []byte("a"), Value: []byte("2")},
+		{Key: []byte("b"), Value: []byte("3")}, // later duplicate wins
+		{Key: []byte("c"), Value: []byte("4")},
+	}
+	got := SortEntries(in)
+	want := []Entry{
+		{Key: []byte("a"), Value: []byte("2")},
+		{Key: []byte("b"), Value: []byte("3")},
+		{Key: []byte("c"), Value: []byte("4")},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Input must be untouched.
+	if string(in[0].Key) != "b" {
+		t.Fatal("SortEntries mutated its input")
+	}
+}
+
+func TestSortEntriesProperty(t *testing.T) {
+	f := func(pairs map[string]string) bool {
+		var in []Entry
+		for k, v := range pairs {
+			if k == "" {
+				continue
+			}
+			in = append(in, Entry{Key: []byte(k), Value: []byte(v)})
+		}
+		out := SortEntries(in)
+		if len(out) != len(in) { // map input has unique keys
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if bytes.Compare(out[i-1].Key, out[i].Key) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateEntries(t *testing.T) {
+	if err := ValidateEntries([]Entry{{Key: []byte("k")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateEntries([]Entry{{Key: nil}}); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	var left, right Index = newMapIndex(), nil
+	left = mustPut(t, left, "a", "1")
+	right = mustPut(t, left, "b", "2")
+	left = mustPut(t, left, "c", "3")
+
+	merged, err := Merge(left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		got, ok, _ := merged.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("merged[%q] = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestMergeConflictAborts(t *testing.T) {
+	base := mustPut(t, Index(newMapIndex()), "k", "base")
+	left := mustPut(t, base, "k", "left")
+	right := mustPut(t, base, "k", "right")
+	if _, err := Merge(left, right, nil); !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+}
+
+func TestMergeConflictResolved(t *testing.T) {
+	base := mustPut(t, Index(newMapIndex()), "k", "base")
+	left := mustPut(t, base, "k", "left")
+	right := mustPut(t, base, "k", "right")
+
+	merged, err := Merge(left, right, TakeRight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := merged.Get([]byte("k"))
+	if string(got) != "right" {
+		t.Fatalf("resolved value = %q", got)
+	}
+	merged, err = Merge(left, right, TakeLeft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = merged.Get([]byte("k"))
+	if string(got) != "left" {
+		t.Fatalf("resolved value = %q", got)
+	}
+}
+
+func TestMergeIdenticalIsNoop(t *testing.T) {
+	a := mustPut(t, Index(newMapIndex()), "x", "1")
+	merged, err := Merge(a, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.RootHash() != a.RootHash() {
+		t.Fatal("merging identical versions changed the root")
+	}
+}
+
+func TestMerge3BothSidesContribute(t *testing.T) {
+	base := mustPut(t, Index(newMapIndex()), "shared", "v0")
+	left := mustPut(t, base, "l", "1")
+	right := mustPut(t, base, "r", "2")
+
+	merged, err := Merge3(base, left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range map[string]string{"shared": "v0", "l": "1", "r": "2"} {
+		got, ok, _ := merged.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("merged[%q] = %q, %v", k, got, ok)
+		}
+	}
+}
+
+func TestMerge3ConvergentEditsAreNotConflicts(t *testing.T) {
+	base := mustPut(t, Index(newMapIndex()), "k", "old")
+	left := mustPut(t, base, "k", "new")
+	right := mustPut(t, base, "k", "new")
+	if _, err := Merge3(base, left, right, nil); err != nil {
+		t.Fatalf("convergent edit flagged: %v", err)
+	}
+}
+
+func TestMerge3DivergentEditsConflict(t *testing.T) {
+	base := mustPut(t, Index(newMapIndex()), "k", "old")
+	left := mustPut(t, base, "k", "a")
+	right := mustPut(t, base, "k", "b")
+	if _, err := Merge3(base, left, right, nil); !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v", err)
+	}
+	merged, err := Merge3(base, left, right, TakeRight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := merged.Get([]byte("k"))
+	if string(got) != "b" {
+		t.Fatalf("resolved = %q", got)
+	}
+}
+
+func TestMerge3RightDelete(t *testing.T) {
+	base := mustPut(t, Index(newMapIndex()), "k", "v")
+	left := base
+	right, err := base.Delete([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge3(base, left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := merged.Get([]byte("k")); ok {
+		t.Fatal("deleted key survived merge")
+	}
+}
+
+func TestDiffTypeMismatch(t *testing.T) {
+	a := newMapIndex()
+	if _, err := a.Diff(otherIndex{}); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type otherIndex struct{ Index }
+
+func (otherIndex) Name() string { return "other" }
+
+// ---- metrics tests over a synthetic Merkle DAG ----
+
+// dagIndex stores nodes encoded as: 1 count byte, then count 32-byte child
+// hashes, then arbitrary payload.
+type dagIndex struct {
+	mapIndex
+	s    *store.MemStore
+	root hash.Hash
+}
+
+func (d *dagIndex) Store() store.Store  { return d.s }
+func (d *dagIndex) RootHash() hash.Hash { return d.root }
+func (d *dagIndex) Name() string        { return "dag" }
+
+func (d *dagIndex) Refs(data []byte) ([]hash.Hash, error) {
+	n := int(data[0])
+	refs := make([]hash.Hash, n)
+	for i := 0; i < n; i++ {
+		h, err := hash.FromBytes(data[1+i*32 : 1+(i+1)*32])
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = h
+	}
+	return refs, nil
+}
+
+func dagNode(s *store.MemStore, payload string, children ...hash.Hash) hash.Hash {
+	buf := []byte{byte(len(children))}
+	for _, c := range children {
+		buf = append(buf, c[:]...)
+	}
+	buf = append(buf, payload...)
+	return s.Put(buf)
+}
+
+func TestReachStatsCountsAndHeight(t *testing.T) {
+	s := store.NewMemStore()
+	leaf1 := dagNode(s, "leaf-1")
+	leaf2 := dagNode(s, "leaf-2")
+	mid := dagNode(s, "mid", leaf1, leaf2)
+	root := dagNode(s, "root", mid, leaf1) // leaf1 shared twice within one version
+
+	idx := &dagIndex{s: s, root: root}
+	r, err := ReachStats(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 4 { // leaf1 counted once despite two references
+		t.Fatalf("Nodes = %d, want 4", r.Nodes)
+	}
+	if r.Height != 3 {
+		t.Fatalf("Height = %d, want 3", r.Height)
+	}
+	if r.Bytes <= 0 {
+		t.Fatalf("Bytes = %d", r.Bytes)
+	}
+}
+
+func TestReachStatsEmptyRoot(t *testing.T) {
+	idx := &dagIndex{s: store.NewMemStore(), root: hash.Null}
+	r, err := ReachStats(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 0 || r.Height != 0 {
+		t.Fatalf("empty reach = %+v", r)
+	}
+}
+
+func TestReachStatsMissingNode(t *testing.T) {
+	s := store.NewMemStore()
+	ghost := hash.Of([]byte("never stored"))
+	root := dagNode(s, "root", ghost)
+	idx := &dagIndex{s: s, root: root}
+	if _, err := ReachStats(idx); !errors.Is(err, ErrMissingNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnalyzeVersionsSharing(t *testing.T) {
+	s := store.NewMemStore()
+	shared := dagNode(s, "shared-subtree")
+	v1root := dagNode(s, "v1", shared)
+	v2root := dagNode(s, "v2", shared)
+
+	v1 := &dagIndex{s: s, root: v1root}
+	v2 := &dagIndex{s: s, root: v2root}
+	st, err := AnalyzeVersions(v1, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SumNodes != 4 || st.UnionNodes != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.NodeSharingRatio() <= 0 || st.NodeSharingRatio() >= 1 {
+		t.Fatalf("sharing ratio = %v", st.NodeSharingRatio())
+	}
+	dr, err := DedupRatio(v1, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr <= 0 || dr >= 0.5 {
+		t.Fatalf("dedup ratio = %v", dr)
+	}
+	nsr, err := NodeSharingRatio(v1, v2)
+	if err != nil || nsr != st.NodeSharingRatio() {
+		t.Fatalf("NodeSharingRatio = %v, %v", nsr, err)
+	}
+}
+
+func TestAnalyzeVersionsIdenticalVersions(t *testing.T) {
+	s := store.NewMemStore()
+	leaf := dagNode(s, "leaf")
+	root := dagNode(s, "root", leaf)
+	v := &dagIndex{s: s, root: root}
+	st, err := AnalyzeVersions(v, v, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three identical versions: union is one copy, sum is three.
+	if want := 1.0 - 1.0/3.0; st.DedupRatio() < want-1e-9 || st.DedupRatio() > want+1e-9 {
+		t.Fatalf("dedup ratio = %v, want %v", st.DedupRatio(), want)
+	}
+}
+
+func TestVersionSetStatsZeroSafe(t *testing.T) {
+	var v VersionSetStats
+	if v.DedupRatio() != 0 || v.NodeSharingRatio() != 0 {
+		t.Fatal("zero-value stats must yield zero ratios")
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{Key: []byte("k"), Value: []byte("v")}
+	if e.String() != fmt.Sprintf("%q=%q", "k", "v") {
+		t.Fatalf("String = %s", e.String())
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hash"
+)
+
+// NodeWalker exposes the structural decoding every index class provides:
+// given a node's canonical encoding, Refs returns the digests of its
+// children. The deduplication metrics walk reachable node sets with it.
+type NodeWalker interface {
+	Refs(data []byte) ([]hash.Hash, error)
+}
+
+// Reach summarizes the node set reachable from one root.
+type Reach struct {
+	Nodes  int   // distinct nodes
+	Bytes  int64 // total encoded bytes of those nodes
+	Height int   // longest root-to-leaf path, in nodes
+}
+
+// Reachable walks the Merkle DAG from root, adding every reachable node and
+// its encoded size to acc (hash → byte size). Nodes already in acc are not
+// re-expanded, so repeated calls over shared versions cost only the novel
+// pages. It returns the height of the walked subtree.
+func Reachable(idx Index, w NodeWalker, root hash.Hash, acc map[hash.Hash]int) (height int, err error) {
+	if root.IsNull() {
+		return 0, nil
+	}
+	heights := make(map[hash.Hash]int)
+	var visit func(h hash.Hash) (int, error)
+	visit = func(h hash.Hash) (int, error) {
+		if h.IsNull() {
+			return 0, nil
+		}
+		if ht, ok := heights[h]; ok {
+			return ht, nil
+		}
+		data, ok := idx.Store().Get(h)
+		if !ok {
+			return 0, fmt.Errorf("%w: %v", ErrMissingNode, h)
+		}
+		acc[h] = len(data)
+		refs, err := w.Refs(data)
+		if err != nil {
+			return 0, err
+		}
+		maxChild := 0
+		for _, r := range refs {
+			ch, err := visit(r)
+			if err != nil {
+				return 0, err
+			}
+			if ch > maxChild {
+				maxChild = ch
+			}
+		}
+		heights[h] = maxChild + 1
+		return maxChild + 1, nil
+	}
+	return visit(root)
+}
+
+// ReachStats walks one version and returns its node count, byte footprint
+// and height.
+func ReachStats(idx Index) (Reach, error) {
+	w, ok := idx.(NodeWalker)
+	if !ok {
+		return Reach{}, fmt.Errorf("core: %s does not expose node refs", idx.Name())
+	}
+	acc := make(map[hash.Hash]int)
+	h, err := Reachable(idx, w, idx.RootHash(), acc)
+	if err != nil {
+		return Reach{}, err
+	}
+	var bytes int64
+	for _, sz := range acc {
+		bytes += int64(sz)
+	}
+	return Reach{Nodes: len(acc), Bytes: bytes, Height: h}, nil
+}
+
+// VersionSetStats aggregates the paper's two sharing metrics over a set of
+// index versions (instances of the same class over the same store).
+type VersionSetStats struct {
+	// UnionNodes and UnionBytes measure the deduplicated footprint
+	// byte(P1 ∪ … ∪ Pk).
+	UnionNodes int
+	UnionBytes int64
+	// SumNodes and SumBytes measure the footprint with no sharing,
+	// byte(P1) + … + byte(Pk).
+	SumNodes int
+	SumBytes int64
+}
+
+// DedupRatio is η(S) = 1 − byte(∪Pᵢ) / Σ byte(Pᵢ)  (§4.2.1).
+func (v VersionSetStats) DedupRatio() float64 {
+	if v.SumBytes == 0 {
+		return 0
+	}
+	return 1 - float64(v.UnionBytes)/float64(v.SumBytes)
+}
+
+// NodeSharingRatio is 1 − |∪Pᵢ| / Σ|Pᵢ|  (§5.4.2).
+func (v VersionSetStats) NodeSharingRatio() float64 {
+	if v.SumNodes == 0 {
+		return 0
+	}
+	return 1 - float64(v.UnionNodes)/float64(v.SumNodes)
+}
+
+// AnalyzeVersions walks every version's reachable page set and returns the
+// aggregate sharing statistics. All versions must be instances of the same
+// index class over the same store.
+func AnalyzeVersions(versions ...Index) (VersionSetStats, error) {
+	var out VersionSetStats
+	union := make(map[hash.Hash]int)
+	for _, v := range versions {
+		w, ok := v.(NodeWalker)
+		if !ok {
+			return out, fmt.Errorf("core: %s does not expose node refs", v.Name())
+		}
+		per := make(map[hash.Hash]int)
+		if _, err := Reachable(v, w, v.RootHash(), per); err != nil {
+			return out, err
+		}
+		for h, sz := range per {
+			out.SumNodes++
+			out.SumBytes += int64(sz)
+			if _, seen := union[h]; !seen {
+				union[h] = sz
+				out.UnionNodes++
+				out.UnionBytes += int64(sz)
+			}
+		}
+	}
+	return out, nil
+}
+
+// DedupRatio is a convenience wrapper over AnalyzeVersions.
+func DedupRatio(versions ...Index) (float64, error) {
+	st, err := AnalyzeVersions(versions...)
+	if err != nil {
+		return 0, err
+	}
+	return st.DedupRatio(), nil
+}
+
+// NodeSharingRatio is a convenience wrapper over AnalyzeVersions.
+func NodeSharingRatio(versions ...Index) (float64, error) {
+	st, err := AnalyzeVersions(versions...)
+	if err != nil {
+		return 0, err
+	}
+	return st.NodeSharingRatio(), nil
+}

@@ -1,0 +1,159 @@
+package forkbase
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// Loader rebuilds a read-only index view over a (remote) store from a root
+// digest; each index class provides one as a closure over its config, e.g.
+//
+//	func(s store.Store, root hash.Hash, height int) core.Index {
+//	    return postree.Load(s, cfg, root, height)
+//	}
+type Loader func(s store.Store, root hash.Hash, height int) core.Index
+
+// Client executes reads locally over network-fetched (and cached) nodes and
+// ships writes to the servlet, mirroring Forkbase's client architecture:
+// "Forkbase caches the nodes at clients after retrieved from servers"
+// (§5.6.1).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+
+	loader Loader
+	nodes  *store.CachedStore
+
+	root   hash.Hash
+	height int
+}
+
+// remoteStore adapts the node-fetch RPC to the store.Store interface. Puts
+// are not supported: all writes happen server-side.
+type remoteStore struct {
+	c *Client
+}
+
+func (r remoteStore) Put([]byte) hash.Hash { panic("forkbase: client-side Put") }
+func (r remoteStore) Stats() store.Stats   { return store.Stats{} }
+
+func (r remoteStore) Get(h hash.Hash) ([]byte, bool) {
+	data, ok, err := r.c.fetchNode(h)
+	if err != nil {
+		return nil, false
+	}
+	return data, ok
+}
+
+func (r remoteStore) Has(h hash.Hash) bool {
+	_, ok := r.Get(h)
+	return ok
+}
+
+// Dial connects to a servlet. cacheBytes bounds the client node cache
+// (0 disables caching, the configuration used to isolate remote-access
+// costs).
+func Dial(addr string, loader Loader, cacheBytes int64) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("forkbase: dial: %w", err)
+	}
+	c := &Client{conn: conn, loader: loader}
+	c.nodes = store.NewCachedStore(remoteStore{c: c}, cacheBytes)
+	if err := c.Refresh(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeMsg(c.conn, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	rt, rp, err := readMsg(c.conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rt == msgErr {
+		return 0, nil, fmt.Errorf("forkbase: server: %s", rp)
+	}
+	return rt, rp, nil
+}
+
+// fetchNode retrieves one node from the servlet.
+func (c *Client) fetchNode(h hash.Hash) ([]byte, bool, error) {
+	typ, payload, err := c.roundTrip(msgGetNode, h.Bytes())
+	if err != nil {
+		return nil, false, err
+	}
+	switch typ {
+	case msgNode:
+		return payload, true, nil
+	case msgMissing:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("forkbase: unexpected response %d", typ)
+	}
+}
+
+// Refresh re-reads the servlet's current root.
+func (c *Client) Refresh() error {
+	typ, payload, err := c.roundTrip(msgGetRoot, nil)
+	if err != nil {
+		return err
+	}
+	if typ != msgRoot {
+		return fmt.Errorf("forkbase: unexpected response %d", typ)
+	}
+	root, height, err := decodeRoot(payload)
+	if err != nil {
+		return err
+	}
+	c.root, c.height = root, height
+	return nil
+}
+
+// view materializes the read-only index over the cached remote store.
+func (c *Client) view() core.Index {
+	return c.loader(c.nodes, c.root, c.height)
+}
+
+// Get reads key through the client cache.
+func (c *Client) Get(key []byte) ([]byte, bool, error) {
+	return c.view().Get(key)
+}
+
+// PutBatch applies entries on the servlet and adopts the new root.
+func (c *Client) PutBatch(entries []core.Entry) error {
+	typ, payload, err := c.roundTrip(msgPutBatch, encodeEntries(entries))
+	if err != nil {
+		return err
+	}
+	if typ != msgRoot {
+		return fmt.Errorf("forkbase: unexpected response %d", typ)
+	}
+	root, height, err := decodeRoot(payload)
+	if err != nil {
+		return err
+	}
+	c.root, c.height = root, height
+	return nil
+}
+
+// Root returns the client's current root view.
+func (c *Client) Root() (hash.Hash, int) { return c.root, c.height }
+
+// CacheStats exposes local cache hits and misses.
+func (c *Client) CacheStats() (hits, misses int64) { return c.nodes.CacheStats() }

@@ -1,0 +1,129 @@
+// Package forkbase implements a miniature version of the client/server
+// storage engine used in the paper's system experiments (§5.6): a single
+// servlet owning the authoritative index over a content-addressed store,
+// and clients that execute reads by fetching nodes over the network
+// (caching them locally, as Forkbase does) while writes are shipped to the
+// servlet and applied there.
+//
+// The wire protocol is deliberately small: length-prefixed binary messages
+// carrying node fetches, batched writes, and root queries. Any core.Index
+// implementation can be served, which is how the Forkbase (POS-Tree) versus
+// Noms (Prolly Tree) comparison of §5.6.2 is run on identical plumbing.
+package forkbase
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Message type tags.
+const (
+	msgGetNode  = 1 // request: hash → node bytes
+	msgNode     = 2 // response: node bytes
+	msgMissing  = 3 // response: node not found
+	msgPutBatch = 4 // request: entries → applied server-side
+	msgRoot     = 5 // response: root hash + height
+	msgGetRoot  = 6 // request: current root
+	msgErr      = 7 // response: error text
+)
+
+// maxMessage bounds a single message (64 MiB) to fail fast on corruption.
+const maxMessage = 64 << 20
+
+// writeMsg frames and writes one message: 4-byte big-endian length, then a
+// type byte and the payload.
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("forkbase: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("forkbase: write payload: %w", err)
+	}
+	return nil
+}
+
+// readMsg reads one framed message.
+func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxMessage {
+		return 0, nil, fmt.Errorf("forkbase: bad message length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("forkbase: read body: %w", err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// encodeEntries serializes a batch of entries.
+func encodeEntries(entries []core.Entry) []byte {
+	w := codec.NewWriter(64 * len(entries))
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		w.LenBytes(e.Key)
+		w.LenBytes(e.Value)
+	}
+	return w.Bytes()
+}
+
+// decodeEntries parses a batch of entries.
+func decodeEntries(data []byte) ([]core.Entry, error) {
+	r := codec.NewReader(data)
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.LenBytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.LenBytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.Entry{Key: k, Value: v})
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// encodeRoot serializes a root response.
+func encodeRoot(root hash.Hash, height int) []byte {
+	w := codec.NewWriter(40)
+	w.Bytes32(root[:])
+	w.Uvarint(uint64(height))
+	return w.Bytes()
+}
+
+// decodeRoot parses a root response.
+func decodeRoot(data []byte) (hash.Hash, int, error) {
+	r := codec.NewReader(data)
+	hb, err := r.Bytes32()
+	if err != nil {
+		return hash.Null, 0, err
+	}
+	ht, err := r.Uvarint()
+	if err != nil {
+		return hash.Null, 0, err
+	}
+	if err := r.Done(); err != nil {
+		return hash.Null, 0, err
+	}
+	return hash.MustFromBytes(hb), int(ht), nil
+}

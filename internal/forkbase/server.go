@@ -1,0 +1,159 @@
+package forkbase
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// heighter is implemented by tree indexes that need their height shipped to
+// clients for Load.
+type heighter interface{ Height() int }
+
+// Servlet owns the authoritative index version and serves node fetches and
+// write batches. One Servlet matches the paper's single-servlet setup.
+type Servlet struct {
+	ln net.Listener
+
+	mu  sync.Mutex
+	idx core.Index
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServlet returns a servlet whose initial head is idx.
+func NewServlet(idx core.Index) *Servlet {
+	return &Servlet{idx: idx, closed: make(chan struct{})}
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves until Close. It returns the bound address.
+func (s *Servlet) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("forkbase: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for connection handlers to finish.
+func (s *Servlet) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Head returns the servlet's current index version.
+func (s *Servlet) Head() core.Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx
+}
+
+func (s *Servlet) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Servlet) handleConn(conn net.Conn) {
+	for {
+		typ, payload, err := s.serveOne(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			// Best effort error report, then drop the connection.
+			_ = writeMsg(conn, msgErr, []byte(err.Error()))
+			return
+		}
+		if err := writeMsg(conn, typ, payload); err != nil {
+			return
+		}
+	}
+}
+
+// serveOne reads one request and computes the response.
+func (s *Servlet) serveOne(conn net.Conn) (byte, []byte, error) {
+	typ, payload, err := readMsg(conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	switch typ {
+	case msgGetNode:
+		h, err := hash.FromBytes(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.mu.Lock()
+		data, ok := s.idx.Store().Get(h)
+		s.mu.Unlock()
+		if !ok {
+			return msgMissing, nil, nil
+		}
+		return msgNode, data, nil
+
+	case msgPutBatch:
+		entries, err := decodeEntries(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.mu.Lock()
+		next, err := s.idx.PutBatch(entries)
+		if err == nil {
+			s.idx = next
+		}
+		root, height := s.idx.RootHash(), s.headHeight()
+		s.mu.Unlock()
+		if err != nil {
+			return 0, nil, err
+		}
+		return msgRoot, encodeRoot(root, height), nil
+
+	case msgGetRoot:
+		s.mu.Lock()
+		root, height := s.idx.RootHash(), s.headHeight()
+		s.mu.Unlock()
+		return msgRoot, encodeRoot(root, height), nil
+
+	default:
+		return 0, nil, fmt.Errorf("forkbase: unknown request type %d", typ)
+	}
+}
+
+// headHeight reports the head's tree height when it exposes one. Caller
+// holds s.mu.
+func (s *Servlet) headHeight() int {
+	if h, ok := s.idx.(heighter); ok {
+		return h.Height()
+	}
+	return 0
+}

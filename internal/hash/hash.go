@@ -1,0 +1,92 @@
+// Package hash provides the cryptographic digest type used by every index
+// in this repository. All Merkle structures (MPT, MBT, POS-Tree, MVMB+-Tree,
+// Prolly Tree) identify nodes by the SHA-256 digest of their canonical
+// encoding; the content-addressed store keys nodes by the same digest.
+package hash
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the digest length in bytes.
+const Size = sha256.Size
+
+// Hash is a 32-byte SHA-256 digest. The zero value is the canonical "null"
+// hash used for absent children and empty trees.
+type Hash [Size]byte
+
+// Null is the zero digest, representing an empty subtree or absent child.
+var Null Hash
+
+// Of returns the SHA-256 digest of the concatenation of the given byte
+// slices. Concatenating here avoids an intermediate allocation at call sites
+// that hash multi-part encodings.
+func Of(parts ...[]byte) Hash {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// IsNull reports whether h is the zero digest.
+func (h Hash) IsNull() bool { return h == Null }
+
+// Bytes returns the digest as a freshly allocated byte slice.
+func (h Hash) Bytes() []byte {
+	b := make([]byte, Size)
+	copy(b, h[:])
+	return b
+}
+
+// String renders the digest as lowercase hex, truncated for readability in
+// logs and test output. Use Hex for the full digest.
+func (h Hash) String() string {
+	if h.IsNull() {
+		return "null"
+	}
+	return hex.EncodeToString(h[:8]) + "…"
+}
+
+// Hex returns the full 64-character lowercase hex rendering.
+func (h Hash) Hex() string { return hex.EncodeToString(h[:]) }
+
+// Compare orders digests lexicographically, returning -1, 0 or +1.
+func (h Hash) Compare(o Hash) int { return bytes.Compare(h[:], o[:]) }
+
+// FromBytes converts a 32-byte slice to a Hash. It returns an error if the
+// slice has the wrong length, so that corrupted encodings surface instead of
+// silently truncating.
+func FromBytes(b []byte) (Hash, error) {
+	var h Hash
+	if len(b) != Size {
+		return h, fmt.Errorf("hash: need %d bytes, got %d", Size, len(b))
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// MustFromBytes is FromBytes for encodings already validated by the caller.
+// It panics on length mismatch.
+func MustFromBytes(b []byte) Hash {
+	h, err := FromBytes(b)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// FromHex parses a 64-character hex string.
+func FromHex(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("hash: %w", err)
+	}
+	return FromBytes(b)
+}

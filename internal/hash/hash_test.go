@@ -1,0 +1,117 @@
+package hash
+
+import (
+	"crypto/sha256"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfMatchesSha256(t *testing.T) {
+	data := []byte("immutable data")
+	want := sha256.Sum256(data)
+	got := Of(data)
+	if got != Hash(want) {
+		t.Fatalf("Of(%q) = %v, want %v", data, got, Hash(want))
+	}
+}
+
+func TestOfConcatenation(t *testing.T) {
+	// Of over parts must equal Of over the concatenation.
+	a, b := []byte("hello "), []byte("world")
+	joined := append(append([]byte{}, a...), b...)
+	if Of(a, b) != Of(joined) {
+		t.Fatal("Of(parts...) differs from Of(concat)")
+	}
+}
+
+func TestNullAndIsNull(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null.IsNull() = false")
+	}
+	if Of([]byte("x")).IsNull() {
+		t.Fatal("non-empty digest reported as null")
+	}
+	if Null.String() != "null" {
+		t.Fatalf("Null.String() = %q", Null.String())
+	}
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	h := Of([]byte("round trip"))
+	got, err := FromBytes(h.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("FromBytes(Bytes()) = %v, want %v", got, h)
+	}
+}
+
+func TestFromBytesRejectsBadLength(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 31)); err == nil {
+		t.Fatal("expected error for 31-byte input")
+	}
+	if _, err := FromBytes(make([]byte, 33)); err == nil {
+		t.Fatal("expected error for 33-byte input")
+	}
+}
+
+func TestMustFromBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustFromBytes([]byte{1, 2, 3})
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	h := Of([]byte("hex"))
+	got, err := FromHex(h.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("FromHex(Hex()) mismatch")
+	}
+	if len(h.Hex()) != 64 {
+		t.Fatalf("Hex length = %d, want 64", len(h.Hex()))
+	}
+	if !strings.HasPrefix(h.String(), h.Hex()[:16]) {
+		t.Fatalf("String %q does not prefix Hex %q", h.String(), h.Hex())
+	}
+}
+
+func TestFromHexRejectsGarbage(t *testing.T) {
+	if _, err := FromHex("zz"); err == nil {
+		t.Fatal("expected error for non-hex input")
+	}
+	if _, err := FromHex("abcd"); err == nil {
+		t.Fatal("expected error for short hex input")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	var a, b Hash
+	a[0], b[0] = 1, 2
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("Compare ordering incorrect")
+	}
+}
+
+func TestCollisionFreeOnDistinctInputsProperty(t *testing.T) {
+	// Distinct inputs must (overwhelmingly) produce distinct digests and
+	// identical inputs identical digests — determinism is what the Merkle
+	// structures rely on.
+	f := func(a, b []byte) bool {
+		ha, hb := Of(a), Of(b)
+		if string(a) == string(b) {
+			return ha == hb
+		}
+		return ha != hb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

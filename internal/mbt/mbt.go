@@ -1,0 +1,391 @@
+package mbt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// Tree is one immutable version of a Merkle Bucket Tree. Mutating methods
+// return a new Tree sharing unmodified nodes with the receiver.
+type Tree struct {
+	s     store.Store
+	cfg   Config
+	sizes []int // node count per level, buckets first
+	root  hash.Hash
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Index      = (*Tree)(nil)
+	_ core.NodeWalker = (*Tree)(nil)
+)
+
+// New builds an empty tree over s with the given parameters. Because
+// capacity and fanout are fixed, the complete (empty) node structure is
+// materialized immediately; content addressing collapses the identical
+// empty buckets and internal nodes to a handful of stored pages.
+func New(s store.Store, cfg Config) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes()}
+
+	// Build the complete empty tree level by level. Nodes with identical
+	// child lists are memoized so the build does O(levels) distinct hash
+	// computations rather than O(capacity).
+	emptyBucket := s.Put(encodeBucket(&bucketNode{}))
+	level := make([]hash.Hash, cfg.Capacity)
+	for i := range level {
+		level[i] = emptyBucket
+	}
+	memo := make(map[string]hash.Hash)
+	for l := 1; l < len(t.sizes); l++ {
+		next := make([]hash.Hash, t.sizes[l])
+		for p := range next {
+			a := t.cfg.arity(t.sizes, l, p)
+			children := level[p*cfg.Fanout : p*cfg.Fanout+a]
+			enc := encodeInternal(&internalNode{children: children})
+			key := string(enc)
+			h, ok := memo[key]
+			if !ok {
+				h = s.Put(enc)
+				memo[key] = h
+			}
+			next[p] = h
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// Load returns a tree view of an existing root digest in s. The caller must
+// supply the same Config the tree was built with.
+func Load(s store.Store, cfg Config, root hash.Hash) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes(), root: root}, nil
+}
+
+// Name implements core.Index.
+func (t *Tree) Name() string { return "MBT" }
+
+// Store implements core.Index.
+func (t *Tree) Store() store.Store { return t.s }
+
+// RootHash implements core.Index.
+func (t *Tree) RootHash() hash.Hash { return t.root }
+
+// Config returns the structural parameters.
+func (t *Tree) Config() Config { return t.cfg }
+
+// topLevel returns the root's level index.
+func (t *Tree) topLevel() int { return len(t.sizes) - 1 }
+
+// loadRaw fetches a node's encoding.
+func (t *Tree) loadRaw(h hash.Hash) ([]byte, error) {
+	data, ok := t.s.Get(h)
+	if !ok {
+		return nil, fmt.Errorf("%w: mbt node %v", core.ErrMissingNode, h)
+	}
+	return data, nil
+}
+
+// bucketPath walks from the root to bucket b, returning the node hashes on
+// the path (root first, bucket last). This is the paper's reverse simulation
+// of the complete multi-way tree search.
+func (t *Tree) bucketPath(b int) ([]hash.Hash, error) {
+	path := []hash.Hash{t.root}
+	h := t.root
+	for l := t.topLevel(); l > 0; l-- {
+		data, err := t.loadRaw(h)
+		if err != nil {
+			return nil, err
+		}
+		n, err := decodeInternal(data)
+		if err != nil {
+			return nil, err
+		}
+		childIdx := t.cfg.ancestor(b, l-1)
+		slot := childIdx - t.cfg.ancestor(b, l)*t.cfg.Fanout
+		if slot < 0 || slot >= len(n.children) {
+			return nil, fmt.Errorf("mbt: slot %d out of range at level %d", slot, l)
+		}
+		h = n.children[slot]
+		path = append(path, h)
+	}
+	return path, nil
+}
+
+// loadBucket fetches bucket b.
+func (t *Tree) loadBucket(b int) (*bucketNode, error) {
+	path, err := t.bucketPath(b)
+	if err != nil {
+		return nil, err
+	}
+	data, err := t.loadRaw(path[len(path)-1])
+	if err != nil {
+		return nil, err
+	}
+	return decodeBucket(data)
+}
+
+// Get implements core.Index.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	if len(key) == 0 {
+		return nil, false, core.ErrEmptyKey
+	}
+	bucket, err := t.loadBucket(t.cfg.bucketOf(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if i, found := searchBucket(bucket.entries, key); found {
+		return bucket.entries[i].Value, true, nil
+	}
+	return nil, false, nil
+}
+
+// Breakdown reports the two phases of an MBT lookup separately for the
+// Figure 13 experiment: Load covers tree traversal and node fetching
+// (including the raw bucket bytes); Scan covers bucket decoding and the
+// binary search.
+type Breakdown struct {
+	Load time.Duration
+	Scan time.Duration
+}
+
+// GetBreakdown is Get with per-phase timing.
+func (t *Tree) GetBreakdown(key []byte) ([]byte, bool, Breakdown, error) {
+	var bd Breakdown
+	if len(key) == 0 {
+		return nil, false, bd, core.ErrEmptyKey
+	}
+	start := time.Now()
+	path, err := t.bucketPath(t.cfg.bucketOf(key))
+	if err != nil {
+		return nil, false, bd, err
+	}
+	raw, err := t.loadRaw(path[len(path)-1])
+	if err != nil {
+		return nil, false, bd, err
+	}
+	bd.Load = time.Since(start)
+
+	start = time.Now()
+	bucket, err := decodeBucket(raw)
+	if err != nil {
+		return nil, false, bd, err
+	}
+	i, found := searchBucket(bucket.entries, key)
+	bd.Scan = time.Since(start)
+	if !found {
+		return nil, false, bd, nil
+	}
+	return bucket.entries[i].Value, true, bd, nil
+}
+
+// Put implements core.Index.
+func (t *Tree) Put(key, value []byte) (core.Index, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	return t.PutBatch([]core.Entry{{Key: key, Value: value}})
+}
+
+// bucketGroup carries the updates destined for one bucket.
+type bucketGroup struct {
+	idx  int
+	puts []core.Entry
+	dels [][]byte
+}
+
+// PutBatch implements core.Index: updates are grouped per bucket, affected
+// buckets are rewritten, and the hashes on their paths are recomputed
+// bottom-up (the paper's "hashes of the bucket and the nodes are
+// recalculated recursively").
+func (t *Tree) PutBatch(entries []core.Entry) (core.Index, error) {
+	if err := core.ValidateEntries(entries); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return t, nil
+	}
+	groups := t.groupByBucket(core.SortEntries(entries), nil)
+	root, err := t.updateNode(t.root, t.topLevel(), 0, groups)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{s: t.s, cfg: t.cfg, sizes: t.sizes, root: root}, nil
+}
+
+// Delete implements core.Index.
+func (t *Tree) Delete(key []byte) (core.Index, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	if _, ok, err := t.Get(key); err != nil {
+		return nil, err
+	} else if !ok {
+		return t, nil
+	}
+	groups := t.groupByBucket(nil, [][]byte{key})
+	root, err := t.updateNode(t.root, t.topLevel(), 0, groups)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{s: t.s, cfg: t.cfg, sizes: t.sizes, root: root}, nil
+}
+
+// groupByBucket partitions puts and dels into per-bucket groups sorted by
+// bucket index.
+func (t *Tree) groupByBucket(puts []core.Entry, dels [][]byte) []bucketGroup {
+	byIdx := make(map[int]*bucketGroup)
+	for _, e := range puts {
+		b := t.cfg.bucketOf(e.Key)
+		g := byIdx[b]
+		if g == nil {
+			g = &bucketGroup{idx: b}
+			byIdx[b] = g
+		}
+		g.puts = append(g.puts, e)
+	}
+	for _, k := range dels {
+		b := t.cfg.bucketOf(k)
+		g := byIdx[b]
+		if g == nil {
+			g = &bucketGroup{idx: b}
+			byIdx[b] = g
+		}
+		g.dels = append(g.dels, k)
+	}
+	out := make([]bucketGroup, 0, len(byIdx))
+	for _, g := range byIdx {
+		out = append(out, *g)
+	}
+	// Sort by bucket index so child partitioning can split ranges.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].idx > out[j].idx; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// updateNode rewrites node (level, pos) applying the given bucket groups,
+// returning the new node hash. Only children whose bucket ranges intersect
+// the groups are copied; the rest are shared with the previous version.
+func (t *Tree) updateNode(h hash.Hash, level, pos int, groups []bucketGroup) (hash.Hash, error) {
+	data, err := t.loadRaw(h)
+	if err != nil {
+		return hash.Null, err
+	}
+	if level == 0 {
+		bucket, err := decodeBucket(data)
+		if err != nil {
+			return hash.Null, err
+		}
+		g := groups[0] // exactly one group reaches a bucket
+		nb := &bucketNode{entries: applyToBucket(bucket.entries, g.puts, g.dels)}
+		return t.s.Put(encodeBucket(nb)), nil
+	}
+	n, err := decodeInternal(data)
+	if err != nil {
+		return hash.Null, err
+	}
+	nn := &internalNode{children: append([]hash.Hash{}, n.children...)}
+	// Partition groups among child slots: bucket b belongs to the child
+	// with index ancestor(b, level-1), i.e. slot ancestor(b,level-1) −
+	// pos·fanout.
+	i := 0
+	for i < len(groups) {
+		slot := t.cfg.ancestor(groups[i].idx, level-1) - pos*t.cfg.Fanout
+		j := i
+		for j < len(groups) && t.cfg.ancestor(groups[j].idx, level-1)-pos*t.cfg.Fanout == slot {
+			j++
+		}
+		if slot < 0 || slot >= len(nn.children) {
+			return hash.Null, fmt.Errorf("mbt: update slot %d out of range at level %d", slot, level)
+		}
+		child, err := t.updateNode(nn.children[slot], level-1, pos*t.cfg.Fanout+slot, groups[i:j])
+		if err != nil {
+			return hash.Null, err
+		}
+		nn.children[slot] = child
+		i = j
+	}
+	return t.s.Put(encodeInternal(nn)), nil
+}
+
+// Count implements core.Index.
+func (t *Tree) Count() (int, error) {
+	n := 0
+	err := t.Iterate(func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Iterate implements core.Index. Entries are visited bucket by bucket (key
+// order within a bucket, hash order across buckets).
+func (t *Tree) Iterate(fn func(key, value []byte) bool) error {
+	_, err := t.iterNode(t.root, t.topLevel(), fn)
+	return err
+}
+
+func (t *Tree) iterNode(h hash.Hash, level int, fn func(key, value []byte) bool) (bool, error) {
+	data, err := t.loadRaw(h)
+	if err != nil {
+		return false, err
+	}
+	if level == 0 {
+		bucket, err := decodeBucket(data)
+		if err != nil {
+			return false, err
+		}
+		for _, e := range bucket.entries {
+			if !fn(e.Key, e.Value) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	n, err := decodeInternal(data)
+	if err != nil {
+		return false, err
+	}
+	for _, c := range n.children {
+		ok, err := t.iterNode(c, level-1, fn)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}
+
+// PathLength implements core.Index. Every lookup traverses the same number
+// of nodes: the internal levels plus the bucket.
+func (t *Tree) PathLength(key []byte) (int, error) {
+	if len(key) == 0 {
+		return 0, core.ErrEmptyKey
+	}
+	return len(t.sizes), nil
+}
+
+// Refs implements core.NodeWalker.
+func (t *Tree) Refs(data []byte) ([]hash.Hash, error) {
+	kind, err := nodeKind(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind == tagBucket {
+		return nil, nil
+	}
+	n, err := decodeInternal(data)
+	if err != nil {
+		return nil, err
+	}
+	return n.children, nil
+}

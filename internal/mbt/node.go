@@ -1,0 +1,226 @@
+// Package mbt implements the Merkle Bucket Tree (§3.4.2 of the paper): a
+// Merkle tree of fixed fanout built over a fixed-capacity hash table,
+// modeled on Hyperledger Fabric 0.6's bucket tree — extended, as the paper's
+// authors had to, with immutability (copy-on-write node updates) and index
+// lookup logic.
+//
+// Records hash into one of B buckets; buckets hold entries in key order and
+// form the bottom level. Internal nodes of fanout m hold the hashes of their
+// children. Capacity and fanout are fixed for the lifetime of the structure,
+// so the shape never changes: every key's node position is static, which
+// makes diff trivial (positionwise hash comparison) but lets bucket size
+// grow linearly with the record count.
+package mbt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Node kind tags in the canonical encoding.
+const (
+	tagBucket   = 1
+	tagInternal = 2
+)
+
+// Config fixes the structural parameters for the life of the tree.
+type Config struct {
+	// Capacity is the number of buckets (the paper's B).
+	Capacity int
+	// Fanout is the number of children per internal node (the paper's m).
+	Fanout int
+}
+
+// DefaultConfig matches the paper's experimental setup: internal nodes of
+// roughly 1KB (32 child hashes × 32 bytes) over a moderate bucket count.
+func DefaultConfig() Config { return Config{Capacity: 4096, Fanout: 32} }
+
+// Validate rejects unusable parameter combinations.
+func (c Config) Validate() error {
+	if c.Capacity < 1 {
+		return fmt.Errorf("mbt: capacity %d < 1", c.Capacity)
+	}
+	if c.Fanout < 2 {
+		return fmt.Errorf("mbt: fanout %d < 2", c.Fanout)
+	}
+	return nil
+}
+
+// levelSizes returns the node count per level, bottom (buckets) first,
+// ending with the single root.
+func (c Config) levelSizes() []int {
+	sizes := []int{c.Capacity}
+	for n := c.Capacity; n > 1; {
+		n = (n + c.Fanout - 1) / c.Fanout
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 1 {
+		// A single bucket still gets a root above it so the tree always
+		// has an internal root node.
+		sizes = append(sizes, 1)
+	}
+	return sizes
+}
+
+// bucketOf returns the bucket index for key: the paper's hash(key) % B.
+func (c Config) bucketOf(key []byte) int {
+	d := sha256.Sum256(key)
+	return int(binary.BigEndian.Uint64(d[:8]) % uint64(c.Capacity))
+}
+
+// ancestor returns the index, within level l, of the node covering bucket b.
+// Children of node (l, p) are nodes (l-1, p·m … p·m+arity−1), hence the
+// ancestor at level l is b / m^l.
+func (c Config) ancestor(b, l int) int {
+	for i := 0; i < l; i++ {
+		b /= c.Fanout
+	}
+	return b
+}
+
+// arity returns the child count of node (level, pos): Fanout except for the
+// trailing node of a level.
+func (c Config) arity(sizes []int, level, pos int) int {
+	below := sizes[level-1]
+	first := pos * c.Fanout
+	n := below - first
+	if n > c.Fanout {
+		n = c.Fanout
+	}
+	return n
+}
+
+// bucketNode is a sorted run of entries.
+type bucketNode struct {
+	entries []core.Entry
+}
+
+// internalNode holds child digests.
+type internalNode struct {
+	children []hash.Hash
+}
+
+func encodeBucket(b *bucketNode) []byte {
+	w := codec.NewWriter(64 + len(b.entries)*32)
+	w.Byte(tagBucket)
+	w.Uvarint(uint64(len(b.entries)))
+	for _, e := range b.entries {
+		w.LenBytes(e.Key)
+		w.LenBytes(e.Value)
+	}
+	return w.Bytes()
+}
+
+func encodeInternal(n *internalNode) []byte {
+	w := codec.NewWriter(8 + len(n.children)*hash.Size)
+	w.Byte(tagInternal)
+	w.Uvarint(uint64(len(n.children)))
+	for _, c := range n.children {
+		w.Bytes32(c[:])
+	}
+	return w.Bytes()
+}
+
+// decodeBucket parses a bucket encoding.
+func decodeBucket(data []byte) (*bucketNode, error) {
+	r := codec.NewReader(data)
+	tag, err := r.Byte()
+	if err != nil || tag != tagBucket {
+		return nil, fmt.Errorf("mbt: not a bucket node (tag %d, %v)", tag, err)
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("mbt: bucket count: %w", err)
+	}
+	b := &bucketNode{entries: make([]core.Entry, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		k, err := r.LenBytes()
+		if err != nil {
+			return nil, fmt.Errorf("mbt: bucket key %d: %w", i, err)
+		}
+		v, err := r.LenBytes()
+		if err != nil {
+			return nil, fmt.Errorf("mbt: bucket value %d: %w", i, err)
+		}
+		b.entries = append(b.entries, core.Entry{Key: k, Value: v})
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// decodeInternal parses an internal node encoding.
+func decodeInternal(data []byte) (*internalNode, error) {
+	r := codec.NewReader(data)
+	tag, err := r.Byte()
+	if err != nil || tag != tagInternal {
+		return nil, fmt.Errorf("mbt: not an internal node (tag %d, %v)", tag, err)
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("mbt: child count: %w", err)
+	}
+	node := &internalNode{children: make([]hash.Hash, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		hb, err := r.Bytes32()
+		if err != nil {
+			return nil, fmt.Errorf("mbt: child %d: %w", i, err)
+		}
+		node.children = append(node.children, hash.MustFromBytes(hb))
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// nodeKind returns the tag of an encoded node without full decoding.
+func nodeKind(data []byte) (byte, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("mbt: empty node encoding")
+	}
+	return data[0], nil
+}
+
+// searchBucket binary-searches the sorted entries for key (the paper's
+// "records in the bucket are scanned using binary search").
+func searchBucket(entries []core.Entry, key []byte) (int, bool) {
+	i := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].Key, key) >= 0
+	})
+	if i < len(entries) && bytes.Equal(entries[i].Key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// applyToBucket returns a new sorted entry slice with puts applied (replace
+// or insert in order) and dels removed.
+func applyToBucket(entries []core.Entry, puts []core.Entry, dels [][]byte) []core.Entry {
+	out := make([]core.Entry, len(entries))
+	copy(out, entries)
+	for _, p := range puts {
+		i, found := searchBucket(out, p.Key)
+		if found {
+			out[i] = p
+			continue
+		}
+		out = append(out, core.Entry{})
+		copy(out[i+1:], out[i:])
+		out[i] = p
+	}
+	for _, k := range dels {
+		if i, found := searchBucket(out, k); found {
+			out = append(out[:i], out[i+1:]...)
+		}
+	}
+	return out
+}

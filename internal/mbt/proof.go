@@ -1,0 +1,78 @@
+package mbt
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Prove implements core.Index: the proof is the node path from the root to
+// the bucket holding key.
+func (t *Tree) Prove(key []byte) (*core.Proof, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	path, err := t.bucketPath(t.cfg.bucketOf(key))
+	if err != nil {
+		return nil, err
+	}
+	proof := &core.Proof{Key: key}
+	for _, h := range path {
+		data, err := t.loadRaw(h)
+		if err != nil {
+			return nil, err
+		}
+		proof.Path = append(proof.Path, data)
+	}
+	bucket, err := decodeBucket(proof.Path[len(proof.Path)-1])
+	if err != nil {
+		return nil, err
+	}
+	i, found := searchBucket(bucket.entries, key)
+	if !found {
+		return nil, fmt.Errorf("%w: %q", core.ErrNotFound, key)
+	}
+	proof.Value = bucket.entries[i].Value
+	return proof, nil
+}
+
+// VerifyProof implements core.Index: it recomputes each node digest and
+// replays the arithmetic bucket path, so both the value and its position
+// are authenticated against the trusted root.
+func (t *Tree) VerifyProof(root hash.Hash, proof *core.Proof) error {
+	if proof == nil || len(proof.Path) != len(t.sizes) {
+		return fmt.Errorf("%w: path length %d, want %d",
+			core.ErrInvalidProof, len(proof.Path), len(t.sizes))
+	}
+	b := t.cfg.bucketOf(proof.Key)
+	expect := root
+	for i, data := range proof.Path {
+		if hash.Of(data) != expect {
+			return fmt.Errorf("%w: node %d digest mismatch", core.ErrInvalidProof, i)
+		}
+		level := t.topLevel() - i
+		if level == 0 {
+			bucket, err := decodeBucket(data)
+			if err != nil {
+				return fmt.Errorf("%w: %v", core.ErrInvalidProof, err)
+			}
+			j, found := searchBucket(bucket.entries, proof.Key)
+			if !found || !bytes.Equal(bucket.entries[j].Value, proof.Value) {
+				return fmt.Errorf("%w: bucket record mismatch", core.ErrInvalidProof)
+			}
+			return nil
+		}
+		n, err := decodeInternal(data)
+		if err != nil {
+			return fmt.Errorf("%w: %v", core.ErrInvalidProof, err)
+		}
+		slot := t.cfg.ancestor(b, level-1) - t.cfg.ancestor(b, level)*t.cfg.Fanout
+		if slot < 0 || slot >= len(n.children) {
+			return fmt.Errorf("%w: slot out of range", core.ErrInvalidProof)
+		}
+		expect = n.children[slot]
+	}
+	return fmt.Errorf("%w: path exhausted", core.ErrInvalidProof)
+}

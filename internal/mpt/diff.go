@@ -1,0 +1,138 @@
+package mpt
+
+import (
+	"bytes"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// view is a possibly-virtual position in a trie during diff: a decoded node
+// plus its digest when the node is stored (virtual nodes produced by peeling
+// compacted paths have a null digest and cannot be hash-pruned).
+type view struct {
+	t *Trie
+	n node
+	h hash.Hash
+}
+
+// emptyView marks an absent subtree.
+func emptyView(t *Trie) view { return view{t: t} }
+
+// loadView fetches the stored node at h (empty view for the null hash).
+func loadView(t *Trie, h hash.Hash) (view, error) {
+	if h.IsNull() {
+		return emptyView(t), nil
+	}
+	n, err := t.load(h)
+	if err != nil {
+		return view{}, err
+	}
+	return view{t: t, n: n, h: h}, nil
+}
+
+// valueAt returns the record terminating exactly at this position, with a
+// presence flag (values may legitimately be empty byte strings).
+func (v view) valueAt() ([]byte, bool) {
+	switch n := v.n.(type) {
+	case *leafNode:
+		if len(n.path) == 0 {
+			return n.value, true
+		}
+	case *branchNode:
+		if n.hasValue {
+			return n.value, true
+		}
+	}
+	return nil, false
+}
+
+// childAt descends one nibble, peeling compacted paths into virtual nodes so
+// that both tries can be compared position by position.
+func (v view) childAt(i byte) (view, error) {
+	switch n := v.n.(type) {
+	case nil:
+		return emptyView(v.t), nil
+	case *leafNode:
+		if len(n.path) > 0 && n.path[0] == i {
+			return view{t: v.t, n: &leafNode{path: n.path[1:], value: n.value}}, nil
+		}
+	case *extensionNode:
+		if n.path[0] == i {
+			if len(n.path) == 1 {
+				return loadView(v.t, n.child)
+			}
+			return view{t: v.t, n: &extensionNode{path: n.path[1:], child: n.child}}, nil
+		}
+	case *branchNode:
+		return loadView(v.t, n.children[i])
+	}
+	return emptyView(v.t), nil
+}
+
+// Diff implements core.Index (§4.1.3): records present in only one version
+// or differing between the two. Identical subtree digests are pruned in
+// O(1), so the cost is proportional to the divergence, not the index size.
+func (t *Trie) Diff(other core.Index) ([]core.DiffEntry, error) {
+	o, ok := other.(*Trie)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	av, err := loadView(t, t.root)
+	if err != nil {
+		return nil, err
+	}
+	bv, err := loadView(o, o.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.DiffEntry
+	if err := diffViews(av, bv, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func diffViews(a, b view, prefix []byte, out *[]core.DiffEntry) error {
+	// Prune identical stored subtrees: structural invariance guarantees
+	// equal contents ⇒ equal digests, and content addressing the converse.
+	if !a.h.IsNull() && a.h == b.h {
+		return nil
+	}
+	if a.n == nil && b.n == nil {
+		return nil
+	}
+	va, okA := a.valueAt()
+	vb, okB := b.valueAt()
+	if okA != okB || (okA && !bytes.Equal(va, vb)) {
+		key, err := nibblesToKey(prefix)
+		if err != nil {
+			return err
+		}
+		d := core.DiffEntry{Key: key}
+		if okA {
+			d.Left = va
+		}
+		if okB {
+			d.Right = vb
+		}
+		*out = append(*out, d)
+	}
+	for i := byte(0); i < branchWidth; i++ {
+		ca, err := a.childAt(i)
+		if err != nil {
+			return err
+		}
+		cb, err := b.childAt(i)
+		if err != nil {
+			return err
+		}
+		if ca.n == nil && cb.n == nil {
+			continue
+		}
+		if err := diffViews(ca, cb, append(append([]byte{}, prefix...), i), out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

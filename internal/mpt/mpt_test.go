@@ -1,0 +1,631 @@
+package mpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+func newTrie() *Trie { return New(store.NewMemStore()) }
+
+func put(t *testing.T, idx core.Index, k, v string) core.Index {
+	t.Helper()
+	out, err := idx.Put([]byte(k), []byte(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func get(t *testing.T, idx core.Index, k string) (string, bool) {
+	t.Helper()
+	v, ok, err := idx.Get([]byte(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(v), ok
+}
+
+// --- encoding ---
+
+func TestCompactEncodeVectors(t *testing.T) {
+	cases := []struct {
+		nibbles []byte
+		isLeaf  bool
+		want    []byte
+	}{
+		{[]byte{1, 2, 3, 4, 5}, false, []byte{0x11, 0x23, 0x45}},
+		{[]byte{0, 1, 2, 3, 4, 5}, false, []byte{0x00, 0x01, 0x23, 0x45}},
+		{[]byte{0x0f, 1, 0x0c, 0x0b, 8}, true, []byte{0x3f, 0x1c, 0xb8}},
+		{[]byte{0, 0x0f, 1, 0x0c, 0x0b, 8}, true, []byte{0x20, 0x0f, 0x1c, 0xb8}},
+		{nil, true, []byte{0x20}},
+		{nil, false, []byte{0x00}},
+	}
+	for _, tc := range cases {
+		got := compactEncode(tc.nibbles, tc.isLeaf)
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("compactEncode(%v, %v) = %x, want %x", tc.nibbles, tc.isLeaf, got, tc.want)
+		}
+		back, isLeaf, err := compactDecode(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isLeaf != tc.isLeaf || !bytes.Equal(back, tc.nibbles) {
+			t.Errorf("compactDecode(%x) = %v, %v", got, back, isLeaf)
+		}
+	}
+}
+
+func TestCompactDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := compactDecode(nil); err == nil {
+		t.Fatal("decoded empty path")
+	}
+	if _, _, err := compactDecode([]byte{0x50}); err == nil {
+		t.Fatal("decoded bad flag")
+	}
+	if _, _, err := compactDecode([]byte{0x0f}); err == nil {
+		t.Fatal("decoded nonzero pad")
+	}
+}
+
+func TestNibbleRoundTripProperty(t *testing.T) {
+	f := func(key []byte) bool {
+		back, err := nibblesToKey(keyToNibbles(key))
+		return err == nil && bytes.Equal(back, key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeEncodingRoundTrip(t *testing.T) {
+	child := hash.Of([]byte("child"))
+	var b branchNode
+	b.children[3] = child
+	b.children[15] = hash.Of([]byte("x"))
+	b.value, b.hasValue = []byte("branch value"), true
+
+	nodes := []node{
+		&leafNode{path: []byte{1, 2, 3}, value: []byte("v")},
+		&leafNode{path: nil, value: []byte{}},
+		&extensionNode{path: []byte{0xa}, child: child},
+		&b,
+		&branchNode{},
+	}
+	for _, n := range nodes {
+		enc := encodeNode(n)
+		back, err := decodeNode(enc)
+		if err != nil {
+			t.Fatalf("decode(%T): %v", n, err)
+		}
+		if !bytes.Equal(encodeNode(back), enc) {
+			t.Fatalf("%T: re-encoding differs", n)
+		}
+	}
+}
+
+func TestDecodeNodeRejectsCorruption(t *testing.T) {
+	enc := encodeNode(&leafNode{path: []byte{1}, value: []byte("v")})
+	for _, bad := range [][]byte{
+		nil,
+		{99},              // unknown tag
+		enc[:len(enc)-1],  // truncated
+		append(enc, 0x00), // trailing
+	} {
+		if _, err := decodeNode(bad); err == nil {
+			t.Fatalf("decoded corrupt input %x", bad)
+		}
+	}
+}
+
+// --- basic operations ---
+
+func TestEmptyTrie(t *testing.T) {
+	tr := newTrie()
+	if !tr.RootHash().IsNull() {
+		t.Fatal("empty trie has non-null root")
+	}
+	if _, ok := get(t, tr, "missing"); ok {
+		t.Fatal("found key in empty trie")
+	}
+	n, err := tr.Count()
+	if err != nil || n != 0 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	var idx core.Index = newTrie()
+	kv := map[string]string{
+		"8": "v8", "1": "v1", "10": "v10", // the paper's Figure 3 keys
+		"abc": "1", "abd": "2", "ab": "3", "abcdef": "4",
+	}
+	for k, v := range kv {
+		idx = put(t, idx, k, v)
+	}
+	for k, v := range kv {
+		got, ok := get(t, idx, k)
+		if !ok || got != v {
+			t.Fatalf("Get(%q) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	if _, ok := get(t, idx, "abq"); ok {
+		t.Fatal("found absent key abq")
+	}
+	if _, ok := get(t, idx, "a"); ok {
+		t.Fatal("found absent prefix key a")
+	}
+	if _, ok := get(t, idx, "abcdefg"); ok {
+		t.Fatal("found absent extended key")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	var idx core.Index = newTrie()
+	idx = put(t, idx, "k", "v1")
+	idx = put(t, idx, "k", "v2")
+	if got, _ := get(t, idx, "k"); got != "v2" {
+		t.Fatalf("Get after overwrite = %q", got)
+	}
+	n, _ := idx.Count()
+	if n != 1 {
+		t.Fatalf("Count = %d", n)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	tr := newTrie()
+	if _, err := tr.Put(nil, []byte("v")); !errors.Is(err, core.ErrEmptyKey) {
+		t.Fatalf("Put(nil) err = %v", err)
+	}
+	if _, _, err := tr.Get(nil); !errors.Is(err, core.ErrEmptyKey) {
+		t.Fatalf("Get(nil) err = %v", err)
+	}
+	if _, err := tr.Delete(nil); !errors.Is(err, core.ErrEmptyKey) {
+		t.Fatalf("Delete(nil) err = %v", err)
+	}
+}
+
+func TestCopyOnWriteVersions(t *testing.T) {
+	v1 := put(t, newTrie(), "a", "1")
+	v2 := put(t, v1, "a", "2")
+	v3 := put(t, v2, "b", "3")
+
+	if got, _ := get(t, v1, "a"); got != "1" {
+		t.Fatalf("v1[a] = %q", got)
+	}
+	if got, _ := get(t, v2, "a"); got != "2" {
+		t.Fatalf("v2[a] = %q", got)
+	}
+	if _, ok := get(t, v2, "b"); ok {
+		t.Fatal("v2 sees later insert")
+	}
+	if got, _ := get(t, v3, "b"); got != "3" {
+		t.Fatalf("v3[b] = %q", got)
+	}
+}
+
+func TestStructuralInvariance(t *testing.T) {
+	// Definition 3.1(1): same key set ⇒ same node set, so equal roots —
+	// regardless of insertion order.
+	keys := []string{"cat", "car", "cart", "dog", "do", "doge", "x", "zebra"}
+	build := func(order []int) hash.Hash {
+		var idx core.Index = newTrie()
+		for _, i := range order {
+			idx = put(t, idx, keys[i], "value-"+keys[i])
+		}
+		return idx.RootHash()
+	}
+	base := build([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		order := rng.Perm(len(keys))
+		if got := build(order); got != base {
+			t.Fatalf("order %v produced root %v, want %v", order, got, base)
+		}
+	}
+}
+
+func TestStructuralInvarianceProperty(t *testing.T) {
+	f := func(keys [][]byte, seed int64) bool {
+		var valid []core.Entry
+		seen := map[string]bool{}
+		for _, k := range keys {
+			if len(k) == 0 || seen[string(k)] {
+				continue
+			}
+			seen[string(k)] = true
+			valid = append(valid, core.Entry{Key: k, Value: append([]byte("v-"), k...)})
+		}
+		s := store.NewMemStore()
+		var a core.Index = New(s)
+		var b core.Index = New(s)
+		var err error
+		for _, e := range valid {
+			if a, err = a.Put(e.Key, e.Value); err != nil {
+				return false
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, i := range rng.Perm(len(valid)) {
+			if b, err = b.Put(valid[i].Key, valid[i].Value); err != nil {
+				return false
+			}
+		}
+		return a.RootHash() == b.RootHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRestoresPriorRoot(t *testing.T) {
+	// Structural invariance again: adding then removing a key must return
+	// to the exact prior root digest.
+	var idx core.Index = newTrie()
+	for _, k := range []string{"alpha", "beta", "gamma", "delta"} {
+		idx = put(t, idx, k, k)
+	}
+	before := idx.RootHash()
+	withX := put(t, idx, "epsilon", "e")
+	after, err := withX.Delete([]byte("epsilon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.RootHash() != before {
+		t.Fatalf("delete did not restore root: %v vs %v", after.RootHash(), before)
+	}
+}
+
+func TestDeleteCollapses(t *testing.T) {
+	var idx core.Index = newTrie()
+	keys := []string{"aa", "ab", "ac", "b"}
+	for _, k := range keys {
+		idx = put(t, idx, k, "v"+k)
+	}
+	for i, k := range keys {
+		var err error
+		idx, err = idx.Delete([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := get(t, idx, k); ok {
+			t.Fatalf("key %q survives delete", k)
+		}
+		for _, rest := range keys[i+1:] {
+			if got, ok := get(t, idx, rest); !ok || got != "v"+rest {
+				t.Fatalf("key %q lost after deleting %q", rest, k)
+			}
+		}
+	}
+	if !idx.RootHash().IsNull() {
+		t.Fatal("trie not empty after deleting everything")
+	}
+}
+
+func TestDeleteAbsentKeyIsNoop(t *testing.T) {
+	idx := put(t, newTrie(), "exists", "v")
+	out, err := idx.Delete([]byte("missing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RootHash() != idx.RootHash() {
+		t.Fatal("deleting absent key changed root")
+	}
+}
+
+func TestPutBatchMatchesSequentialPuts(t *testing.T) {
+	entries := []core.Entry{
+		{Key: []byte("k1"), Value: []byte("v1")},
+		{Key: []byte("k2"), Value: []byte("v2")},
+		{Key: []byte("k3"), Value: []byte("v3")},
+		{Key: []byte("k1"), Value: []byte("v1-final")}, // dup: last wins
+	}
+	s := store.NewMemStore()
+	batch, err := New(s).PutBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq core.Index = New(s)
+	seq = put(t, seq, "k1", "v1-final")
+	seq = put(t, seq, "k2", "v2")
+	seq = put(t, seq, "k3", "v3")
+	if batch.RootHash() != seq.RootHash() {
+		t.Fatal("batch root differs from sequential root")
+	}
+}
+
+func TestIterateInKeyOrder(t *testing.T) {
+	var idx core.Index = newTrie()
+	keys := []string{"pear", "apple", "fig", "banana", "applesauce", "app"}
+	for _, k := range keys {
+		idx = put(t, idx, k, "v")
+	}
+	var got []string
+	if err := idx.Iterate(func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string{}, keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Iterate order %v, want %v", got, want)
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	var idx core.Index = newTrie()
+	for i := 0; i < 10; i++ {
+		idx = put(t, idx, fmt.Sprintf("k%02d", i), "v")
+	}
+	n := 0
+	idx.Iterate(func(_, _ []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("visited %d entries, want 3", n)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	var idx core.Index = newTrie()
+	for i := 0; i < 200; i++ {
+		idx = put(t, idx, fmt.Sprintf("key-%03d", i), "v")
+	}
+	pl, err := idx.PathLength([]byte("key-100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl < 2 || pl > 16 {
+		t.Fatalf("PathLength = %d, implausible", pl)
+	}
+}
+
+// --- model-based property test ---
+
+func TestModelConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var idx core.Index = newTrie()
+	model := map[string]string{}
+	keyPool := make([]string, 60)
+	for i := range keyPool {
+		keyPool[i] = fmt.Sprintf("key-%x", rng.Intn(1<<12))
+	}
+	for step := 0; step < 2000; step++ {
+		k := keyPool[rng.Intn(len(keyPool))]
+		switch rng.Intn(3) {
+		case 0, 1: // put
+			v := fmt.Sprintf("v%d", step)
+			idx = put(t, idx, k, v)
+			model[k] = v
+		case 2: // delete
+			var err error
+			idx, err = idx.Delete([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		}
+		// Spot-check a random key.
+		probe := keyPool[rng.Intn(len(keyPool))]
+		got, ok := get(t, idx, probe)
+		want, wantOK := model[probe]
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("step %d: Get(%q) = %q,%v; model %q,%v", step, probe, got, ok, want, wantOK)
+		}
+	}
+	n, err := idx.Count()
+	if err != nil || n != len(model) {
+		t.Fatalf("Count = %d, model %d", n, len(model))
+	}
+}
+
+// --- diff & merge ---
+
+func TestDiffEmptyVsPopulated(t *testing.T) {
+	s := store.NewMemStore()
+	var a core.Index = New(s)
+	b := put(t, put(t, core.Index(New(s)), "x", "1"), "y", "2")
+	diffs, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	for _, d := range diffs {
+		if d.Left != nil || d.Right == nil {
+			t.Fatalf("bad sidedness: %+v", d)
+		}
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	s := store.NewMemStore()
+	a := put(t, put(t, core.Index(New(s)), "x", "1"), "y", "2")
+	b := put(t, put(t, core.Index(New(s)), "y", "2"), "x", "1")
+	diffs, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("identical tries diff = %v", diffs)
+	}
+}
+
+func TestDiffMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := store.NewMemStore()
+	var a, b core.Index = New(s), New(s)
+	ma, mb := map[string]string{}, map[string]string{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(150))
+		v := fmt.Sprintf("v%d", i)
+		if rng.Intn(2) == 0 {
+			a, ma[k] = put(t, a, k, v), v
+		} else {
+			b, mb[k] = put(t, b, k, v), v
+		}
+		if rng.Intn(4) == 0 { // shared identical record
+			k2, v2 := fmt.Sprintf("shared-%03d", rng.Intn(100)), "same"
+			a, ma[k2] = put(t, a, k2, v2), v2
+			b, mb[k2] = put(t, b, k2, v2), v2
+		}
+	}
+	diffs, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]string{}
+	for k, v := range ma {
+		if mb[k] != v {
+			want[k] = [2]string{v, mb[k]}
+		}
+	}
+	for k, v := range mb {
+		if ma[k] != v {
+			want[k] = [2]string{ma[k], v}
+		}
+	}
+	if len(diffs) != len(want) {
+		t.Fatalf("got %d diffs, want %d", len(diffs), len(want))
+	}
+	for _, d := range diffs {
+		w, ok := want[string(d.Key)]
+		if !ok {
+			t.Fatalf("unexpected diff key %q", d.Key)
+		}
+		if string(d.Left) != w[0] || string(d.Right) != w[1] {
+			t.Fatalf("diff %q = (%q,%q), want (%q,%q)", d.Key, d.Left, d.Right, w[0], w[1])
+		}
+	}
+}
+
+func TestDiffTypeMismatch(t *testing.T) {
+	tr := newTrie()
+	if _, err := tr.Diff(fakeIndex{}); !errors.Is(err, core.ErrTypeMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type fakeIndex struct{ core.Index }
+
+func TestMergeThroughCore(t *testing.T) {
+	s := store.NewMemStore()
+	base := put(t, core.Index(New(s)), "shared", "v")
+	left := put(t, base, "left", "1")
+	right := put(t, base, "right", "2")
+	merged, err := core.Merge(left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range map[string]string{"shared": "v", "left": "1", "right": "2"} {
+		if got, ok := get(t, merged, k); !ok || got != v {
+			t.Fatalf("merged[%q] = %q, %v", k, got, ok)
+		}
+	}
+	// Merging the same contents built in the merged order must reproduce
+	// the same root (structural invariance).
+	direct := put(t, put(t, put(t, core.Index(New(s)), "right", "2"), "shared", "v"), "left", "1")
+	if merged.RootHash() != direct.RootHash() {
+		t.Fatal("merge result root differs from directly built trie")
+	}
+}
+
+// --- proofs ---
+
+func TestProveAndVerify(t *testing.T) {
+	var idx core.Index = newTrie()
+	for i := 0; i < 50; i++ {
+		idx = put(t, idx, fmt.Sprintf("key-%02d", i), fmt.Sprintf("val-%02d", i))
+	}
+	proof, err := idx.Prove([]byte("key-25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(proof.Value) != "val-25" {
+		t.Fatalf("proof value = %q", proof.Value)
+	}
+	if err := idx.VerifyProof(idx.RootHash(), proof); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+}
+
+func TestVerifyProofDetectsTampering(t *testing.T) {
+	var idx core.Index = newTrie()
+	for i := 0; i < 50; i++ {
+		idx = put(t, idx, fmt.Sprintf("key-%02d", i), fmt.Sprintf("val-%02d", i))
+	}
+	root := idx.RootHash()
+
+	proof, _ := idx.Prove([]byte("key-25"))
+	proof.Value = []byte("forged")
+	if err := idx.VerifyProof(root, proof); !errors.Is(err, core.ErrInvalidProof) {
+		t.Fatalf("forged value accepted: %v", err)
+	}
+
+	proof, _ = idx.Prove([]byte("key-25"))
+	proof.Path[len(proof.Path)-1] = append([]byte{}, proof.Path[0]...)
+	if err := idx.VerifyProof(root, proof); !errors.Is(err, core.ErrInvalidProof) {
+		t.Fatalf("spliced path accepted: %v", err)
+	}
+
+	proof, _ = idx.Prove([]byte("key-25"))
+	if err := idx.VerifyProof(hash.Of([]byte("wrong root")), proof); !errors.Is(err, core.ErrInvalidProof) {
+		t.Fatalf("wrong root accepted: %v", err)
+	}
+
+	if err := idx.VerifyProof(root, &core.Proof{}); !errors.Is(err, core.ErrInvalidProof) {
+		t.Fatalf("empty proof accepted: %v", err)
+	}
+}
+
+func TestProveAbsentKey(t *testing.T) {
+	idx := put(t, newTrie(), "exists", "v")
+	if _, err := idx.Prove([]byte("missing")); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// --- metrics integration ---
+
+func TestReachStatsOnTrie(t *testing.T) {
+	var idx core.Index = newTrie()
+	for i := 0; i < 100; i++ {
+		// Distinct values: identical values would collapse into shared
+		// leaf pages (content addressing dedupes within a version too).
+		idx = put(t, idx, fmt.Sprintf("key-%03d", i), fmt.Sprintf("value-%03d", i))
+	}
+	r, err := core.ReachStats(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes < 10 || r.Bytes <= 0 || r.Height < 2 {
+		t.Fatalf("implausible reach: %+v", r)
+	}
+}
+
+func TestDedupAcrossVersions(t *testing.T) {
+	v1 := newTrie()
+	var idx core.Index = v1
+	for i := 0; i < 200; i++ {
+		idx = put(t, idx, fmt.Sprintf("key-%04d", i), fmt.Sprintf("value-%04d", i))
+	}
+	v2 := put(t, idx, "key-0100", "changed")
+	ratio, err := core.DedupRatio(idx, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One changed record: nearly everything is shared, so η ≈ 1/2 − α/2.
+	if ratio < 0.4 || ratio >= 0.5 {
+		t.Fatalf("dedup ratio = %v, want just under 0.5", ratio)
+	}
+}

@@ -1,0 +1,244 @@
+// Package mpt implements the Merkle Patricia Trie (§3.4.1 of the paper): a
+// radix tree over key nibbles with cryptographic authentication and path
+// compaction, modeled on Ethereum's state trie. It is structurally
+// invariant — node positions depend only on stored key bytes — and
+// copy-on-write, so all versions share unmodified nodes through the
+// content-addressed store.
+package mpt
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/hash"
+)
+
+// Node kind tags in the canonical encoding. The null node is not encoded;
+// it is represented by hash.Null.
+const (
+	tagLeaf      = 1
+	tagExtension = 2
+	tagBranch    = 3
+)
+
+// branchWidth is the fan-out of a branch node: one child per nibble.
+const branchWidth = 16
+
+// node is a decoded MPT node: exactly one of the concrete types below.
+type node interface {
+	// encode appends the canonical encoding.
+	encode(w *codec.Writer)
+}
+
+// leafNode terminates a key: path holds the remaining key nibbles
+// (compacted), value the record.
+type leafNode struct {
+	path  []byte // nibbles, each 0..15
+	value []byte
+}
+
+// extensionNode compacts a shared run of nibbles above a single child.
+type extensionNode struct {
+	path  []byte // nibbles
+	child hash.Hash
+}
+
+// branchNode fans out by one nibble; value holds a record whose key ends
+// exactly here.
+type branchNode struct {
+	children [branchWidth]hash.Hash
+	value    []byte // nil when no record terminates here
+	hasValue bool
+}
+
+func (n *leafNode) encode(w *codec.Writer) {
+	w.Byte(tagLeaf)
+	w.LenBytes(compactEncode(n.path, true))
+	w.LenBytes(n.value)
+}
+
+func (n *extensionNode) encode(w *codec.Writer) {
+	w.Byte(tagExtension)
+	w.LenBytes(compactEncode(n.path, false))
+	w.Bytes32(n.child[:])
+}
+
+func (n *branchNode) encode(w *codec.Writer) {
+	w.Byte(tagBranch)
+	for i := range n.children {
+		w.Bytes32(n.children[i][:])
+	}
+	if n.hasValue {
+		w.Byte(1)
+		w.LenBytes(n.value)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// encodeNode returns the canonical encoding of n.
+func encodeNode(n node) []byte {
+	w := codec.NewWriter(64)
+	n.encode(w)
+	return w.Bytes()
+}
+
+// decodeNode parses a canonical encoding.
+func decodeNode(data []byte) (node, error) {
+	r := codec.NewReader(data)
+	tag, err := r.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("mpt: decode: %w", err)
+	}
+	switch tag {
+	case tagLeaf:
+		cp, err := r.LenBytes()
+		if err != nil {
+			return nil, fmt.Errorf("mpt: leaf path: %w", err)
+		}
+		val, err := r.LenBytes()
+		if err != nil {
+			return nil, fmt.Errorf("mpt: leaf value: %w", err)
+		}
+		path, isLeaf, err := compactDecode(cp)
+		if err != nil {
+			return nil, err
+		}
+		if !isLeaf {
+			return nil, fmt.Errorf("mpt: leaf node with extension path flag")
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return &leafNode{path: path, value: val}, nil
+
+	case tagExtension:
+		cp, err := r.LenBytes()
+		if err != nil {
+			return nil, fmt.Errorf("mpt: extension path: %w", err)
+		}
+		hb, err := r.Bytes32()
+		if err != nil {
+			return nil, fmt.Errorf("mpt: extension child: %w", err)
+		}
+		path, isLeaf, err := compactDecode(cp)
+		if err != nil {
+			return nil, err
+		}
+		if isLeaf {
+			return nil, fmt.Errorf("mpt: extension node with leaf path flag")
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return &extensionNode{path: path, child: hash.MustFromBytes(hb)}, nil
+
+	case tagBranch:
+		var n branchNode
+		for i := 0; i < branchWidth; i++ {
+			hb, err := r.Bytes32()
+			if err != nil {
+				return nil, fmt.Errorf("mpt: branch child %d: %w", i, err)
+			}
+			n.children[i] = hash.MustFromBytes(hb)
+		}
+		hv, err := r.Byte()
+		if err != nil {
+			return nil, fmt.Errorf("mpt: branch value flag: %w", err)
+		}
+		if hv == 1 {
+			n.hasValue = true
+			n.value, err = r.LenBytes()
+			if err != nil {
+				return nil, fmt.Errorf("mpt: branch value: %w", err)
+			}
+		} else if hv != 0 {
+			return nil, fmt.Errorf("mpt: branch value flag %d", hv)
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return &n, nil
+
+	default:
+		return nil, fmt.Errorf("mpt: unknown node tag %d", tag)
+	}
+}
+
+// keyToNibbles splits key bytes into 4-bit nibbles, high first. This is the
+// paper's key encoding step (e.g. key "8" → 0x38 → nibbles 3, 8).
+func keyToNibbles(key []byte) []byte {
+	out := make([]byte, 0, len(key)*2)
+	for _, b := range key {
+		out = append(out, b>>4, b&0x0f)
+	}
+	return out
+}
+
+// nibblesToKey reassembles full bytes from an even-length nibble path.
+func nibblesToKey(nibbles []byte) ([]byte, error) {
+	if len(nibbles)%2 != 0 {
+		return nil, fmt.Errorf("mpt: odd nibble path of length %d", len(nibbles))
+	}
+	out := make([]byte, len(nibbles)/2)
+	for i := range out {
+		out[i] = nibbles[2*i]<<4 | nibbles[2*i+1]
+	}
+	return out, nil
+}
+
+// compactEncode packs a nibble path into bytes with Ethereum's hex-prefix
+// scheme: the first nibble carries flags (bit 1: odd length, bit 2: leaf),
+// followed by a zero pad nibble when the path length is even.
+func compactEncode(nibbles []byte, isLeaf bool) []byte {
+	var flag byte
+	if isLeaf {
+		flag = 2
+	}
+	odd := len(nibbles)%2 == 1
+	if odd {
+		flag |= 1
+	}
+	var packed []byte
+	if odd {
+		packed = append(packed, flag<<4|nibbles[0])
+		nibbles = nibbles[1:]
+	} else {
+		packed = append(packed, flag<<4)
+	}
+	for i := 0; i+1 < len(nibbles); i += 2 {
+		packed = append(packed, nibbles[i]<<4|nibbles[i+1])
+	}
+	return packed
+}
+
+// compactDecode unpacks a hex-prefix encoded path.
+func compactDecode(b []byte) (nibbles []byte, isLeaf bool, err error) {
+	if len(b) == 0 {
+		return nil, false, fmt.Errorf("mpt: empty compact path")
+	}
+	flag := b[0] >> 4
+	if flag > 3 {
+		return nil, false, fmt.Errorf("mpt: bad compact flag %d", flag)
+	}
+	isLeaf = flag&2 != 0
+	odd := flag&1 != 0
+	if odd {
+		nibbles = append(nibbles, b[0]&0x0f)
+	} else if b[0]&0x0f != 0 {
+		return nil, false, fmt.Errorf("mpt: nonzero pad nibble")
+	}
+	for _, c := range b[1:] {
+		nibbles = append(nibbles, c>>4, c&0x0f)
+	}
+	return nibbles, isLeaf, nil
+}
+
+// commonPrefixLen returns the length of the longest shared prefix.
+func commonPrefixLen(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

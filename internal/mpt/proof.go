@@ -1,0 +1,107 @@
+package mpt
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Prove implements core.Index: it returns the node encodings on the lookup
+// path of key, which together with the trusted root digest authenticate the
+// value (the paper's "proof of data, which contains the nodes on the path to
+// the root").
+func (t *Trie) Prove(key []byte) (*core.Proof, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	path := keyToNibbles(key)
+	h := t.root
+	proof := &core.Proof{Key: key}
+	for {
+		if h.IsNull() {
+			return nil, fmt.Errorf("%w: %q", core.ErrNotFound, key)
+		}
+		data, ok := t.s.Get(h)
+		if !ok {
+			return nil, fmt.Errorf("%w: mpt node %v", core.ErrMissingNode, h)
+		}
+		proof.Path = append(proof.Path, data)
+		n, err := decodeNode(data)
+		if err != nil {
+			return nil, err
+		}
+		switch n := n.(type) {
+		case *leafNode:
+			if !bytes.Equal(n.path, path) {
+				return nil, fmt.Errorf("%w: %q", core.ErrNotFound, key)
+			}
+			proof.Value = n.value
+			return proof, nil
+		case *extensionNode:
+			if len(path) < len(n.path) || !bytes.Equal(n.path, path[:len(n.path)]) {
+				return nil, fmt.Errorf("%w: %q", core.ErrNotFound, key)
+			}
+			path = path[len(n.path):]
+			h = n.child
+		case *branchNode:
+			if len(path) == 0 {
+				if !n.hasValue {
+					return nil, fmt.Errorf("%w: %q", core.ErrNotFound, key)
+				}
+				proof.Value = n.value
+				return proof, nil
+			}
+			h = n.children[path[0]]
+			path = path[1:]
+		}
+	}
+}
+
+// VerifyProof implements core.Index: it replays the proof path against the
+// trusted root digest, recomputing every node hash and link. Any tampering
+// with the value, the key binding, or the path breaks a hash equality.
+func (t *Trie) VerifyProof(root hash.Hash, proof *core.Proof) error {
+	if proof == nil || len(proof.Path) == 0 {
+		return fmt.Errorf("%w: empty proof", core.ErrInvalidProof)
+	}
+	path := keyToNibbles(proof.Key)
+	expect := root
+	for i, data := range proof.Path {
+		if hash.Of(data) != expect {
+			return fmt.Errorf("%w: node %d digest mismatch", core.ErrInvalidProof, i)
+		}
+		n, err := decodeNode(data)
+		if err != nil {
+			return fmt.Errorf("%w: node %d: %v", core.ErrInvalidProof, i, err)
+		}
+		last := i == len(proof.Path)-1
+		switch n := n.(type) {
+		case *leafNode:
+			if !last || !bytes.Equal(n.path, path) || !bytes.Equal(n.value, proof.Value) {
+				return fmt.Errorf("%w: leaf mismatch", core.ErrInvalidProof)
+			}
+			return nil
+		case *extensionNode:
+			if last || len(path) < len(n.path) || !bytes.Equal(n.path, path[:len(n.path)]) {
+				return fmt.Errorf("%w: extension mismatch", core.ErrInvalidProof)
+			}
+			path = path[len(n.path):]
+			expect = n.child
+		case *branchNode:
+			if len(path) == 0 {
+				if !last || !n.hasValue || !bytes.Equal(n.value, proof.Value) {
+					return fmt.Errorf("%w: branch value mismatch", core.ErrInvalidProof)
+				}
+				return nil
+			}
+			if last {
+				return fmt.Errorf("%w: proof ends at branch", core.ErrInvalidProof)
+			}
+			expect = n.children[path[0]]
+			path = path[1:]
+		}
+	}
+	return fmt.Errorf("%w: path exhausted", core.ErrInvalidProof)
+}

@@ -1,0 +1,409 @@
+package mpt
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// Trie is one immutable version of a Merkle Patricia Trie. Mutating methods
+// return a new Trie sharing unmodified nodes with the receiver.
+type Trie struct {
+	s    store.Store
+	root hash.Hash
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Index      = (*Trie)(nil)
+	_ core.NodeWalker = (*Trie)(nil)
+)
+
+// New returns an empty trie over s.
+func New(s store.Store) *Trie { return &Trie{s: s} }
+
+// Load returns a trie view of an existing root digest in s.
+func Load(s store.Store, root hash.Hash) *Trie { return &Trie{s: s, root: root} }
+
+// Name implements core.Index.
+func (t *Trie) Name() string { return "MPT" }
+
+// Store implements core.Index.
+func (t *Trie) Store() store.Store { return t.s }
+
+// RootHash implements core.Index.
+func (t *Trie) RootHash() hash.Hash { return t.root }
+
+// load fetches and decodes the node at h.
+func (t *Trie) load(h hash.Hash) (node, error) {
+	data, ok := t.s.Get(h)
+	if !ok {
+		return nil, fmt.Errorf("%w: mpt node %v", core.ErrMissingNode, h)
+	}
+	return decodeNode(data)
+}
+
+// save encodes and stores n, returning its digest.
+func (t *Trie) save(n node) hash.Hash {
+	return t.s.Put(encodeNode(n))
+}
+
+// Get implements core.Index.
+func (t *Trie) Get(key []byte) ([]byte, bool, error) {
+	if len(key) == 0 {
+		return nil, false, core.ErrEmptyKey
+	}
+	v, _, err := t.lookup(key)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, v != nil, nil
+}
+
+// lookup walks the trie for key, returning the value (nil if absent) and
+// the number of nodes visited.
+func (t *Trie) lookup(key []byte) (value []byte, visited int, err error) {
+	path := keyToNibbles(key)
+	h := t.root
+	for {
+		if h.IsNull() {
+			return nil, visited, nil
+		}
+		n, err := t.load(h)
+		if err != nil {
+			return nil, visited, err
+		}
+		visited++
+		switch n := n.(type) {
+		case *leafNode:
+			if bytes.Equal(n.path, path) {
+				return n.value, visited, nil
+			}
+			return nil, visited, nil
+		case *extensionNode:
+			if len(path) < len(n.path) || !bytes.Equal(n.path, path[:len(n.path)]) {
+				return nil, visited, nil
+			}
+			path = path[len(n.path):]
+			h = n.child
+		case *branchNode:
+			if len(path) == 0 {
+				if n.hasValue {
+					return n.value, visited, nil
+				}
+				return nil, visited, nil
+			}
+			h = n.children[path[0]]
+			path = path[1:]
+		}
+	}
+}
+
+// PathLength implements core.Index: the number of nodes on the lookup path.
+func (t *Trie) PathLength(key []byte) (int, error) {
+	if len(key) == 0 {
+		return 0, core.ErrEmptyKey
+	}
+	_, visited, err := t.lookup(key)
+	return visited, err
+}
+
+// Put implements core.Index.
+func (t *Trie) Put(key, value []byte) (core.Index, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	if value == nil {
+		value = []byte{}
+	}
+	root, err := t.insert(t.root, keyToNibbles(key), value)
+	if err != nil {
+		return nil, err
+	}
+	return &Trie{s: t.s, root: root}, nil
+}
+
+// PutBatch implements core.Index. MPT builds top-down, so a batch is a
+// sequence of single inserts (the paper's MPT has no bottom-up batch path).
+func (t *Trie) PutBatch(entries []core.Entry) (core.Index, error) {
+	if err := core.ValidateEntries(entries); err != nil {
+		return nil, err
+	}
+	cur := t
+	for _, e := range core.SortEntries(entries) {
+		v := e.Value
+		if v == nil {
+			v = []byte{}
+		}
+		root, err := cur.insert(cur.root, keyToNibbles(e.Key), v)
+		if err != nil {
+			return nil, err
+		}
+		cur = &Trie{s: t.s, root: root}
+	}
+	return cur, nil
+}
+
+// insert adds (path, value) below the subtree rooted at h, returning the new
+// subtree root.
+func (t *Trie) insert(h hash.Hash, path, value []byte) (hash.Hash, error) {
+	if h.IsNull() {
+		return t.save(&leafNode{path: path, value: value}), nil
+	}
+	n, err := t.load(h)
+	if err != nil {
+		return hash.Null, err
+	}
+	switch n := n.(type) {
+	case *leafNode:
+		cp := commonPrefixLen(n.path, path)
+		if cp == len(n.path) && cp == len(path) {
+			// Same key: replace the value.
+			return t.save(&leafNode{path: path, value: value}), nil
+		}
+		// Diverge: create a branch at the split nibble (the paper's
+		// "new branch node at diverging byte").
+		var b branchNode
+		if cp == len(n.path) {
+			b.value, b.hasValue = n.value, true
+		} else {
+			b.children[n.path[cp]] = t.save(&leafNode{path: n.path[cp+1:], value: n.value})
+		}
+		if cp == len(path) {
+			b.value, b.hasValue = value, true
+		} else {
+			b.children[path[cp]] = t.save(&leafNode{path: path[cp+1:], value: value})
+		}
+		bh := t.save(&b)
+		if cp > 0 {
+			return t.save(&extensionNode{path: path[:cp], child: bh}), nil
+		}
+		return bh, nil
+
+	case *extensionNode:
+		cp := commonPrefixLen(n.path, path)
+		if cp == len(n.path) {
+			child, err := t.insert(n.child, path[cp:], value)
+			if err != nil {
+				return hash.Null, err
+			}
+			return t.save(&extensionNode{path: n.path, child: child}), nil
+		}
+		// Split the extension at the divergence point.
+		var b branchNode
+		if cp+1 == len(n.path) {
+			b.children[n.path[cp]] = n.child
+		} else {
+			b.children[n.path[cp]] = t.save(&extensionNode{path: n.path[cp+1:], child: n.child})
+		}
+		if cp == len(path) {
+			b.value, b.hasValue = value, true
+		} else {
+			b.children[path[cp]] = t.save(&leafNode{path: path[cp+1:], value: value})
+		}
+		bh := t.save(&b)
+		if cp > 0 {
+			return t.save(&extensionNode{path: path[:cp], child: bh}), nil
+		}
+		return bh, nil
+
+	case *branchNode:
+		nb := *n
+		if len(path) == 0 {
+			nb.value, nb.hasValue = value, true
+			return t.save(&nb), nil
+		}
+		child, err := t.insert(n.children[path[0]], path[1:], value)
+		if err != nil {
+			return hash.Null, err
+		}
+		nb.children[path[0]] = child
+		return t.save(&nb), nil
+	}
+	return hash.Null, fmt.Errorf("mpt: unreachable node type %T", n)
+}
+
+// Delete implements core.Index.
+func (t *Trie) Delete(key []byte) (core.Index, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	root, found, err := t.remove(t.root, keyToNibbles(key))
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return t, nil
+	}
+	return &Trie{s: t.s, root: root}, nil
+}
+
+// remove deletes path below h, collapsing redundant nodes on the way up.
+func (t *Trie) remove(h hash.Hash, path []byte) (hash.Hash, bool, error) {
+	if h.IsNull() {
+		return h, false, nil
+	}
+	n, err := t.load(h)
+	if err != nil {
+		return hash.Null, false, err
+	}
+	switch n := n.(type) {
+	case *leafNode:
+		if bytes.Equal(n.path, path) {
+			return hash.Null, true, nil
+		}
+		return h, false, nil
+
+	case *extensionNode:
+		if len(path) < len(n.path) || !bytes.Equal(n.path, path[:len(n.path)]) {
+			return h, false, nil
+		}
+		child, found, err := t.remove(n.child, path[len(n.path):])
+		if err != nil || !found {
+			return h, found, err
+		}
+		return t.reattachExtension(n.path, child)
+
+	case *branchNode:
+		nb := *n
+		if len(path) == 0 {
+			if !n.hasValue {
+				return h, false, nil
+			}
+			nb.value, nb.hasValue = nil, false
+		} else {
+			child, found, err := t.remove(n.children[path[0]], path[1:])
+			if err != nil || !found {
+				return h, found, err
+			}
+			nb.children[path[0]] = child
+		}
+		return t.collapseBranch(&nb)
+	}
+	return hash.Null, false, fmt.Errorf("mpt: unreachable node type %T", n)
+}
+
+// reattachExtension reconnects an extension prefix above a rewritten child,
+// merging chained paths so the compaction invariant holds.
+func (t *Trie) reattachExtension(prefix []byte, child hash.Hash) (hash.Hash, bool, error) {
+	if child.IsNull() {
+		return hash.Null, true, nil
+	}
+	cn, err := t.load(child)
+	if err != nil {
+		return hash.Null, false, err
+	}
+	switch cn := cn.(type) {
+	case *leafNode:
+		merged := append(append([]byte{}, prefix...), cn.path...)
+		return t.save(&leafNode{path: merged, value: cn.value}), true, nil
+	case *extensionNode:
+		merged := append(append([]byte{}, prefix...), cn.path...)
+		return t.save(&extensionNode{path: merged, child: cn.child}), true, nil
+	default:
+		return t.save(&extensionNode{path: prefix, child: child}), true, nil
+	}
+}
+
+// collapseBranch enforces the invariant that a branch has ≥2 occupants
+// (children plus value); smaller branches become leaves or extensions.
+func (t *Trie) collapseBranch(b *branchNode) (hash.Hash, bool, error) {
+	live := -1
+	count := 0
+	for i, c := range b.children {
+		if !c.IsNull() {
+			count++
+			live = i
+		}
+	}
+	switch {
+	case count == 0 && !b.hasValue:
+		return hash.Null, true, nil
+	case count == 0:
+		return t.save(&leafNode{path: nil, value: b.value}), true, nil
+	case count == 1 && !b.hasValue:
+		h, found, err := t.reattachExtension([]byte{byte(live)}, b.children[live])
+		return h, found, err
+	default:
+		return t.save(b), true, nil
+	}
+}
+
+// Count implements core.Index.
+func (t *Trie) Count() (int, error) {
+	n := 0
+	err := t.Iterate(func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Iterate implements core.Index, visiting entries in key order.
+func (t *Trie) Iterate(fn func(key, value []byte) bool) error {
+	_, err := t.iterNode(t.root, nil, fn)
+	return err
+}
+
+// iterNode walks the subtree at h with the given nibble prefix; it returns
+// false when fn stopped the iteration.
+func (t *Trie) iterNode(h hash.Hash, prefix []byte, fn func(key, value []byte) bool) (bool, error) {
+	if h.IsNull() {
+		return true, nil
+	}
+	n, err := t.load(h)
+	if err != nil {
+		return false, err
+	}
+	emit := func(nibbles, value []byte) (bool, error) {
+		key, err := nibblesToKey(nibbles)
+		if err != nil {
+			return false, err
+		}
+		return fn(key, value), nil
+	}
+	switch n := n.(type) {
+	case *leafNode:
+		return emit(append(append([]byte{}, prefix...), n.path...), n.value)
+	case *extensionNode:
+		return t.iterNode(n.child, append(append([]byte{}, prefix...), n.path...), fn)
+	case *branchNode:
+		if n.hasValue {
+			ok, err := emit(prefix, n.value)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		for i, c := range n.children {
+			ok, err := t.iterNode(c, append(append([]byte{}, prefix...), byte(i)), fn)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("mpt: unreachable node type %T", n)
+}
+
+// Refs implements core.NodeWalker.
+func (t *Trie) Refs(data []byte) ([]hash.Hash, error) {
+	n, err := decodeNode(data)
+	if err != nil {
+		return nil, err
+	}
+	switch n := n.(type) {
+	case *leafNode:
+		return nil, nil
+	case *extensionNode:
+		return []hash.Hash{n.child}, nil
+	case *branchNode:
+		var out []hash.Hash
+		for _, c := range n.children {
+			if !c.IsNull() {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("mpt: unreachable node type %T", n)
+}

@@ -1,0 +1,123 @@
+package mvmbt
+
+import (
+	"bytes"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// iter is a pull-based in-order entry iterator.
+type iter struct {
+	t      *Tree
+	frames []iterFrame
+	leaf   *leafNode
+	idx    int
+	done   bool
+}
+
+type iterFrame struct {
+	n   *internalNode
+	idx int
+}
+
+func newIter(t *Tree) (*iter, error) {
+	it := &iter{t: t}
+	if t.root.IsNull() {
+		it.done = true
+		return it, nil
+	}
+	if err := it.descend(t.root, t.height); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// descend pushes the leftmost path from h (at the given level) onto the
+// stack and loads its leaf.
+func (it *iter) descend(h hash.Hash, level int) error {
+	for level > 1 {
+		n, err := it.t.loadInternal(h)
+		if err != nil {
+			return err
+		}
+		it.frames = append(it.frames, iterFrame{n: n})
+		h = n.refs[0].h
+		level--
+	}
+	leaf, err := it.t.loadLeaf(h)
+	if err != nil {
+		return err
+	}
+	it.leaf, it.idx = leaf, 0
+	return nil
+}
+
+func (it *iter) entry() core.Entry { return it.leaf.entries[it.idx] }
+
+func (it *iter) advance() error {
+	it.idx++
+	if it.idx < len(it.leaf.entries) {
+		return nil
+	}
+	// Move to the next leaf.
+	for len(it.frames) > 0 {
+		top := &it.frames[len(it.frames)-1]
+		top.idx++
+		if top.idx < len(top.n.refs) {
+			level := it.t.height - len(it.frames) // level of the child
+			return it.descend(top.n.refs[top.idx].h, level)
+		}
+		it.frames = it.frames[:len(it.frames)-1]
+	}
+	it.done = true
+	return nil
+}
+
+// Diff implements core.Index by synchronized in-order iteration. The
+// baseline has no structural invariance, so identical contents built along
+// different histories do not share page boundaries and every record must be
+// compared — the cost the paper's Figure 8 charges the baseline for.
+func (t *Tree) Diff(other core.Index) ([]core.DiffEntry, error) {
+	o, ok := other.(*Tree)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	a, err := newIter(t)
+	if err != nil {
+		return nil, err
+	}
+	b, err := newIter(o)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.DiffEntry
+	for !a.done || !b.done {
+		switch {
+		case b.done || (!a.done && bytes.Compare(a.entry().Key, b.entry().Key) < 0):
+			e := a.entry()
+			out = append(out, core.DiffEntry{Key: e.Key, Left: e.Value})
+			if err := a.advance(); err != nil {
+				return nil, err
+			}
+		case a.done || bytes.Compare(a.entry().Key, b.entry().Key) > 0:
+			e := b.entry()
+			out = append(out, core.DiffEntry{Key: e.Key, Right: e.Value})
+			if err := b.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			ea, eb := a.entry(), b.entry()
+			if !bytes.Equal(ea.Value, eb.Value) {
+				out = append(out, core.DiffEntry{Key: ea.Key, Left: ea.Value, Right: eb.Value})
+			}
+			if err := a.advance(); err != nil {
+				return nil, err
+			}
+			if err := b.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,231 @@
+package mvmbt
+
+import (
+	"bytes"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// editOp is one mutation in a batch.
+type editOp struct {
+	key   []byte
+	value []byte
+	del   bool
+}
+
+// mergeEntries applies a sorted op run to a sorted entry run.
+func mergeEntries(old []core.Entry, ops []editOp) []core.Entry {
+	out := make([]core.Entry, 0, len(old)+len(ops))
+	i, j := 0, 0
+	for i < len(old) || j < len(ops) {
+		switch {
+		case j >= len(ops) || (i < len(old) && bytes.Compare(old[i].Key, ops[j].key) < 0):
+			out = append(out, old[i])
+			i++
+		case i >= len(old) || bytes.Compare(old[i].Key, ops[j].key) > 0:
+			if !ops[j].del {
+				out = append(out, core.Entry{Key: ops[j].key, Value: ops[j].value})
+			}
+			j++
+		default:
+			if !ops[j].del {
+				out = append(out, core.Entry{Key: ops[j].key, Value: ops[j].value})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Put implements core.Index.
+func (t *Tree) Put(key, value []byte) (core.Index, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	return t.PutBatch([]core.Entry{{Key: key, Value: value}})
+}
+
+// PutBatch implements core.Index: a single top-down descent applies all
+// entries, splitting overflowing nodes at half their maximum size — the
+// classic B+-tree behaviour whose order dependence Figure 2 illustrates.
+func (t *Tree) PutBatch(entries []core.Entry) (core.Index, error) {
+	if err := core.ValidateEntries(entries); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return t, nil
+	}
+	ops := make([]editOp, 0, len(entries))
+	for _, e := range core.SortEntries(entries) {
+		v := e.Value
+		if v == nil {
+			v = []byte{}
+		}
+		ops = append(ops, editOp{key: e.Key, value: v})
+	}
+	return t.apply(ops)
+}
+
+// Delete implements core.Index. Underflowing nodes are not rebalanced (the
+// baseline never merges), matching its role in the paper's experiments.
+func (t *Tree) Delete(key []byte) (core.Index, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	if _, ok, err := t.Get(key); err != nil {
+		return nil, err
+	} else if !ok {
+		return t, nil
+	}
+	return t.apply([]editOp{{key: key, del: true}})
+}
+
+// apply runs a sorted op batch through the tree.
+func (t *Tree) apply(ops []editOp) (*Tree, error) {
+	nt := &Tree{s: t.s, cfg: t.cfg}
+	if t.root.IsNull() {
+		var fresh []core.Entry
+		for _, op := range ops {
+			if !op.del {
+				fresh = append(fresh, core.Entry{Key: op.key, Value: op.value})
+			}
+		}
+		if len(fresh) == 0 {
+			return nt, nil
+		}
+		refs := nt.splitLeaf(fresh)
+		return nt.raise(refs, 1)
+	}
+	refs, err := t.applyRec(t.root, t.height, ops)
+	if err != nil {
+		return nil, err
+	}
+	return nt.raise(refs, t.height)
+}
+
+// raise builds internal levels above refs until a single root remains, then
+// collapses single-child internal roots left behind by deletions.
+func (t *Tree) raise(refs []ref, level int) (*Tree, error) {
+	nt := &Tree{s: t.s, cfg: t.cfg}
+	if len(refs) == 0 {
+		return nt, nil
+	}
+	height := level
+	for len(refs) > 1 {
+		refs = t.splitInternal(refs)
+		height++
+	}
+	root := refs[0].h
+	for height > 1 {
+		n, err := t.loadInternal(root)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.refs) != 1 {
+			break
+		}
+		root = n.refs[0].h
+		height--
+	}
+	nt.root = root
+	nt.height = height
+	return nt, nil
+}
+
+// applyRec rewrites the subtree at h with ops, returning 0, 1 or more
+// replacement refs (more than one when splits propagate).
+func (t *Tree) applyRec(h hash.Hash, level int, ops []editOp) ([]ref, error) {
+	if level == 1 {
+		leaf, err := t.loadLeaf(h)
+		if err != nil {
+			return nil, err
+		}
+		merged := mergeEntries(leaf.entries, ops)
+		if len(merged) == 0 {
+			return nil, nil
+		}
+		return t.splitLeaf(merged), nil
+	}
+	n, err := t.loadInternal(h)
+	if err != nil {
+		return nil, err
+	}
+	var items []ref
+	opIdx := 0
+	for ci, child := range n.refs {
+		last := ci == len(n.refs)-1
+		end := opIdx
+		if last {
+			end = len(ops)
+		} else {
+			for end < len(ops) && bytes.Compare(ops[end].key, child.splitKey) <= 0 {
+				end++
+			}
+		}
+		if end == opIdx {
+			items = append(items, child)
+			continue
+		}
+		repl, err := t.applyRec(child.h, level-1, ops[opIdx:end])
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, repl...)
+		opIdx = end
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	return t.splitInternal(items), nil
+}
+
+// splitLeaf cuts a sorted entry run into leaves of at most MaxLeafBytes,
+// splitting at half the maximum when overflowing.
+func (t *Tree) splitLeaf(entries []core.Entry) []ref {
+	size := 0
+	for _, e := range entries {
+		size += len(e.Key) + len(e.Value) + 4
+	}
+	if size <= t.cfg.MaxLeafBytes {
+		return []ref{t.saveLeaf(&leafNode{entries: entries})}
+	}
+	limit := t.cfg.MaxLeafBytes / 2
+	var out []ref
+	var pending []core.Entry
+	acc := 0
+	for _, e := range entries {
+		pending = append(pending, e)
+		acc += len(e.Key) + len(e.Value) + 4
+		if acc >= limit {
+			out = append(out, t.saveLeaf(&leafNode{entries: pending}))
+			pending, acc = nil, 0
+		}
+	}
+	if len(pending) > 0 {
+		out = append(out, t.saveLeaf(&leafNode{entries: pending}))
+	}
+	return out
+}
+
+// splitInternal cuts a ref run into internal nodes of at most MaxFanout,
+// splitting at half the maximum when overflowing.
+func (t *Tree) splitInternal(refs []ref) []ref {
+	if len(refs) <= t.cfg.MaxFanout {
+		return []ref{t.saveInternal(&internalNode{refs: refs})}
+	}
+	limit := t.cfg.MaxFanout / 2
+	if limit < 2 {
+		limit = 2
+	}
+	var out []ref
+	for start := 0; start < len(refs); start += limit {
+		end := start + limit
+		if end > len(refs) {
+			end = len(refs)
+		}
+		out = append(out, t.saveInternal(&internalNode{refs: refs[start:end]}))
+	}
+	return out
+}

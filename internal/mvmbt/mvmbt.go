@@ -1,0 +1,349 @@
+// Package mvmbt implements the paper's baseline index (§5.2): the
+// Multi-Version Merkle B+-tree. It is an immutable, copy-on-write B+-tree
+// whose child pointers are replaced by the cryptographic hashes of the
+// children, with the hash→node table provided by the content-addressed
+// store. Node sizes match the other candidates (~1KB).
+//
+// Unlike the SIRI candidates, MVMB+-Tree is NOT structurally invariant:
+// nodes split at fixed size thresholds when they overflow, so the final
+// shape depends on the order and batching of updates (the paper's Figure 2).
+// It still enjoys copy-on-write sharing along update paths, which is why it
+// is a strong baseline for storage, but identical logical contents built
+// along different histories generally do not share pages.
+package mvmbt
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// Node kind tags in the canonical encoding.
+const (
+	tagLeaf     = 1
+	tagInternal = 2
+)
+
+// Config fixes the node-size thresholds.
+type Config struct {
+	// MaxLeafBytes splits a leaf that grows beyond this many bytes.
+	MaxLeafBytes int
+	// MaxFanout splits an internal node that exceeds this many children.
+	MaxFanout int
+}
+
+// DefaultConfig matches the paper's ~1KB node tuning.
+func DefaultConfig() Config { return Config{MaxLeafBytes: 1024, MaxFanout: 22} }
+
+// ConfigForNodeSize derives thresholds for a target node size in bytes.
+func ConfigForNodeSize(n int) Config {
+	fan := n / 46 // ≈ bytes per (split key, hash) item
+	if fan < 4 {
+		fan = 4
+	}
+	return Config{MaxLeafBytes: n, MaxFanout: fan}
+}
+
+// ref points at a child node; splitKey is the maximum key in its subtree.
+type ref struct {
+	splitKey []byte
+	h        hash.Hash
+}
+
+type leafNode struct {
+	entries []core.Entry
+}
+
+type internalNode struct {
+	refs []ref
+}
+
+// Tree is one immutable version of an MVMB+-Tree.
+type Tree struct {
+	s      store.Store
+	cfg    Config
+	root   hash.Hash
+	height int
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Index      = (*Tree)(nil)
+	_ core.NodeWalker = (*Tree)(nil)
+)
+
+// New returns an empty tree over s.
+func New(s store.Store, cfg Config) *Tree { return &Tree{s: s, cfg: cfg} }
+
+// Load returns a tree view of an existing root in s.
+func Load(s store.Store, cfg Config, root hash.Hash, height int) *Tree {
+	return &Tree{s: s, cfg: cfg, root: root, height: height}
+}
+
+// Build bulk-loads entries by batch insertion.
+func Build(s store.Store, cfg Config, entries []core.Entry) (*Tree, error) {
+	t := New(s, cfg)
+	out, err := t.PutBatch(entries)
+	if err != nil {
+		return nil, err
+	}
+	return out.(*Tree), nil
+}
+
+// Name implements core.Index.
+func (t *Tree) Name() string { return "MVMB+-Tree" }
+
+// Store implements core.Index.
+func (t *Tree) Store() store.Store { return t.s }
+
+// RootHash implements core.Index.
+func (t *Tree) RootHash() hash.Hash { return t.root }
+
+// Height returns the number of levels; 0 when empty.
+func (t *Tree) Height() int { return t.height }
+
+// --- encoding ---
+
+func encodeLeaf(n *leafNode) []byte {
+	w := codec.NewWriter(64)
+	w.Byte(tagLeaf)
+	w.Uvarint(uint64(len(n.entries)))
+	for _, e := range n.entries {
+		w.LenBytes(e.Key)
+		w.LenBytes(e.Value)
+	}
+	return w.Bytes()
+}
+
+func encodeInternal(n *internalNode) []byte {
+	w := codec.NewWriter(16 + len(n.refs)*(hash.Size+16))
+	w.Byte(tagInternal)
+	w.Uvarint(uint64(len(n.refs)))
+	for _, r := range n.refs {
+		w.LenBytes(r.splitKey)
+		w.Bytes32(r.h[:])
+	}
+	return w.Bytes()
+}
+
+func decodeLeaf(data []byte) (*leafNode, error) {
+	r := codec.NewReader(data)
+	tag, err := r.Byte()
+	if err != nil || tag != tagLeaf {
+		return nil, fmt.Errorf("mvmbt: not a leaf node (tag %d, %v)", tag, err)
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	leaf := &leafNode{entries: make([]core.Entry, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		k, err := r.LenBytes()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.LenBytes()
+		if err != nil {
+			return nil, err
+		}
+		leaf.entries = append(leaf.entries, core.Entry{Key: k, Value: v})
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return leaf, nil
+}
+
+func decodeInternal(data []byte) (*internalNode, error) {
+	r := codec.NewReader(data)
+	tag, err := r.Byte()
+	if err != nil || tag != tagInternal {
+		return nil, fmt.Errorf("mvmbt: not an internal node (tag %d, %v)", tag, err)
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	node := &internalNode{refs: make([]ref, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		k, err := r.LenBytes()
+		if err != nil {
+			return nil, err
+		}
+		hb, err := r.Bytes32()
+		if err != nil {
+			return nil, err
+		}
+		node.refs = append(node.refs, ref{splitKey: k, h: hash.MustFromBytes(hb)})
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func (t *Tree) loadRaw(h hash.Hash) ([]byte, error) {
+	data, ok := t.s.Get(h)
+	if !ok {
+		return nil, fmt.Errorf("%w: mvmbt node %v", core.ErrMissingNode, h)
+	}
+	return data, nil
+}
+
+func (t *Tree) loadLeaf(h hash.Hash) (*leafNode, error) {
+	data, err := t.loadRaw(h)
+	if err != nil {
+		return nil, err
+	}
+	return decodeLeaf(data)
+}
+
+func (t *Tree) loadInternal(h hash.Hash) (*internalNode, error) {
+	data, err := t.loadRaw(h)
+	if err != nil {
+		return nil, err
+	}
+	return decodeInternal(data)
+}
+
+func (t *Tree) saveLeaf(n *leafNode) ref {
+	return ref{splitKey: n.entries[len(n.entries)-1].Key, h: t.s.Put(encodeLeaf(n))}
+}
+
+func (t *Tree) saveInternal(n *internalNode) ref {
+	return ref{splitKey: n.refs[len(n.refs)-1].splitKey, h: t.s.Put(encodeInternal(n))}
+}
+
+// --- search ---
+
+func searchRefs(refs []ref, key []byte) int {
+	return sort.Search(len(refs), func(i int) bool {
+		return bytes.Compare(refs[i].splitKey, key) >= 0
+	})
+}
+
+func searchEntries(entries []core.Entry, key []byte) (int, bool) {
+	i := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].Key, key) >= 0
+	})
+	if i < len(entries) && bytes.Equal(entries[i].Key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// Get implements core.Index.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	if len(key) == 0 {
+		return nil, false, core.ErrEmptyKey
+	}
+	e, _, err := t.lookup(key)
+	if err != nil || e == nil {
+		return nil, false, err
+	}
+	return e.Value, true, nil
+}
+
+func (t *Tree) lookup(key []byte) (*core.Entry, int, error) {
+	if t.root.IsNull() {
+		return nil, 0, nil
+	}
+	h := t.root
+	visited := 0
+	for level := t.height; level > 1; level-- {
+		n, err := t.loadInternal(h)
+		if err != nil {
+			return nil, visited, err
+		}
+		visited++
+		i := searchRefs(n.refs, key)
+		if i == len(n.refs) {
+			return nil, visited, nil
+		}
+		h = n.refs[i].h
+	}
+	leaf, err := t.loadLeaf(h)
+	if err != nil {
+		return nil, visited, err
+	}
+	visited++
+	if i, found := searchEntries(leaf.entries, key); found {
+		return &leaf.entries[i], visited, nil
+	}
+	return nil, visited, nil
+}
+
+// PathLength implements core.Index.
+func (t *Tree) PathLength(key []byte) (int, error) {
+	if len(key) == 0 {
+		return 0, core.ErrEmptyKey
+	}
+	_, visited, err := t.lookup(key)
+	return visited, err
+}
+
+// Count implements core.Index.
+func (t *Tree) Count() (int, error) {
+	n := 0
+	err := t.Iterate(func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Iterate implements core.Index, visiting entries in key order.
+func (t *Tree) Iterate(fn func(key, value []byte) bool) error {
+	if t.root.IsNull() {
+		return nil
+	}
+	_, err := t.iterNode(t.root, t.height, fn)
+	return err
+}
+
+func (t *Tree) iterNode(h hash.Hash, level int, fn func(key, value []byte) bool) (bool, error) {
+	if level <= 1 {
+		leaf, err := t.loadLeaf(h)
+		if err != nil {
+			return false, err
+		}
+		for _, e := range leaf.entries {
+			if !fn(e.Key, e.Value) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	n, err := t.loadInternal(h)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range n.refs {
+		ok, err := t.iterNode(r.h, level-1, fn)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}
+
+// Refs implements core.NodeWalker.
+func (t *Tree) Refs(data []byte) ([]hash.Hash, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("mvmbt: empty node encoding")
+	}
+	if data[0] == tagLeaf {
+		return nil, nil
+	}
+	n, err := decodeInternal(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]hash.Hash, len(n.refs))
+	for i, r := range n.refs {
+		out[i] = r.h
+	}
+	return out, nil
+}

@@ -1,0 +1,320 @@
+package mvmbt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+func smallCfg() Config { return ConfigForNodeSize(256) }
+
+func entriesN(n int, seed int64) []core.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Entry, n)
+	for i := range out {
+		out[i] = core.Entry{
+			Key:   []byte(fmt.Sprintf("key-%06d", i)),
+			Value: []byte(fmt.Sprintf("value-%06d-%x", i, rng.Int63())),
+		}
+	}
+	return out
+}
+
+func put(t *testing.T, idx core.Index, k, v string) core.Index {
+	t.Helper()
+	out, err := idx.Put([]byte(k), []byte(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func get(t *testing.T, idx core.Index, k string) (string, bool) {
+	t.Helper()
+	v, ok, err := idx.Get([]byte(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(v), ok
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(store.NewMemStore(), smallCfg())
+	if !tr.RootHash().IsNull() || tr.Height() != 0 {
+		t.Fatal("empty tree not empty")
+	}
+	if _, ok := get(t, tr, "x"); ok {
+		t.Fatal("found key in empty tree")
+	}
+}
+
+func TestBuildAndGet(t *testing.T) {
+	entries := entriesN(500, 1)
+	tr, err := Build(store.NewMemStore(), smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d", tr.Height())
+	}
+	for _, e := range entries {
+		v, ok, err := tr.Get(e.Key)
+		if err != nil || !ok || !bytes.Equal(v, e.Value) {
+			t.Fatalf("Get(%q) = %q, %v, %v", e.Key, v, ok, err)
+		}
+	}
+	if _, ok := get(t, tr, "zzz"); ok {
+		t.Fatal("found key beyond max")
+	}
+	if n, _ := tr.Count(); n != len(entries) {
+		t.Fatalf("Count = %d", n)
+	}
+}
+
+func TestNodeSizesBounded(t *testing.T) {
+	cfg := smallCfg()
+	tr, err := Build(store.NewMemStore(), cfg, entriesN(2000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.ReachStats(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := int(r.Bytes) / r.Nodes
+	if avg > cfg.MaxLeafBytes*2 {
+		t.Fatalf("average node %d bytes exceeds bound", avg)
+	}
+}
+
+func TestModelConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var idx core.Index = New(store.NewMemStore(), smallCfg())
+	model := map[string]string{}
+	for step := 0; step < 120; step++ {
+		n := rng.Intn(25) + 1
+		var entries []core.Entry
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("key-%04d", rng.Intn(600))
+			v := fmt.Sprintf("v%d-%d", step, i)
+			entries = append(entries, core.Entry{Key: []byte(k), Value: []byte(v)})
+		}
+		var err error
+		idx, err = idx.PutBatch(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range core.SortEntries(entries) {
+			model[string(e.Key)] = string(e.Value)
+		}
+		if step%4 == 0 {
+			k := fmt.Sprintf("key-%04d", rng.Intn(600))
+			idx, err = idx.Delete([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		}
+		probe := fmt.Sprintf("key-%04d", rng.Intn(600))
+		got, ok := get(t, idx, probe)
+		want, wantOK := model[probe]
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("step %d: Get(%q) = %q,%v; want %q,%v", step, probe, got, ok, want, wantOK)
+		}
+	}
+	n, err := idx.Count()
+	if err != nil || n != len(model) {
+		t.Fatalf("Count = %d, model %d", n, len(model))
+	}
+}
+
+func TestIterateInKeyOrder(t *testing.T) {
+	entries := entriesN(700, 4)
+	tr, err := Build(store.NewMemStore(), smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	tr.Iterate(func(k, _ []byte) bool { got = append(got, string(k)); return true })
+	if len(got) != len(entries) || !sort.StringsAreSorted(got) {
+		t.Fatalf("iterated %d entries, sorted=%v", len(got), sort.StringsAreSorted(got))
+	}
+}
+
+func TestStructurallyVariant(t *testing.T) {
+	// The baseline is NOT structurally invariant: inserting the same
+	// entries in different batch shapes typically produces different
+	// roots (the paper's Figure 2). We build one tree by bulk batch and
+	// one by many single inserts.
+	entries := entriesN(400, 5)
+	s := store.NewMemStore()
+	bulk, err := Build(s, smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oneByOne core.Index = New(s, smallCfg())
+	for _, e := range entries {
+		oneByOne, err = oneByOne.Put(e.Key, e.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.RootHash() == oneByOne.RootHash() {
+		t.Fatal("baseline unexpectedly produced identical structures")
+	}
+	// Contents are nevertheless identical.
+	diffs, err := bulk.Diff(oneByOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("content diff = %d entries", len(diffs))
+	}
+}
+
+func TestCopyOnWriteSharing(t *testing.T) {
+	entries := entriesN(500, 6)
+	tr, err := Build(store.NewMemStore(), smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := put(t, tr, "key-000250", "changed")
+	st, err := core.AnalyzeVersions(tr, v2.(*Tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodeSharingRatio() < 0.3 {
+		t.Fatalf("sharing = %v; same-lineage versions must share pages", st.NodeSharingRatio())
+	}
+}
+
+func TestDeleteAndCount(t *testing.T) {
+	entries := entriesN(100, 7)
+	tr, err := Build(store.NewMemStore(), smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx core.Index = tr
+	for i := 0; i < 50; i++ {
+		idx, err = idx.Delete(entries[i].Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := idx.Count(); n != 50 {
+		t.Fatalf("Count = %d, want 50", n)
+	}
+	for i := 50; i < 100; i++ {
+		if _, ok := get(t, idx, string(entries[i].Key)); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+func TestDeleteToEmpty(t *testing.T) {
+	entries := entriesN(60, 8)
+	tr, err := Build(store.NewMemStore(), smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx core.Index = tr
+	for _, e := range entries {
+		idx, err = idx.Delete(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !idx.RootHash().IsNull() {
+		t.Fatal("tree not empty")
+	}
+}
+
+func TestDiffMatchesModel(t *testing.T) {
+	s := store.NewMemStore()
+	base := entriesN(300, 9)
+	a, err := Build(s, smallCfg(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []core.Entry
+	for i := 0; i < 20; i++ {
+		batch = append(batch, core.Entry{
+			Key:   []byte(fmt.Sprintf("key-%06d", i*13)),
+			Value: []byte(fmt.Sprintf("new-%d", i)),
+		})
+	}
+	b, err := a.PutBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != len(batch) {
+		t.Fatalf("got %d diffs, want %d", len(diffs), len(batch))
+	}
+}
+
+func TestProveAndVerify(t *testing.T) {
+	tr, err := Build(store.NewMemStore(), smallCfg(), entriesN(300, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := tr.Prove([]byte("key-000100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.VerifyProof(tr.RootHash(), proof); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+	proof.Value = []byte("forged")
+	if err := tr.VerifyProof(tr.RootHash(), proof); !errors.Is(err, core.ErrInvalidProof) {
+		t.Fatalf("forged proof accepted: %v", err)
+	}
+	if _, err := tr.Prove([]byte("nope")); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("Prove(missing) = %v", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	tr := New(store.NewMemStore(), smallCfg())
+	if _, err := tr.Put(nil, nil); !errors.Is(err, core.ErrEmptyKey) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMergeThroughCore(t *testing.T) {
+	s := store.NewMemStore()
+	base, err := Build(s, smallCfg(), entriesN(100, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := put(t, base, "l", "1")
+	right := put(t, base, "r", "2")
+	merged, err := core.Merge(left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := get(t, merged, "r"); !ok || got != "2" {
+		t.Fatalf("merged[r] = %q, %v", got, ok)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	s := store.NewMemStore()
+	tr, err := Build(s, smallCfg(), entriesN(150, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := Load(s, smallCfg(), tr.RootHash(), tr.Height())
+	if v, ok, err := re.Get([]byte("key-000077")); err != nil || !ok || len(v) == 0 {
+		t.Fatalf("reloaded Get = %q, %v, %v", v, ok, err)
+	}
+}

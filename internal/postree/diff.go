@@ -1,0 +1,146 @@
+package postree
+
+import (
+	"bytes"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// leafIter streams a tree's entries leaf by leaf, exposing leaf boundaries
+// so that identical leaves (equal digests) can be skipped wholesale.
+type leafIter struct {
+	t       *Tree
+	cur     *cursor
+	entries []core.Entry
+	idx     int
+	done    bool
+}
+
+func newLeafIter(t *Tree) (*leafIter, error) {
+	it := &leafIter{t: t}
+	if t.root.IsNull() {
+		it.done = true
+		return it, nil
+	}
+	// Position at the first leaf: descend with an empty key, which every
+	// split key compares ≥ to.
+	cur, err := newCursor(t, 1, []byte{})
+	if err != nil {
+		return nil, err
+	}
+	it.cur = cur
+	return it, it.loadCurrent()
+}
+
+func (it *leafIter) loadCurrent() error {
+	leaf, err := it.t.loadLeaf(it.cur.cur.h)
+	if err != nil {
+		return err
+	}
+	it.entries = leaf.entries
+	it.idx = 0
+	return nil
+}
+
+// atLeafStart reports whether the iterator sits exactly at a leaf boundary.
+func (it *leafIter) atLeafStart() bool { return !it.done && it.idx == 0 }
+
+// leafHash returns the digest of the current leaf.
+func (it *leafIter) leafHash() hash.Hash { return it.cur.cur.h }
+
+// entry returns the current entry; callers must check done first.
+func (it *leafIter) entry() core.Entry { return it.entries[it.idx] }
+
+// advance moves to the next entry, crossing leaf boundaries as needed.
+func (it *leafIter) advance() error {
+	it.idx++
+	for it.idx >= len(it.entries) {
+		ok, err := it.cur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			it.done = true
+			return nil
+		}
+		if err := it.loadCurrent(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// skipLeaf jumps over the entire current leaf.
+func (it *leafIter) skipLeaf() error {
+	it.idx = len(it.entries)
+	if it.idx == 0 {
+		it.idx = 1 // defensive: empty leaves cannot occur, but terminate anyway
+	}
+	ok, err := it.cur.next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		it.done = true
+		return nil
+	}
+	return it.loadCurrent()
+}
+
+// Diff implements core.Index (§4.1.3). Structural invariance makes equal
+// content regions chunk into identical leaves, so aligned leaves with equal
+// digests are skipped without inspecting their entries; only divergent
+// regions are compared record by record.
+func (t *Tree) Diff(other core.Index) ([]core.DiffEntry, error) {
+	o, ok := other.(*Tree)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	a, err := newLeafIter(t)
+	if err != nil {
+		return nil, err
+	}
+	b, err := newLeafIter(o)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.DiffEntry
+	for !a.done || !b.done {
+		if !a.done && !b.done && a.atLeafStart() && b.atLeafStart() && a.leafHash() == b.leafHash() {
+			if err := a.skipLeaf(); err != nil {
+				return nil, err
+			}
+			if err := b.skipLeaf(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch {
+		case b.done || (!a.done && bytes.Compare(a.entry().Key, b.entry().Key) < 0):
+			e := a.entry()
+			out = append(out, core.DiffEntry{Key: e.Key, Left: e.Value})
+			if err := a.advance(); err != nil {
+				return nil, err
+			}
+		case a.done || bytes.Compare(a.entry().Key, b.entry().Key) > 0:
+			e := b.entry()
+			out = append(out, core.DiffEntry{Key: e.Key, Right: e.Value})
+			if err := b.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			ea, eb := a.entry(), b.entry()
+			if !bytes.Equal(ea.Value, eb.Value) {
+				out = append(out, core.DiffEntry{Key: ea.Key, Left: ea.Value, Right: eb.Value})
+			}
+			if err := a.advance(); err != nil {
+				return nil, err
+			}
+			if err := b.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

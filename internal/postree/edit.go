@@ -1,0 +1,611 @@
+package postree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+)
+
+// editOp is one mutation in a batch: an upsert or a delete.
+type editOp struct {
+	key   []byte
+	value []byte
+	del   bool
+}
+
+// makeOps normalizes puts and dels into one key-sorted op stream. Keys are
+// assumed unique across the combined inputs (PutBatch dedups; Delete passes
+// a single key).
+func makeOps(puts []core.Entry, dels [][]byte) []editOp {
+	ops := make([]editOp, 0, len(puts)+len(dels))
+	for _, e := range puts {
+		v := e.Value
+		if v == nil {
+			v = []byte{}
+		}
+		ops = append(ops, editOp{key: e.Key, value: v})
+	}
+	for _, k := range dels {
+		ops = append(ops, editOp{key: k, del: true})
+	}
+	// Insertion sort by key: inputs are individually sorted, so this is
+	// nearly linear; batches are small relative to the tree.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && bytes.Compare(ops[j-1].key, ops[j].key) > 0; j-- {
+			ops[j-1], ops[j] = ops[j], ops[j-1]
+		}
+	}
+	return ops
+}
+
+// mergeEntries applies a sorted op run to a sorted entry run.
+func mergeEntries(old []core.Entry, ops []editOp) []core.Entry {
+	out := make([]core.Entry, 0, len(old)+len(ops))
+	i, j := 0, 0
+	for i < len(old) || j < len(ops) {
+		switch {
+		case j >= len(ops) || (i < len(old) && bytes.Compare(old[i].Key, ops[j].key) < 0):
+			out = append(out, old[i])
+			i++
+		case i >= len(old) || bytes.Compare(old[i].Key, ops[j].key) > 0:
+			if !ops[j].del {
+				out = append(out, core.Entry{Key: ops[j].key, Value: ops[j].value})
+			}
+			j++
+		default: // same key: op wins
+			if !ops[j].del {
+				out = append(out, core.Entry{Key: ops[j].key, Value: ops[j].value})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// PutBatch implements core.Index. The canonical path re-chunks from the
+// first dirty node and resynchronizes with the old boundary sequence, so the
+// resulting tree is byte-identical to a from-scratch build of the same
+// contents (structural invariance), while touching only O(δ·log N) nodes.
+func (t *Tree) PutBatch(entries []core.Entry) (core.Index, error) {
+	if err := core.ValidateEntries(entries); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return t, nil
+	}
+	return t.applyOps(makeOps(core.SortEntries(entries), nil))
+}
+
+// Put implements core.Index.
+func (t *Tree) Put(key, value []byte) (core.Index, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	return t.PutBatch([]core.Entry{{Key: key, Value: value}})
+}
+
+// Delete implements core.Index.
+func (t *Tree) Delete(key []byte) (core.Index, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	if _, ok, err := t.Get(key); err != nil {
+		return nil, err
+	} else if !ok {
+		return t, nil
+	}
+	return t.applyOps(makeOps(nil, [][]byte{key}))
+}
+
+// applyOps routes a normalized op batch to the configured edit strategy.
+func (t *Tree) applyOps(ops []editOp) (*Tree, error) {
+	switch t.cfg.Ablation {
+	case AblationNoRecursiveIdentity:
+		// §5.5.2: copy the whole tree per update. Collect everything,
+		// apply, rebuild with a fresh version salt so no page is shared.
+		var all []core.Entry
+		if err := t.Iterate(func(k, v []byte) bool {
+			all = append(all, core.Entry{Key: k, Value: v})
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return t.rebuild(mergeEntries(all, ops))
+	case AblationNoStructuralInvariance:
+		return t.localEdit(ops)
+	default:
+		return t.chunkEdit(ops)
+	}
+}
+
+// ---- cursor over the nodes of one level ----
+
+type cursorFrame struct {
+	n   *internalNode
+	idx int
+}
+
+// cursor iterates the nodes of a fixed level in item order. frames hold the
+// internal nodes from the root down to the target level's parent.
+type cursor struct {
+	t      *Tree
+	level  int
+	frames []cursorFrame
+	cur    ref
+	valid  bool
+}
+
+// newCursor positions a cursor at the level-`level` node whose key range
+// contains key (clamping to the last node for keys beyond the maximum).
+func newCursor(t *Tree, level int, key []byte) (*cursor, error) {
+	c := &cursor{t: t, level: level}
+	if t.root.IsNull() {
+		return c, nil
+	}
+	if level == t.height {
+		c.cur = ref{h: t.root}
+		c.valid = true
+		return c, nil
+	}
+	h := t.root
+	for lvl := t.height; lvl > level; lvl-- {
+		n, err := t.loadInternal(h)
+		if err != nil {
+			return nil, err
+		}
+		i := searchRefs(n.refs, key)
+		if i == len(n.refs) {
+			i = len(n.refs) - 1
+		}
+		c.frames = append(c.frames, cursorFrame{n: n, idx: i})
+		h = n.refs[i].h
+	}
+	last := &c.frames[len(c.frames)-1]
+	c.cur = last.n.refs[last.idx]
+	c.valid = true
+	return c, nil
+}
+
+// next advances to the following node at this level, reporting whether one
+// exists.
+func (c *cursor) next() (bool, error) {
+	if !c.valid || len(c.frames) == 0 {
+		c.valid = false
+		return false, nil
+	}
+	i := len(c.frames) - 1
+	for i >= 0 {
+		c.frames[i].idx++
+		if c.frames[i].idx < len(c.frames[i].n.refs) {
+			break
+		}
+		i--
+	}
+	if i < 0 {
+		c.valid = false
+		return false, nil
+	}
+	c.frames = c.frames[:i+1]
+	// Descend leftmost back down to the target level.
+	h := c.frames[i].n.refs[c.frames[i].idx].h
+	lvl := c.t.height - i - 1 // level of the node at h
+	for lvl > c.level {
+		n, err := c.t.loadInternal(h)
+		if err != nil {
+			return false, err
+		}
+		c.frames = append(c.frames, cursorFrame{n: n, idx: 0})
+		h = n.refs[0].h
+		lvl--
+	}
+	last := &c.frames[len(c.frames)-1]
+	c.cur = last.n.refs[last.idx]
+	return true, nil
+}
+
+// ---- canonical chunk-and-resync editor ----
+
+// chunkEdit applies ops with content-defined re-chunking: the affected leaf
+// span is merged and re-chunked from the first dirty node; chunking
+// continues past the edit until a produced boundary coincides with an old
+// node boundary, after which the old suffix is reused. The replacement span
+// then propagates up level by level with the same algorithm over child refs.
+func (t *Tree) chunkEdit(ops []editOp) (*Tree, error) {
+	if len(ops) == 0 {
+		return t, nil
+	}
+	if t.root.IsNull() {
+		var puts []core.Entry
+		for _, op := range ops {
+			if !op.del {
+				puts = append(puts, core.Entry{Key: op.key, Value: op.value})
+			}
+		}
+		return t.rebuild(puts)
+	}
+	consumed, newRefs, err := t.editLeaves(ops)
+	if err != nil {
+		return nil, err
+	}
+	for level := 2; level <= t.height; level++ {
+		consumed, newRefs, err = t.editInternal(level, consumed, newRefs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t.finishEdit(newRefs, t.height)
+}
+
+// finishEdit turns the replacement refs for the old top level into a new
+// tree: build upward while more than one ref remains, then collapse
+// single-child internal roots so the result matches the canonical
+// from-scratch build (which never wraps a lone ref in a parent).
+func (t *Tree) finishEdit(refs []ref, level int) (*Tree, error) {
+	nt := &Tree{s: t.s, cfg: t.cfg, salt: t.salt}
+	if len(refs) == 0 {
+		return nt, nil
+	}
+	height := level
+	for len(refs) > 1 {
+		refs = nt.buildInternalLevel(refs)
+		height++
+	}
+	root := refs[0].h
+	// Collapse: while the root is an internal node with exactly one child,
+	// that child is the canonical root.
+	for height > 1 {
+		n, err := nt.loadInternal(root)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.refs) != 1 {
+			break
+		}
+		root = n.refs[0].h
+		height--
+	}
+	nt.root = root
+	nt.height = height
+	return nt, nil
+}
+
+// editLeaves merges ops into the affected leaves and re-chunks with
+// resynchronization. It returns the consumed (replaced) old leaf refs and
+// the new leaf refs standing in for them.
+func (t *Tree) editLeaves(ops []editOp) (consumed, newRefs []ref, err error) {
+	cur, err := newCursor(t, 1, ops[0].key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cur.valid {
+		return nil, nil, fmt.Errorf("postree: edit on empty tree")
+	}
+	ck := chunk.NewChunker(t.cfg.Chunk)
+	var pending []core.Entry
+	feed := func(e core.Entry) {
+		pending = append(pending, e)
+		if ck.ItemKV(e.Key, e.Value) {
+			newRefs = append(newRefs, t.flushLeaf(pending))
+			pending = nil
+		}
+	}
+
+	// Merge phase: consume leaves until every op has been applied. Leaves
+	// with no ops are passed through untouched (same ref, not even
+	// loaded) whenever the chunker is aligned at their start — boundary
+	// decisions for them cannot change, so re-chunking them would only
+	// reproduce the same nodes.
+	opIdx := 0
+	for {
+		thisRef := cur.cur
+		hasNext, err := cur.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		consumed = append(consumed, thisRef)
+
+		// Ops routed to this leaf: all with key ≤ split key, or every
+		// remaining op if this is the last leaf.
+		end := opIdx
+		if hasNext {
+			for end < len(ops) && bytes.Compare(ops[end].key, thisRef.splitKey) <= 0 {
+				end++
+			}
+		} else {
+			end = len(ops)
+		}
+		if end == opIdx && len(pending) == 0 {
+			newRefs = append(newRefs, thisRef)
+			if !hasNext {
+				break
+			}
+			continue
+		}
+		leaf, err := t.loadLeaf(thisRef.h)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, e := range mergeEntries(leaf.entries, ops[opIdx:end]) {
+			feed(e)
+		}
+		opIdx = end
+		if opIdx >= len(ops) || !hasNext {
+			break
+		}
+	}
+
+	// Resynchronization phase: keep consuming old leaves until a produced
+	// boundary lands exactly on an old leaf boundary.
+	for len(pending) > 0 && cur.valid {
+		thisRef := cur.cur
+		leaf, err := t.loadLeaf(thisRef.h)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := cur.next(); err != nil {
+			return nil, nil, err
+		}
+		consumed = append(consumed, thisRef)
+		for _, e := range leaf.entries {
+			feed(e)
+		}
+	}
+	if len(pending) > 0 {
+		newRefs = append(newRefs, t.flushLeaf(pending))
+	}
+	return consumed, newRefs, nil
+}
+
+// editInternal rewrites level `level` after the level below replaced the
+// node span consumedChild with newChild. The same chunk-and-resync algorithm
+// runs over (split key, child hash) items, with boundaries decided by the
+// child-hash pattern.
+func (t *Tree) editInternal(level int, consumedChild, newChild []ref) (consumed, newRefs []ref, err error) {
+	cur, err := newCursor(t, level, consumedChild[0].splitKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cur.valid {
+		return nil, nil, fmt.Errorf("postree: internal edit on empty tree")
+	}
+	ck := t.newRefChunker()
+	var pending []ref
+	feed := func(r ref) {
+		pending = append(pending, r)
+		if ck.Child(r) {
+			newRefs = append(newRefs, t.flushInternal(pending))
+			pending = nil
+		}
+	}
+
+	// Merge phase: stream items of consumed nodes; the old span items are
+	// skipped and the replacement refs are fed in their place.
+	matchIdx := 0
+	for {
+		thisRef := cur.cur
+		node, err := t.loadInternal(thisRef.h)
+		if err != nil {
+			return nil, nil, err
+		}
+		hasNext, err := cur.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		consumed = append(consumed, thisRef)
+
+		for _, item := range node.refs {
+			if matchIdx < len(consumedChild) && bytes.Equal(item.splitKey, consumedChild[matchIdx].splitKey) {
+				if item.h != consumedChild[matchIdx].h {
+					return nil, nil, fmt.Errorf("postree: edit span mismatch at level %d", level)
+				}
+				if matchIdx == 0 {
+					for _, r := range newChild {
+						feed(r)
+					}
+				}
+				matchIdx++
+				continue
+			}
+			feed(item)
+		}
+		if matchIdx >= len(consumedChild) {
+			break
+		}
+		if !hasNext {
+			return nil, nil, fmt.Errorf("postree: edit span not found at level %d", level)
+		}
+	}
+
+	// Resynchronization phase.
+	for len(pending) > 0 && cur.valid {
+		thisRef := cur.cur
+		node, err := t.loadInternal(thisRef.h)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := cur.next(); err != nil {
+			return nil, nil, err
+		}
+		consumed = append(consumed, thisRef)
+		for _, item := range node.refs {
+			feed(item)
+		}
+	}
+	if len(pending) > 0 {
+		newRefs = append(newRefs, t.flushInternal(pending))
+	}
+	return consumed, newRefs, nil
+}
+
+// ---- ablation: local fixed-size editor (no structural invariance) ----
+
+// localEdit applies ops B+-tree style: each affected node is rewritten in
+// place and split at half the maximum size when it overflows; neighbours are
+// never re-chunked, so node boundaries depend on the update history.
+func (t *Tree) localEdit(ops []editOp) (*Tree, error) {
+	if len(ops) == 0 {
+		return t, nil
+	}
+	if t.root.IsNull() {
+		var puts []core.Entry
+		for _, op := range ops {
+			if !op.del {
+				puts = append(puts, core.Entry{Key: op.key, Value: op.value})
+			}
+		}
+		return t.rebuild(puts)
+	}
+	consumed, repl, err := t.localEditLeaves(ops)
+	if err != nil {
+		return nil, err
+	}
+	for level := 2; level <= t.height; level++ {
+		consumed, repl, err = t.localEditInternal(level, consumed, repl)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var newRefs []ref
+	for _, rs := range repl {
+		newRefs = append(newRefs, rs...)
+	}
+	return t.finishEdit(newRefs, t.height)
+}
+
+// splitLeafFixed cuts entries into nodes of at most half MaxLeafBytes.
+func (t *Tree) splitLeafFixed(entries []core.Entry) []ref {
+	limit := t.cfg.Chunk.MaxLeafBytes / 2
+	var out []ref
+	var pending []core.Entry
+	size := 0
+	for _, e := range entries {
+		pending = append(pending, e)
+		size += len(entryBytes(e))
+		if size >= limit {
+			out = append(out, t.flushLeaf(pending))
+			pending, size = nil, 0
+		}
+	}
+	if len(pending) > 0 {
+		out = append(out, t.flushLeaf(pending))
+	}
+	return out
+}
+
+// splitInternalFixed cuts refs into nodes of at most half MaxFanout.
+func (t *Tree) splitInternalFixed(refs []ref) []ref {
+	limit := t.cfg.Chunk.MaxFanout / 2
+	if limit < 2 {
+		limit = 2
+	}
+	var out []ref
+	for start := 0; start < len(refs); start += limit {
+		end := start + limit
+		if end > len(refs) {
+			end = len(refs)
+		}
+		out = append(out, t.flushInternal(refs[start:end]))
+	}
+	return out
+}
+
+// localEditLeaves rewrites exactly the leaves that receive ops, returning
+// the consumed refs and, aligned with them, each leaf's replacement nodes.
+// Leaves without ops — even between edited ones — are left untouched.
+func (t *Tree) localEditLeaves(ops []editOp) (consumed []ref, repl [][]ref, err error) {
+	cur, err := newCursor(t, 1, ops[0].key)
+	if err != nil {
+		return nil, nil, err
+	}
+	opIdx := 0
+	for opIdx < len(ops) && cur.valid {
+		thisRef := cur.cur
+		leaf, err := t.loadLeaf(thisRef.h)
+		if err != nil {
+			return nil, nil, err
+		}
+		hasNext, err := cur.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		end := opIdx
+		if hasNext {
+			for end < len(ops) && bytes.Compare(ops[end].key, thisRef.splitKey) <= 0 {
+				end++
+			}
+			if end == opIdx {
+				continue // no ops for this leaf; keep it as-is
+			}
+		} else {
+			end = len(ops)
+		}
+		merged := mergeEntries(leaf.entries, ops[opIdx:end])
+		consumed = append(consumed, thisRef)
+		repl = append(repl, t.splitLeafFixed(merged))
+		opIdx = end
+		if !hasNext {
+			break
+		}
+	}
+	return consumed, repl, nil
+}
+
+// localEditInternal rewrites the parents of consumed children, substituting
+// each consumed item with its own replacement run and splitting oversized
+// nodes at half the maximum fanout. Parents of untouched children are never
+// rewritten.
+func (t *Tree) localEditInternal(level int, consumedChild []ref, childRepl [][]ref) (consumed []ref, repl [][]ref, err error) {
+	type target struct {
+		i int // index into consumedChild
+	}
+	byKey := make(map[string]target, len(consumedChild))
+	for i, r := range consumedChild {
+		byKey[string(r.splitKey)] = target{i: i}
+	}
+	cur, err := newCursor(t, level, consumedChild[0].splitKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	matched := 0
+	for matched < len(consumedChild) && cur.valid {
+		thisRef := cur.cur
+		node, err := t.loadInternal(thisRef.h)
+		if err != nil {
+			return nil, nil, err
+		}
+		hasNext, err := cur.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		var items []ref
+		touched := false
+		for _, item := range node.refs {
+			if tg, ok := byKey[string(item.splitKey)]; ok && item.h == consumedChild[tg.i].h {
+				touched = true
+				items = append(items, childRepl[tg.i]...)
+				matched++
+				continue
+			}
+			items = append(items, item)
+		}
+		if !touched {
+			continue
+		}
+		consumed = append(consumed, thisRef)
+		switch {
+		case len(items) > t.cfg.Chunk.MaxFanout:
+			repl = append(repl, t.splitInternalFixed(items))
+		case len(items) > 0:
+			repl = append(repl, []ref{t.flushInternal(items)})
+		default:
+			repl = append(repl, nil)
+		}
+		if !hasNext {
+			break
+		}
+	}
+	return consumed, repl, nil
+}

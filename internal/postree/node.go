@@ -1,0 +1,150 @@
+// Package postree implements the Pattern-Oriented-Split Tree (§3.4.3 of the
+// paper): a probabilistically balanced search tree whose node boundaries are
+// chosen by content-defined chunking, modeled on Forkbase's POS-Tree.
+//
+// The leaf layer is the ordered run of entries, partitioned into nodes by a
+// rolling-hash boundary pattern over the serialized entries. Each internal
+// layer is the ordered run of (split key, child hash) items, partitioned by
+// testing the child hashes directly against the boundary pattern — reusing
+// the already-computed cryptographic hashes instead of re-rolling a window,
+// which is the design difference that makes POS-Tree writes cheaper than
+// Prolly Trees (§5.6.2).
+//
+// Because boundaries are functions of content alone, the tree is
+// structurally invariant: the same record set produces byte-identical nodes
+// regardless of the order or batching of updates. Updates are copy-on-write
+// and re-chunk only from the first dirty node until the boundary sequence
+// resynchronizes with the old version, so cost is proportional to the change
+// set, not the index size.
+package postree
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Node kind tags in the canonical encoding.
+const (
+	tagLeaf     = 1
+	tagInternal = 2
+)
+
+// ref points at a child node: the split key is the maximum key stored in the
+// child's subtree, so an internal node's items mirror a B+-tree separator
+// run (the paper's "sequence of split keys and cryptographic hashes").
+type ref struct {
+	splitKey []byte
+	h        hash.Hash
+}
+
+// leafNode is a chunk of the ordered entry run.
+type leafNode struct {
+	entries []core.Entry
+}
+
+// internalNode is a chunk of the ordered child-ref run.
+type internalNode struct {
+	refs []ref
+}
+
+// entryBytes returns the serialized form of one entry — exactly the bytes
+// fed to the rolling-hash chunker, and the bytes used inside the leaf
+// encoding, so chunk decisions and stored content agree.
+func entryBytes(e core.Entry) []byte {
+	w := codec.NewWriter(len(e.Key) + len(e.Value) + 8)
+	w.LenBytes(e.Key)
+	w.LenBytes(e.Value)
+	return w.Bytes()
+}
+
+func encodeLeaf(n *leafNode) []byte {
+	w := codec.NewWriter(64)
+	w.Byte(tagLeaf)
+	w.Uvarint(uint64(len(n.entries)))
+	for _, e := range n.entries {
+		w.LenBytes(e.Key)
+		w.LenBytes(e.Value)
+	}
+	return w.Bytes()
+}
+
+func encodeInternal(n *internalNode) []byte {
+	w := codec.NewWriter(16 + len(n.refs)*(hash.Size+16))
+	w.Byte(tagInternal)
+	w.Uvarint(uint64(len(n.refs)))
+	for _, r := range n.refs {
+		w.LenBytes(r.splitKey)
+		w.Bytes32(r.h[:])
+	}
+	return w.Bytes()
+}
+
+func decodeLeaf(data []byte) (*leafNode, error) {
+	r := codec.NewReader(data)
+	tag, err := r.Byte()
+	if err != nil || tag != tagLeaf {
+		return nil, fmt.Errorf("postree: not a leaf node (tag %d, %v)", tag, err)
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("postree: leaf count: %w", err)
+	}
+	leaf := &leafNode{entries: make([]core.Entry, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		k, err := r.LenBytes()
+		if err != nil {
+			return nil, fmt.Errorf("postree: leaf key %d: %w", i, err)
+		}
+		v, err := r.LenBytes()
+		if err != nil {
+			return nil, fmt.Errorf("postree: leaf value %d: %w", i, err)
+		}
+		leaf.entries = append(leaf.entries, core.Entry{Key: k, Value: v})
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return leaf, nil
+}
+
+func decodeInternal(data []byte) (*internalNode, error) {
+	r := codec.NewReader(data)
+	tag, err := r.Byte()
+	if err != nil || tag != tagInternal {
+		return nil, fmt.Errorf("postree: not an internal node (tag %d, %v)", tag, err)
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("postree: ref count: %w", err)
+	}
+	node := &internalNode{refs: make([]ref, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		k, err := r.LenBytes()
+		if err != nil {
+			return nil, fmt.Errorf("postree: ref key %d: %w", i, err)
+		}
+		hb, err := r.Bytes32()
+		if err != nil {
+			return nil, fmt.Errorf("postree: ref hash %d: %w", i, err)
+		}
+		node.refs = append(node.refs, ref{splitKey: k, h: hash.MustFromBytes(hb)})
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// nodeKind returns the tag of an encoded node without full decoding.
+func nodeKind(data []byte) (byte, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("postree: empty node encoding")
+	}
+	if data[0] != tagLeaf && data[0] != tagInternal {
+		return 0, fmt.Errorf("postree: unknown node tag %d", data[0])
+	}
+	return data[0], nil
+}

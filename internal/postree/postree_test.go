@@ -1,0 +1,633 @@
+package postree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// smallCfg uses ~256-byte nodes so modest datasets produce multi-level trees.
+func smallCfg() Config {
+	return Config{Chunk: chunk.ConfigForNodeSize(256)}
+}
+
+func entriesN(n int, seed int64) []core.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Entry, n)
+	for i := range out {
+		out[i] = core.Entry{
+			Key:   []byte(fmt.Sprintf("key-%06d", i)),
+			Value: []byte(fmt.Sprintf("value-%06d-%x", i, rng.Int63())),
+		}
+	}
+	return out
+}
+
+func build(t *testing.T, cfg Config, entries []core.Entry) *Tree {
+	t.Helper()
+	tr, err := Build(store.NewMemStore(), cfg, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func put(t *testing.T, idx core.Index, k, v string) core.Index {
+	t.Helper()
+	out, err := idx.Put([]byte(k), []byte(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func get(t *testing.T, idx core.Index, k string) (string, bool) {
+	t.Helper()
+	v, ok, err := idx.Get([]byte(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(v), ok
+}
+
+// --- encoding ---
+
+func TestLeafEncodingRoundTrip(t *testing.T) {
+	n := &leafNode{entries: []core.Entry{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("bb"), Value: []byte{}},
+	}}
+	enc := encodeLeaf(n)
+	back, err := decodeLeaf(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeLeaf(back), enc) {
+		t.Fatal("leaf re-encoding differs")
+	}
+	if _, err := decodeInternal(enc); err == nil {
+		t.Fatal("decoded leaf as internal")
+	}
+	if _, err := decodeLeaf(enc[:len(enc)-1]); err == nil {
+		t.Fatal("decoded truncated leaf")
+	}
+}
+
+func TestInternalEncodingRoundTrip(t *testing.T) {
+	n := &internalNode{refs: []ref{
+		{splitKey: []byte("k1"), h: hash.Of([]byte("c1"))},
+		{splitKey: []byte("k2"), h: hash.Of([]byte("c2"))},
+	}}
+	enc := encodeInternal(n)
+	back, err := decodeInternal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeInternal(back), enc) {
+		t.Fatal("internal re-encoding differs")
+	}
+}
+
+func TestNodeKind(t *testing.T) {
+	if _, err := nodeKind(nil); err == nil {
+		t.Fatal("empty encoding accepted")
+	}
+	if _, err := nodeKind([]byte{9}); err == nil {
+		t.Fatal("bad tag accepted")
+	}
+}
+
+// --- build & lookup ---
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(store.NewMemStore(), smallCfg())
+	if !tr.RootHash().IsNull() || tr.Height() != 0 {
+		t.Fatal("empty tree not empty")
+	}
+	if _, ok := get(t, tr, "x"); ok {
+		t.Fatal("found key in empty tree")
+	}
+	if n, _ := tr.Count(); n != 0 {
+		t.Fatalf("Count = %d", n)
+	}
+}
+
+func TestBuildAndGet(t *testing.T) {
+	entries := entriesN(500, 1)
+	tr := build(t, smallCfg(), entries)
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, expected multi-level tree", tr.Height())
+	}
+	for _, e := range entries {
+		v, ok, err := tr.Get(e.Key)
+		if err != nil || !ok || !bytes.Equal(v, e.Value) {
+			t.Fatalf("Get(%q) = %q, %v, %v", e.Key, v, ok, err)
+		}
+	}
+	if _, ok := get(t, tr, "absent"); ok {
+		t.Fatal("found absent key")
+	}
+	if _, ok := get(t, tr, "key-999999x"); ok {
+		t.Fatal("found key beyond max")
+	}
+	if n, _ := tr.Count(); n != len(entries) {
+		t.Fatalf("Count = %d, want %d", n, len(entries))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	entries := entriesN(300, 2)
+	a := build(t, smallCfg(), entries)
+	b := build(t, smallCfg(), entries)
+	if a.RootHash() != b.RootHash() {
+		t.Fatal("same entries built different roots")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	s := store.NewMemStore()
+	entries := entriesN(200, 3)
+	tr, err := Build(s, smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := Load(s, smallCfg(), tr.RootHash(), tr.Height())
+	for _, e := range entries[:20] {
+		v, ok, err := re.Get(e.Key)
+		if err != nil || !ok || !bytes.Equal(v, e.Value) {
+			t.Fatalf("reloaded Get(%q) failed", e.Key)
+		}
+	}
+}
+
+func TestIterateInKeyOrder(t *testing.T) {
+	entries := entriesN(400, 4)
+	tr := build(t, smallCfg(), entries)
+	var got []string
+	if err := tr.Iterate(func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("iterated %d entries, want %d", len(got), len(entries))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("iteration out of key order")
+	}
+}
+
+// --- the core invariant: incremental edits = from-scratch builds ---
+
+func TestIncrementalPutMatchesRebuild(t *testing.T) {
+	s := store.NewMemStore()
+	base := entriesN(600, 5)
+	tr, err := Build(s, smallCfg(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite, insert-in-middle, insert-at-front, insert-at-back.
+	batch := []core.Entry{
+		{Key: []byte("key-000300"), Value: []byte("overwritten")},
+		{Key: []byte("key-000300x"), Value: []byte("between")},
+		{Key: []byte("aaa-first"), Value: []byte("front")},
+		{Key: []byte("zzz-last"), Value: []byte("back")},
+	}
+	edited, err := tr.PutBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mergeEntries(core.SortEntries(base), makeOps(core.SortEntries(batch), nil))
+	rebuilt, err := Build(s, smallCfg(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited.RootHash() != rebuilt.RootHash() {
+		t.Fatal("incremental edit diverged from canonical rebuild")
+	}
+	if edited.(*Tree).Height() != rebuilt.Height() {
+		t.Fatalf("heights differ: %d vs %d", edited.(*Tree).Height(), rebuilt.Height())
+	}
+}
+
+func TestIncrementalDeleteMatchesRebuild(t *testing.T) {
+	s := store.NewMemStore()
+	base := entriesN(400, 6)
+	tr, err := Build(s, smallCfg(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx core.Index = tr
+	removed := map[int]bool{0: true, 100: true, 200: true, 399: true, 201: true, 202: true}
+	for i := range removed {
+		var err error
+		idx, err = idx.Delete(base[i].Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var remaining []core.Entry
+	for i, e := range base {
+		if !removed[i] {
+			remaining = append(remaining, e)
+		}
+	}
+	rebuilt, err := Build(s, smallCfg(), remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.RootHash() != rebuilt.RootHash() {
+		t.Fatal("deletes diverged from canonical rebuild")
+	}
+}
+
+func TestStructuralInvarianceProperty(t *testing.T) {
+	// Any sequence of random batches must land on the canonical root for
+	// the resulting contents — the heart of Definition 3.1(1) and the
+	// POS-Tree edit algorithm.
+	cfg := smallCfg()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := store.NewMemStore()
+		var idx core.Index = New(s, cfg)
+		model := map[string]string{}
+		for batch := 0; batch < 6; batch++ {
+			n := rng.Intn(40) + 1
+			var entries []core.Entry
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("key-%04d", rng.Intn(500))
+				v := fmt.Sprintf("val-%d-%d", batch, i)
+				entries = append(entries, core.Entry{Key: []byte(k), Value: []byte(v)})
+			}
+			var err error
+			idx, err = idx.PutBatch(entries)
+			if err != nil {
+				return false
+			}
+			for _, e := range core.SortEntries(entries) {
+				model[string(e.Key)] = string(e.Value)
+			}
+			// Occasionally delete a known key.
+			if batch%2 == 1 && len(model) > 0 {
+				for k := range model {
+					idx, err = idx.Delete([]byte(k))
+					if err != nil {
+						return false
+					}
+					delete(model, k)
+					break
+				}
+			}
+		}
+		var canonical []core.Entry
+		for k, v := range model {
+			canonical = append(canonical, core.Entry{Key: []byte(k), Value: []byte(v)})
+		}
+		rebuilt, err := Build(s, cfg, canonical)
+		if err != nil {
+			return false
+		}
+		return idx.RootHash() == rebuilt.RootHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var idx core.Index = New(store.NewMemStore(), smallCfg())
+	model := map[string]string{}
+	for step := 0; step < 150; step++ {
+		n := rng.Intn(20) + 1
+		var entries []core.Entry
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("key-%04d", rng.Intn(800))
+			v := fmt.Sprintf("v%d-%d", step, i)
+			entries = append(entries, core.Entry{Key: []byte(k), Value: []byte(v)})
+		}
+		var err error
+		idx, err = idx.PutBatch(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range core.SortEntries(entries) {
+			model[string(e.Key)] = string(e.Value)
+		}
+		if step%3 == 0 {
+			k := fmt.Sprintf("key-%04d", rng.Intn(800))
+			idx, err = idx.Delete([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		}
+		probe := fmt.Sprintf("key-%04d", rng.Intn(800))
+		got, ok := get(t, idx, probe)
+		want, wantOK := model[probe]
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("step %d: Get(%q) = %q,%v; want %q,%v", step, probe, got, ok, want, wantOK)
+		}
+	}
+	n, err := idx.Count()
+	if err != nil || n != len(model) {
+		t.Fatalf("Count = %d, model %d", n, len(model))
+	}
+}
+
+func TestDeleteToEmpty(t *testing.T) {
+	entries := entriesN(50, 10)
+	tr := build(t, smallCfg(), entries)
+	var idx core.Index = tr
+	var err error
+	for _, e := range entries {
+		idx, err = idx.Delete(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !idx.RootHash().IsNull() {
+		t.Fatal("tree not empty after deleting everything")
+	}
+}
+
+func TestPutOnEmptyTree(t *testing.T) {
+	var idx core.Index = New(store.NewMemStore(), smallCfg())
+	idx = put(t, idx, "first", "value")
+	if got, ok := get(t, idx, "first"); !ok || got != "value" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if idx.(*Tree).Height() != 1 {
+		t.Fatalf("height = %d", idx.(*Tree).Height())
+	}
+}
+
+func TestCopyOnWriteVersions(t *testing.T) {
+	entries := entriesN(300, 11)
+	tr := build(t, smallCfg(), entries)
+	v2 := put(t, tr, "key-000150", "changed")
+	if got, _ := get(t, tr, "key-000150"); got == "changed" {
+		t.Fatal("old version sees new write")
+	}
+	if got, _ := get(t, v2, "key-000150"); got != "changed" {
+		t.Fatal("new version missing write")
+	}
+	// Nearly all pages must be shared between the versions.
+	st, err := core.AnalyzeVersions(tr, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodeSharingRatio() < 0.3 {
+		t.Fatalf("sharing ratio = %v, expected high sharing", st.NodeSharingRatio())
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	tr := New(store.NewMemStore(), smallCfg())
+	if _, err := tr.Put(nil, []byte("v")); !errors.Is(err, core.ErrEmptyKey) {
+		t.Fatalf("Put err = %v", err)
+	}
+	if _, _, err := tr.Get(nil); !errors.Is(err, core.ErrEmptyKey) {
+		t.Fatalf("Get err = %v", err)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	tr := build(t, smallCfg(), entriesN(1000, 12))
+	pl, err := tr.PathLength([]byte("key-000500"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl != tr.Height() {
+		t.Fatalf("PathLength = %d, height %d", pl, tr.Height())
+	}
+}
+
+// --- diff & merge ---
+
+func TestDiffIdentical(t *testing.T) {
+	tr := build(t, smallCfg(), entriesN(200, 13))
+	diffs, err := tr.Diff(tr)
+	if err != nil || len(diffs) != 0 {
+		t.Fatalf("self diff = %v, %v", diffs, err)
+	}
+}
+
+func TestDiffEmptyVsPopulated(t *testing.T) {
+	s := store.NewMemStore()
+	a := New(s, smallCfg())
+	entries := entriesN(100, 14)
+	b, err := Build(s, smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := a.Diff(b)
+	if err != nil || len(diffs) != len(entries) {
+		t.Fatalf("diff = %d entries, %v", len(diffs), err)
+	}
+	for _, d := range diffs {
+		if d.Left != nil || d.Right == nil {
+			t.Fatalf("bad sidedness %+v", d)
+		}
+	}
+}
+
+func TestDiffMatchesModel(t *testing.T) {
+	s := store.NewMemStore()
+	base := entriesN(500, 15)
+	tr, err := Build(s, smallCfg(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []core.Entry
+	for i := 0; i < 30; i++ {
+		batch = append(batch, core.Entry{
+			Key:   []byte(fmt.Sprintf("key-%06d", i*17)),
+			Value: []byte(fmt.Sprintf("changed-%d", i)),
+		})
+	}
+	batch = append(batch, core.Entry{Key: []byte("zz-new"), Value: []byte("right-only")})
+	other, err := tr.PutBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := tr.Diff(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != len(batch) {
+		t.Fatalf("got %d diffs, want %d", len(diffs), len(batch))
+	}
+	for _, d := range diffs {
+		if string(d.Key) == "zz-new" {
+			if d.Left != nil || string(d.Right) != "right-only" {
+				t.Fatalf("bad new-key diff %+v", d)
+			}
+		} else if d.Left == nil || d.Right == nil {
+			t.Fatalf("changed key %q missing a side", d.Key)
+		}
+	}
+}
+
+func TestDiffTypeMismatch(t *testing.T) {
+	tr := New(store.NewMemStore(), smallCfg())
+	if _, err := tr.Diff(fakeIndex{}); !errors.Is(err, core.ErrTypeMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type fakeIndex struct{ core.Index }
+
+func TestMergeThroughCore(t *testing.T) {
+	s := store.NewMemStore()
+	base, err := Build(s, smallCfg(), entriesN(200, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := put(t, base, "left-key", "1")
+	right := put(t, base, "right-key", "2")
+	merged, err := core.Merge(left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := get(t, merged, "left-key"); !ok || got != "1" {
+		t.Fatalf("merged left = %q, %v", got, ok)
+	}
+	if got, ok := get(t, merged, "right-key"); !ok || got != "2" {
+		t.Fatalf("merged right = %q, %v", got, ok)
+	}
+}
+
+// --- proofs ---
+
+func TestProveAndVerify(t *testing.T) {
+	tr := build(t, smallCfg(), entriesN(300, 17))
+	proof, err := tr.Prove([]byte("key-000123"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.VerifyProof(tr.RootHash(), proof); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+	proof.Value = []byte("forged")
+	if err := tr.VerifyProof(tr.RootHash(), proof); !errors.Is(err, core.ErrInvalidProof) {
+		t.Fatalf("forged proof accepted: %v", err)
+	}
+	if _, err := tr.Prove([]byte("no-such-key")); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("Prove(missing) = %v", err)
+	}
+	if err := tr.VerifyProof(tr.RootHash(), &core.Proof{}); !errors.Is(err, core.ErrInvalidProof) {
+		t.Fatalf("empty proof accepted: %v", err)
+	}
+}
+
+// --- ablations (§5.5) ---
+
+func TestAblationNoStructuralInvariance(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Ablation = AblationNoStructuralInvariance
+	s := store.NewMemStore()
+
+	// Same final contents via different batch orders must (typically)
+	// yield different roots — and lookups must still be correct.
+	base := entriesN(200, 18)
+	extraA := entriesN(40, 19)
+	for i := range extraA {
+		extraA[i].Key = []byte(fmt.Sprintf("extra-%06d", i))
+	}
+	t1, err := Build(s, cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a core.Index = t1
+	for _, e := range extraA { // one at a time
+		a, err = a.Put(e.Key, e.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := t1.PutBatch(extraA) // all at once
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All contents still readable in both.
+	for _, e := range extraA {
+		if v, ok, _ := a.Get(e.Key); !ok || !bytes.Equal(v, e.Value) {
+			t.Fatalf("a.Get(%q) failed", e.Key)
+		}
+		if v, ok, _ := b.Get(e.Key); !ok || !bytes.Equal(v, e.Value) {
+			t.Fatalf("b.Get(%q) failed", e.Key)
+		}
+	}
+	if a.RootHash() == b.RootHash() {
+		t.Fatal("ablated tree is still structurally invariant (roots equal)")
+	}
+}
+
+func TestAblationNoRecursiveIdentity(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Ablation = AblationNoRecursiveIdentity
+	s := store.NewMemStore()
+	tr, err := Build(s, cfg, entriesN(150, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := tr.Put([]byte("key-000075"), []byte("changed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contents correct.
+	if v, ok, _ := v2.Get([]byte("key-000075")); !ok || string(v) != "changed" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	// Zero pages shared between the versions (§5.5.2: "the deduplication
+	// ratio ... is 0").
+	st, err := core.AnalyzeVersions(tr, v2.(*Tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodeSharingRatio() != 0 {
+		t.Fatalf("sharing ratio = %v, want 0", st.NodeSharingRatio())
+	}
+}
+
+// --- node size statistics ---
+
+func TestNodeSizesTrackTarget(t *testing.T) {
+	for _, target := range []int{512, 1024} {
+		s := store.NewMemStore()
+		tr, err := Build(s, ConfigForNodeSize(target), entriesN(3000, int64(target)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.ReachStats(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := int(r.Bytes) / r.Nodes
+		if avg < target/3 || avg > target*3 {
+			t.Errorf("target %d: average node %d bytes over %d nodes", target, avg, r.Nodes)
+		}
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	small := build(t, smallCfg(), entriesN(100, 21))
+	large := build(t, smallCfg(), entriesN(3000, 22))
+	if large.Height() <= small.Height() {
+		t.Fatalf("heights: small=%d large=%d", small.Height(), large.Height())
+	}
+	if large.Height() > 10 {
+		t.Fatalf("height %d too tall for 3000 entries", large.Height())
+	}
+}

@@ -1,0 +1,105 @@
+package postree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Prove implements core.Index: the proof holds the raw node encodings on the
+// lookup path from the root to the leaf containing key.
+func (t *Tree) Prove(key []byte) (*core.Proof, error) {
+	if len(key) == 0 {
+		return nil, core.ErrEmptyKey
+	}
+	if t.root.IsNull() {
+		return nil, fmt.Errorf("%w: %q", core.ErrNotFound, key)
+	}
+	proof := &core.Proof{Key: key}
+	h := t.root
+	for level := t.height; level >= 1; level-- {
+		raw, ok := t.s.Get(h)
+		if !ok {
+			return nil, fmt.Errorf("%w: postree node %v", core.ErrMissingNode, h)
+		}
+		proof.Path = append(proof.Path, raw)
+		data, err := t.unsalt(raw)
+		if err != nil {
+			return nil, err
+		}
+		if level == 1 {
+			leaf, err := decodeLeaf(data)
+			if err != nil {
+				return nil, err
+			}
+			i, found := searchEntries(leaf.entries, key)
+			if !found {
+				return nil, fmt.Errorf("%w: %q", core.ErrNotFound, key)
+			}
+			proof.Value = leaf.entries[i].Value
+			return proof, nil
+		}
+		n, err := decodeInternal(data)
+		if err != nil {
+			return nil, err
+		}
+		i := searchRefs(n.refs, key)
+		if i == len(n.refs) {
+			return nil, fmt.Errorf("%w: %q", core.ErrNotFound, key)
+		}
+		h = n.refs[i].h
+	}
+	return nil, fmt.Errorf("%w: %q", core.ErrNotFound, key)
+}
+
+// VerifyProof implements core.Index: the path is replayed against the
+// trusted root digest, recomputing each node hash and the split-key routing.
+func (t *Tree) VerifyProof(root hash.Hash, proof *core.Proof) error {
+	if proof == nil || len(proof.Path) == 0 {
+		return fmt.Errorf("%w: empty proof", core.ErrInvalidProof)
+	}
+	expect := root
+	for i, raw := range proof.Path {
+		if hash.Of(raw) != expect {
+			return fmt.Errorf("%w: node %d digest mismatch", core.ErrInvalidProof, i)
+		}
+		data, err := t.unsalt(raw)
+		if err != nil {
+			return fmt.Errorf("%w: %v", core.ErrInvalidProof, err)
+		}
+		kind, err := nodeKind(data)
+		if err != nil {
+			return fmt.Errorf("%w: %v", core.ErrInvalidProof, err)
+		}
+		last := i == len(proof.Path)-1
+		if kind == tagLeaf {
+			if !last {
+				return fmt.Errorf("%w: leaf before end of path", core.ErrInvalidProof)
+			}
+			leaf, err := decodeLeaf(data)
+			if err != nil {
+				return fmt.Errorf("%w: %v", core.ErrInvalidProof, err)
+			}
+			j, found := searchEntries(leaf.entries, proof.Key)
+			if !found || !bytes.Equal(leaf.entries[j].Value, proof.Value) {
+				return fmt.Errorf("%w: leaf record mismatch", core.ErrInvalidProof)
+			}
+			return nil
+		}
+		if last {
+			return fmt.Errorf("%w: path ends at internal node", core.ErrInvalidProof)
+		}
+		n, err := decodeInternal(data)
+		if err != nil {
+			return fmt.Errorf("%w: %v", core.ErrInvalidProof, err)
+		}
+		j := searchRefs(n.refs, proof.Key)
+		if j == len(n.refs) {
+			return fmt.Errorf("%w: key outside subtree", core.ErrInvalidProof)
+		}
+		expect = n.refs[j].h
+	}
+	return fmt.Errorf("%w: path exhausted", core.ErrInvalidProof)
+}

@@ -1,0 +1,422 @@
+package postree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// Ablation selects one of the paper's §5.5 breakdown modes, which disable a
+// SIRI property to measure its contribution. Production use is AblationNone.
+type Ablation int
+
+// Ablation modes.
+const (
+	// AblationNone is the full POS-Tree.
+	AblationNone Ablation = iota
+	// AblationNoStructuralInvariance replaces pattern-aware splitting with
+	// local fixed-size splits (split at half the maximum node size when a
+	// node overflows, never re-chunk neighbours). The resulting structure
+	// depends on the order of updates, exactly like a B+-tree (§5.5.1).
+	AblationNoStructuralInvariance
+	// AblationNoRecursiveIdentity forcibly copies every node on each
+	// batch by salting node encodings with a version counter, so no page
+	// is ever shared between versions (§5.5.2).
+	AblationNoRecursiveIdentity
+)
+
+// Config parameterizes a POS-Tree.
+type Config struct {
+	// Chunk controls boundary detection (node size distribution).
+	Chunk chunk.Config
+	// Ablation optionally disables a SIRI property (see Ablation).
+	Ablation Ablation
+	// WindowInternal switches internal-layer boundary detection from the
+	// POS-Tree child-hash pattern to a Noms/Prolly-Tree sliding-window
+	// rolling hash over the serialized child entries — the costlier write
+	// path the paper contrasts in §5.6.2. Used by internal/prolly.
+	WindowInternal bool
+	// DisplayName overrides the Name() reported for this tree; used by
+	// internal/prolly. Empty means "POS-Tree".
+	DisplayName string
+}
+
+// DefaultConfig targets ~1KB nodes, the paper's setting.
+func DefaultConfig() Config { return Config{Chunk: chunk.DefaultConfig()} }
+
+// ConfigForNodeSize targets the given expected node size in bytes.
+func ConfigForNodeSize(n int) Config { return Config{Chunk: chunk.ConfigForNodeSize(n)} }
+
+// Tree is one immutable version of a POS-Tree. The zero value is not usable;
+// use New, Build or Load. Mutating methods return a new Tree sharing
+// unmodified nodes with the receiver.
+type Tree struct {
+	s      store.Store
+	cfg    Config
+	root   hash.Hash
+	height int // levels including the leaf level; 0 for the empty tree
+	salt   uint64
+}
+
+// Compile-time interface checks.
+var (
+	_ core.Index      = (*Tree)(nil)
+	_ core.NodeWalker = (*Tree)(nil)
+)
+
+// New returns an empty tree over s.
+func New(s store.Store, cfg Config) *Tree {
+	return &Tree{s: s, cfg: cfg}
+}
+
+// Load returns a tree view of an existing root in s. The caller must supply
+// the Config the tree was built with and the tree height recorded at build
+// time (see Height).
+func Load(s store.Store, cfg Config, root hash.Hash, height int) *Tree {
+	return &Tree{s: s, cfg: cfg, root: root, height: height}
+}
+
+// Build bulk-loads entries bottom-up (the paper's batched building path:
+// each node is created and hashed exactly once).
+func Build(s store.Store, cfg Config, entries []core.Entry) (*Tree, error) {
+	if err := core.ValidateEntries(entries); err != nil {
+		return nil, err
+	}
+	t := &Tree{s: s, cfg: cfg}
+	return t.rebuild(core.SortEntries(entries))
+}
+
+// Name implements core.Index.
+func (t *Tree) Name() string {
+	if t.cfg.DisplayName != "" {
+		return t.cfg.DisplayName
+	}
+	return "POS-Tree"
+}
+
+// Store implements core.Index.
+func (t *Tree) Store() store.Store { return t.s }
+
+// RootHash implements core.Index.
+func (t *Tree) RootHash() hash.Hash { return t.root }
+
+// Height returns the number of levels (leaf level included); 0 when empty.
+func (t *Tree) Height() int { return t.height }
+
+// Config returns the tree's parameters.
+func (t *Tree) Config() Config { return t.cfg }
+
+// loadRaw fetches a node encoding.
+func (t *Tree) loadRaw(h hash.Hash) ([]byte, error) {
+	data, ok := t.s.Get(h)
+	if !ok {
+		return nil, fmt.Errorf("%w: postree node %v", core.ErrMissingNode, h)
+	}
+	return t.unsalt(data)
+}
+
+// saveLeaf / saveInternal encode, salt (ablation only) and store a node.
+func (t *Tree) saveLeaf(n *leafNode) hash.Hash {
+	return t.s.Put(t.salted(encodeLeaf(n)))
+}
+
+func (t *Tree) saveInternal(n *internalNode) hash.Hash {
+	return t.s.Put(t.salted(encodeInternal(n)))
+}
+
+// salted prepends the version salt under AblationNoRecursiveIdentity so that
+// every version's nodes are distinct pages; otherwise it is the identity.
+func (t *Tree) salted(enc []byte) []byte {
+	if t.cfg.Ablation != AblationNoRecursiveIdentity {
+		return enc
+	}
+	out := make([]byte, 8, 8+len(enc))
+	for i := 0; i < 8; i++ {
+		out[i] = byte(t.salt >> (8 * i))
+	}
+	return append(out, enc...)
+}
+
+// unsalt strips the version salt prefix under AblationNoRecursiveIdentity.
+func (t *Tree) unsalt(data []byte) ([]byte, error) {
+	if t.cfg.Ablation != AblationNoRecursiveIdentity {
+		return data, nil
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("postree: salted node too short")
+	}
+	return data[8:], nil
+}
+
+func (t *Tree) loadLeaf(h hash.Hash) (*leafNode, error) {
+	data, err := t.loadRaw(h)
+	if err != nil {
+		return nil, err
+	}
+	return decodeLeaf(data)
+}
+
+func (t *Tree) loadInternal(h hash.Hash) (*internalNode, error) {
+	data, err := t.loadRaw(h)
+	if err != nil {
+		return nil, err
+	}
+	return decodeInternal(data)
+}
+
+// searchRefs returns the index of the child to descend into for key: the
+// first ref whose split key is ≥ key. A return of len(refs) means the key is
+// greater than every key in the subtree.
+func searchRefs(refs []ref, key []byte) int {
+	return sort.Search(len(refs), func(i int) bool {
+		return bytes.Compare(refs[i].splitKey, key) >= 0
+	})
+}
+
+// searchEntries binary-searches a leaf's sorted entries.
+func searchEntries(entries []core.Entry, key []byte) (int, bool) {
+	i := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].Key, key) >= 0
+	})
+	if i < len(entries) && bytes.Equal(entries[i].Key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// Get implements core.Index: B+-tree style descent by split keys, then
+// binary search in the leaf (the paper's lookup procedure).
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	if len(key) == 0 {
+		return nil, false, core.ErrEmptyKey
+	}
+	v, _, err := t.lookup(key)
+	if err != nil {
+		return nil, false, err
+	}
+	if v == nil {
+		return nil, false, nil
+	}
+	return v.Value, true, nil
+}
+
+// lookup descends to the entry for key, returning nil when absent, along
+// with the number of nodes visited.
+func (t *Tree) lookup(key []byte) (*core.Entry, int, error) {
+	if t.root.IsNull() {
+		return nil, 0, nil
+	}
+	h := t.root
+	visited := 0
+	for level := t.height; level > 1; level-- {
+		n, err := t.loadInternal(h)
+		if err != nil {
+			return nil, visited, err
+		}
+		visited++
+		i := searchRefs(n.refs, key)
+		if i == len(n.refs) {
+			return nil, visited, nil // beyond the maximum key
+		}
+		h = n.refs[i].h
+	}
+	leaf, err := t.loadLeaf(h)
+	if err != nil {
+		return nil, visited, err
+	}
+	visited++
+	if i, found := searchEntries(leaf.entries, key); found {
+		return &leaf.entries[i], visited, nil
+	}
+	return nil, visited, nil
+}
+
+// PathLength implements core.Index.
+func (t *Tree) PathLength(key []byte) (int, error) {
+	if len(key) == 0 {
+		return 0, core.ErrEmptyKey
+	}
+	_, visited, err := t.lookup(key)
+	return visited, err
+}
+
+// Count implements core.Index.
+func (t *Tree) Count() (int, error) {
+	n := 0
+	err := t.Iterate(func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Iterate implements core.Index, visiting entries in key order.
+func (t *Tree) Iterate(fn func(key, value []byte) bool) error {
+	if t.root.IsNull() {
+		return nil
+	}
+	_, err := t.iterNode(t.root, t.height, fn)
+	return err
+}
+
+func (t *Tree) iterNode(h hash.Hash, level int, fn func(key, value []byte) bool) (bool, error) {
+	if level <= 1 {
+		leaf, err := t.loadLeaf(h)
+		if err != nil {
+			return false, err
+		}
+		for _, e := range leaf.entries {
+			if !fn(e.Key, e.Value) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	n, err := t.loadInternal(h)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range n.refs {
+		ok, err := t.iterNode(r.h, level-1, fn)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}
+
+// Refs implements core.NodeWalker.
+func (t *Tree) Refs(data []byte) ([]hash.Hash, error) {
+	data, err := t.unsalt(data)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := nodeKind(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind == tagLeaf {
+		return nil, nil
+	}
+	n, err := decodeInternal(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]hash.Hash, len(n.refs))
+	for i, r := range n.refs {
+		out[i] = r.h
+	}
+	return out, nil
+}
+
+// ablationSalt hands out globally unique version salts so that, with the
+// Recursively Identical property disabled, no two versions anywhere share a
+// single page — the paper's "number of intersections, which is zero".
+var ablationSalt atomic.Uint64
+
+// rebuild chunks the full sorted entry run bottom-up into a fresh tree.
+func (t *Tree) rebuild(entries []core.Entry) (*Tree, error) {
+	nt := &Tree{s: t.s, cfg: t.cfg, salt: t.salt}
+	if t.cfg.Ablation == AblationNoRecursiveIdentity {
+		nt.salt = ablationSalt.Add(1)
+	}
+	if len(entries) == 0 {
+		return nt, nil
+	}
+	refs := nt.buildLeaves(entries)
+	height := 1
+	for len(refs) > 1 {
+		refs = nt.buildInternalLevel(refs)
+		height++
+	}
+	nt.root = refs[0].h
+	nt.height = height
+	return nt, nil
+}
+
+// buildLeaves chunks entries into leaf nodes and returns their refs.
+func (t *Tree) buildLeaves(entries []core.Entry) []ref {
+	if t.cfg.Ablation == AblationNoStructuralInvariance {
+		// §5.5.1: no pattern-aware partitioning — fixed-size splits.
+		return t.splitLeafFixed(entries)
+	}
+	var refs []ref
+	ck := chunk.NewChunker(t.cfg.Chunk)
+	start := 0
+	for i, e := range entries {
+		if ck.ItemKV(e.Key, e.Value) {
+			refs = append(refs, t.flushLeaf(entries[start:i+1]))
+			start = i + 1
+		}
+	}
+	if start < len(entries) {
+		refs = append(refs, t.flushLeaf(entries[start:]))
+	}
+	return refs
+}
+
+func (t *Tree) flushLeaf(entries []core.Entry) ref {
+	n := &leafNode{entries: entries}
+	return ref{splitKey: entries[len(entries)-1].Key, h: t.saveLeaf(n)}
+}
+
+// refChunker abstracts internal-layer boundary detection so POS-Tree (child
+// hash pattern) and Prolly Tree (sliding-window over serialized entries) can
+// share the build and edit machinery.
+type refChunker interface {
+	// Child feeds one child ref and reports whether an internal node
+	// boundary falls after it.
+	Child(r ref) bool
+}
+
+type hashRefChunker struct{ c *chunk.InternalChunker }
+
+func (h hashRefChunker) Child(r ref) bool { return h.c.Child(r.h) }
+
+type windowRefChunker struct{ c *chunk.WindowChunker }
+
+func (w windowRefChunker) Child(r ref) bool {
+	// Re-roll the serialized entry through the window: the repeated hash
+	// computation the paper credits for Noms' slower writes.
+	buf := make([]byte, 0, len(r.splitKey)+hash.Size)
+	buf = append(buf, r.splitKey...)
+	buf = append(buf, r.h[:]...)
+	return w.c.Child(buf)
+}
+
+// newRefChunker returns the configured internal-layer chunker.
+func (t *Tree) newRefChunker() refChunker {
+	if t.cfg.WindowInternal {
+		return windowRefChunker{c: chunk.NewWindowChunker(t.cfg.Chunk)}
+	}
+	return hashRefChunker{c: chunk.NewInternalChunker(t.cfg.Chunk)}
+}
+
+// buildInternalLevel chunks child refs into internal nodes and returns the
+// new level's refs.
+func (t *Tree) buildInternalLevel(children []ref) []ref {
+	if t.cfg.Ablation == AblationNoStructuralInvariance {
+		return t.splitInternalFixed(children)
+	}
+	var refs []ref
+	ck := t.newRefChunker()
+	start := 0
+	for i, c := range children {
+		if ck.Child(c) {
+			refs = append(refs, t.flushInternal(children[start:i+1]))
+			start = i + 1
+		}
+	}
+	if start < len(children) {
+		refs = append(refs, t.flushInternal(children[start:]))
+	}
+	return refs
+}
+
+func (t *Tree) flushInternal(children []ref) ref {
+	n := &internalNode{refs: children}
+	return ref{splitKey: children[len(children)-1].splitKey, h: t.saveInternal(n)}
+}

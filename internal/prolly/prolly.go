@@ -1,0 +1,56 @@
+// Package prolly configures the Noms-style Prolly Tree used in the paper's
+// Forkbase-vs-Noms system comparison (§5.6.2). A Prolly Tree is the same
+// probabilistically balanced, content-chunked search tree as POS-Tree with
+// one difference: internal-layer node boundaries are detected by repeatedly
+// rolling a sliding-window hash over the serialized child entries, instead
+// of testing the already-computed child digests against the pattern. The
+// paper: "Such computational overhead causes inefficiency of its write
+// operations."
+//
+// The implementation reuses internal/postree with the window-chunking
+// internal layer enabled, so lookups, diffs, proofs and the incremental edit
+// algorithm are identical — only the boundary detector (and hence the write
+// cost and the exact node boundaries) differs.
+package prolly
+
+import (
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/postree"
+	"repro/internal/store"
+)
+
+// Tree is one immutable version of a Prolly Tree.
+type Tree = postree.Tree
+
+// DefaultConfig matches the Noms defaults the paper used for the comparison:
+// 4KB nodes with a 67-byte rolling window (§5.6.2).
+func DefaultConfig() postree.Config {
+	cfg := postree.ConfigForNodeSize(4096)
+	cfg.Chunk.Window = 67
+	cfg.WindowInternal = true
+	cfg.DisplayName = "Prolly-Tree"
+	return cfg
+}
+
+// ConfigForNodeSize targets a given expected node size in bytes.
+func ConfigForNodeSize(n int) postree.Config {
+	cfg := postree.ConfigForNodeSize(n)
+	cfg.Chunk.Window = 67
+	cfg.WindowInternal = true
+	cfg.DisplayName = "Prolly-Tree"
+	return cfg
+}
+
+// New returns an empty Prolly Tree over s.
+func New(s store.Store, cfg postree.Config) *Tree { return postree.New(s, cfg) }
+
+// Build bulk-loads entries bottom-up.
+func Build(s store.Store, cfg postree.Config, entries []core.Entry) (*Tree, error) {
+	return postree.Build(s, cfg, entries)
+}
+
+// Load returns a tree view of an existing root in s.
+func Load(s store.Store, cfg postree.Config, root hash.Hash, height int) *Tree {
+	return postree.Load(s, cfg, root, height)
+}

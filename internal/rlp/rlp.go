@@ -1,0 +1,248 @@
+// Package rlp implements Recursive Length Prefix encoding, Ethereum's
+// canonical object serialization. The paper's Ethereum workload (§5.1.3)
+// stores RLP-encoded raw transactions as index values; this package provides
+// the encoding path for the synthetic equivalent.
+//
+// RLP serializes two kinds of values: byte strings and lists of values.
+//
+//	byte in [0x00,0x7f]        → itself
+//	string of 0–55 bytes       → 0x80+len ‖ string
+//	string of >55 bytes        → 0xb7+len(len) ‖ len ‖ string
+//	list, payload 0–55 bytes   → 0xc0+len ‖ payload
+//	list, payload >55 bytes    → 0xf7+len(len) ‖ len ‖ payload
+package rlp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind distinguishes the two RLP value kinds.
+type Kind int
+
+// The two RLP kinds.
+const (
+	KindBytes Kind = iota
+	KindList
+)
+
+// Value is an RLP item: either a byte string or a list of Values.
+type Value struct {
+	kind Kind
+	str  []byte
+	list []Value
+}
+
+// Bytes wraps a byte string.
+func Bytes(b []byte) Value { return Value{kind: KindBytes, str: b} }
+
+// String wraps a Go string.
+func String(s string) Value { return Bytes([]byte(s)) }
+
+// Uint wraps an unsigned integer as its minimal big-endian byte string
+// (zero encodes as the empty string, per the Ethereum convention).
+func Uint(v uint64) Value {
+	if v == 0 {
+		return Bytes(nil)
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	i := 0
+	for buf[i] == 0 {
+		i++
+	}
+	return Bytes(buf[i:])
+}
+
+// List wraps a list of values.
+func List(items ...Value) Value { return Value{kind: KindList, list: items} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// Str returns the byte-string payload; nil for lists.
+func (v Value) Str() []byte { return v.str }
+
+// Items returns the list elements; nil for byte strings.
+func (v Value) Items() []Value { return v.list }
+
+// AsUint decodes a byte-string value as a big-endian unsigned integer.
+func (v Value) AsUint() (uint64, error) {
+	if v.kind != KindBytes {
+		return 0, errors.New("rlp: AsUint on list")
+	}
+	if len(v.str) > 8 {
+		return 0, fmt.Errorf("rlp: integer of %d bytes overflows uint64", len(v.str))
+	}
+	if len(v.str) > 0 && v.str[0] == 0 {
+		return 0, errors.New("rlp: integer has leading zero")
+	}
+	var out uint64
+	for _, b := range v.str {
+		out = out<<8 | uint64(b)
+	}
+	return out, nil
+}
+
+// Encode serializes v.
+func Encode(v Value) []byte {
+	return appendValue(nil, v)
+}
+
+func appendValue(dst []byte, v Value) []byte {
+	if v.kind == KindBytes {
+		return appendString(dst, v.str)
+	}
+	var payload []byte
+	for _, it := range v.list {
+		payload = appendValue(payload, it)
+	}
+	dst = appendHeader(dst, 0xc0, len(payload))
+	return append(dst, payload...)
+}
+
+func appendString(dst, s []byte) []byte {
+	if len(s) == 1 && s[0] <= 0x7f {
+		return append(dst, s[0])
+	}
+	dst = appendHeader(dst, 0x80, len(s))
+	return append(dst, s...)
+}
+
+// appendHeader writes the tag byte(s) for a payload of n bytes with the
+// given base (0x80 for strings, 0xc0 for lists).
+func appendHeader(dst []byte, base byte, n int) []byte {
+	if n <= 55 {
+		return append(dst, base+byte(n))
+	}
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(n))
+	i := 0
+	for lenBuf[i] == 0 {
+		i++
+	}
+	be := lenBuf[i:]
+	dst = append(dst, base+55+byte(len(be)))
+	return append(dst, be...)
+}
+
+// Decoding errors.
+var (
+	ErrShort     = errors.New("rlp: input too short")
+	ErrTrailing  = errors.New("rlp: trailing bytes")
+	ErrCanonical = errors.New("rlp: non-canonical encoding")
+)
+
+// Decode parses a single RLP value and requires the input to be fully
+// consumed.
+func Decode(b []byte) (Value, error) {
+	v, rest, err := decodeValue(b)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(rest) != 0 {
+		return Value{}, ErrTrailing
+	}
+	return v, nil
+}
+
+func decodeValue(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, nil, ErrShort
+	}
+	tag := b[0]
+	switch {
+	case tag <= 0x7f:
+		return Bytes(b[:1]), b[1:], nil
+
+	case tag <= 0xb7: // short string
+		n := int(tag - 0x80)
+		if len(b)-1 < n {
+			return Value{}, nil, ErrShort
+		}
+		s := b[1 : 1+n]
+		if n == 1 && s[0] <= 0x7f {
+			return Value{}, nil, fmt.Errorf("%w: single byte %#x wrapped", ErrCanonical, s[0])
+		}
+		return Bytes(s), b[1+n:], nil
+
+	case tag <= 0xbf: // long string
+		n, rest, err := decodeLongLen(b, tag-0xb7)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		if n <= 55 {
+			return Value{}, nil, fmt.Errorf("%w: long form for %d-byte string", ErrCanonical, n)
+		}
+		if len(rest) < n {
+			return Value{}, nil, ErrShort
+		}
+		return Bytes(rest[:n]), rest[n:], nil
+
+	case tag <= 0xf7: // short list
+		n := int(tag - 0xc0)
+		if len(b)-1 < n {
+			return Value{}, nil, ErrShort
+		}
+		items, err := decodeListPayload(b[1 : 1+n])
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Value{kind: KindList, list: items}, b[1+n:], nil
+
+	default: // long list
+		n, rest, err := decodeLongLen(b, tag-0xf7)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		if n <= 55 {
+			return Value{}, nil, fmt.Errorf("%w: long form for %d-byte list", ErrCanonical, n)
+		}
+		if len(rest) < n {
+			return Value{}, nil, ErrShort
+		}
+		items, err := decodeListPayload(rest[:n])
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Value{kind: KindList, list: items}, rest[n:], nil
+	}
+}
+
+// decodeLongLen reads a lenOfLen-byte big-endian payload length following
+// the tag byte.
+func decodeLongLen(b []byte, lenOfLen byte) (int, []byte, error) {
+	k := int(lenOfLen)
+	if len(b)-1 < k {
+		return 0, nil, ErrShort
+	}
+	lb := b[1 : 1+k]
+	if lb[0] == 0 {
+		return 0, nil, fmt.Errorf("%w: length has leading zero", ErrCanonical)
+	}
+	if k > 8 {
+		return 0, nil, fmt.Errorf("rlp: length of %d bytes unsupported", k)
+	}
+	var n uint64
+	for _, c := range lb {
+		n = n<<8 | uint64(c)
+	}
+	if n > uint64(len(b)) {
+		return 0, nil, ErrShort
+	}
+	return int(n), b[1+k:], nil
+}
+
+func decodeListPayload(payload []byte) ([]Value, error) {
+	var items []Value
+	for len(payload) > 0 {
+		v, rest, err := decodeValue(payload)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, v)
+		payload = rest
+	}
+	return items, nil
+}

@@ -1,0 +1,219 @@
+package rlp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Canonical vectors from the Ethereum RLP specification.
+func TestKnownVectors(t *testing.T) {
+	lorem := "Lorem ipsum dolor sit amet, consectetur adipisicing elit"
+	cases := []struct {
+		name string
+		v    Value
+		want []byte
+	}{
+		{"dog", String("dog"), []byte{0x83, 'd', 'o', 'g'}},
+		{"cat-dog list", List(String("cat"), String("dog")),
+			[]byte{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'}},
+		{"empty string", String(""), []byte{0x80}},
+		{"empty list", List(), []byte{0xc0}},
+		{"integer 0", Uint(0), []byte{0x80}},
+		{"byte 0x0f", Bytes([]byte{0x0f}), []byte{0x0f}},
+		{"bytes 0x0400", Bytes([]byte{0x04, 0x00}), []byte{0x82, 0x04, 0x00}},
+		{"set of sets", List(List(), List(List()), List(List(), List(List()))),
+			[]byte{0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0}},
+		{"56-byte string", String(lorem),
+			append([]byte{0xb8, 0x38}, lorem...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Encode(tc.v)
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("Encode = %x, want %x", got, tc.want)
+			}
+			back, err := Decode(got)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !valueEqual(back, tc.v) {
+				t.Fatalf("round trip mismatch: %#v vs %#v", back, tc.v)
+			}
+		})
+	}
+}
+
+func valueEqual(a, b Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	if a.Kind() == KindBytes {
+		return bytes.Equal(a.Str(), b.Str())
+	}
+	if len(a.Items()) != len(b.Items()) {
+		return false
+	}
+	for i := range a.Items() {
+		if !valueEqual(a.Items()[i], b.Items()[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUintEncoding(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want []byte
+	}{
+		{0, []byte{0x80}},
+		{15, []byte{0x0f}},
+		{1024, []byte{0x82, 0x04, 0x00}},
+		{0xFFFFFFFF, []byte{0x84, 0xff, 0xff, 0xff, 0xff}},
+	}
+	for _, tc := range cases {
+		if got := Encode(Uint(tc.v)); !bytes.Equal(got, tc.want) {
+			t.Errorf("Uint(%d) = %x, want %x", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestAsUintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 255, 256, 1 << 40, 1<<64 - 1} {
+		dec, err := Decode(Encode(Uint(v)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.AsUint()
+		if err != nil {
+			t.Fatalf("AsUint(%d): %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("AsUint = %d, want %d", got, v)
+		}
+	}
+}
+
+func TestAsUintRejections(t *testing.T) {
+	if _, err := List().AsUint(); err == nil {
+		t.Fatal("AsUint on list succeeded")
+	}
+	if _, err := Bytes(make([]byte, 9)).AsUint(); err == nil {
+		t.Fatal("AsUint on 9-byte string succeeded")
+	}
+	if _, err := Bytes([]byte{0, 1}).AsUint(); err == nil {
+		t.Fatal("AsUint accepted leading zero")
+	}
+}
+
+func TestLongString(t *testing.T) {
+	s := strings.Repeat("x", 1<<16)
+	enc := Encode(String(s))
+	if enc[0] != 0xb7+3 { // 65536 needs 3 length bytes
+		t.Fatalf("tag = %#x", enc[0])
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dec.Str()) != s {
+		t.Fatal("long string round trip failed")
+	}
+}
+
+func TestLongList(t *testing.T) {
+	var items []Value
+	for i := 0; i < 100; i++ {
+		items = append(items, String("element"))
+	}
+	enc := Encode(List(items...))
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Items()) != 100 {
+		t.Fatalf("decoded %d items", len(dec.Items()))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrShort},
+		{"truncated string", []byte{0x83, 'd', 'o'}, ErrShort},
+		{"truncated long len", []byte{0xb8}, ErrShort},
+		{"trailing bytes", []byte{0x80, 0x00}, ErrTrailing},
+		{"wrapped single byte", []byte{0x81, 0x05}, ErrCanonical},
+		{"long form short string", append([]byte{0xb8, 0x01}, 0xff), ErrCanonical},
+		{"length leading zero", []byte{0xb9, 0x00, 0x38}, ErrCanonical},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.in); !errors.Is(err, tc.want) {
+				t.Fatalf("Decode(%x) = %v, want %v", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNestedListRoundTrip(t *testing.T) {
+	tx := List(
+		Uint(42),                           // nonce
+		Uint(20_000_000_000),               // gas price
+		Uint(21000),                        // gas
+		Bytes(bytes.Repeat([]byte{7}, 20)), // to
+		Uint(1_000_000),                    // value
+		Bytes([]byte("calldata")),
+	)
+	dec, err := Decode(Encode(tx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valueEqual(dec, tx) {
+		t.Fatal("transaction round trip failed")
+	}
+	nonce, err := dec.Items()[0].AsUint()
+	if err != nil || nonce != 42 {
+		t.Fatalf("nonce = %d, %v", nonce, err)
+	}
+}
+
+func randomValue(rng *rand.Rand, depth int) Value {
+	if depth == 0 || rng.Intn(2) == 0 {
+		b := make([]byte, rng.Intn(80))
+		rng.Read(b)
+		return Bytes(b)
+	}
+	n := rng.Intn(5)
+	items := make([]Value, n)
+	for i := range items {
+		items[i] = randomValue(rng, depth-1)
+	}
+	return List(items...)
+}
+
+func TestRandomRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomValue(rng, 4)
+		dec, err := Decode(Encode(v))
+		return err == nil && valueEqual(dec, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	v := List(Uint(7), String("abc"), List(Uint(1)))
+	if !bytes.Equal(Encode(v), Encode(v)) {
+		t.Fatal("Encode nondeterministic")
+	}
+}

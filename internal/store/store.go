@@ -1,0 +1,127 @@
+// Package store provides the content-addressed node storage shared by every
+// index structure in this repository. Nodes are immutable byte strings keyed
+// by the SHA-256 digest of their contents, which makes copy-on-write,
+// page-level deduplication and tamper evidence natural: writing the same
+// node twice stores it once, and any mutation produces a new key.
+//
+// The in-memory implementation keeps byte- and node-level accounting so the
+// storage experiments (Figures 1 and 14–18 of the paper) can report both the
+// deduplicated footprint (unique bytes) and the raw footprint (all bytes
+// ever written, as if every version were stored separately).
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hash"
+)
+
+// Store is a content-addressed node store. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Put stores data under its SHA-256 digest and returns the digest.
+	// Storing identical content twice is a deduplicated no-op.
+	Put(data []byte) hash.Hash
+	// Get returns the content stored under h. The returned slice must not
+	// be modified by the caller.
+	Get(h hash.Hash) ([]byte, bool)
+	// Has reports whether h is present without fetching the content.
+	Has(h hash.Hash) bool
+	// Stats returns a snapshot of the accounting counters.
+	Stats() Stats
+}
+
+// Stats captures store accounting. RawBytes/RawNodes count every Put as if
+// nothing were shared (the paper's "Raw" storage series); UniqueBytes and
+// UniqueNodes count the deduplicated footprint.
+type Stats struct {
+	UniqueNodes int64 // distinct nodes resident
+	UniqueBytes int64 // bytes of distinct nodes resident
+	RawNodes    int64 // total Put calls, duplicates included
+	RawBytes    int64 // total bytes passed to Put, duplicates included
+	DedupHits   int64 // Put calls that found existing content
+	Gets        int64 // Get calls served
+	Misses      int64 // Get calls that found nothing
+}
+
+// String renders the counters in a compact single line for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("unique=%d nodes/%d B raw=%d nodes/%d B dedupHits=%d gets=%d misses=%d",
+		s.UniqueNodes, s.UniqueBytes, s.RawNodes, s.RawBytes, s.DedupHits, s.Gets, s.Misses)
+}
+
+// MemStore is an in-memory Store. The zero value is not usable; call
+// NewMemStore.
+type MemStore struct {
+	mu    sync.RWMutex
+	nodes map[hash.Hash][]byte
+	stats Stats
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{nodes: make(map[hash.Hash][]byte)}
+}
+
+// Put implements Store. The data is copied, so callers may reuse their
+// buffer.
+func (m *MemStore) Put(data []byte) hash.Hash {
+	h := hash.Of(data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.RawNodes++
+	m.stats.RawBytes += int64(len(data))
+	if _, ok := m.nodes[h]; ok {
+		m.stats.DedupHits++
+		return h
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.nodes[h] = cp
+	m.stats.UniqueNodes++
+	m.stats.UniqueBytes += int64(len(data))
+	return h
+}
+
+// Get implements Store.
+func (m *MemStore) Get(h hash.Hash) ([]byte, bool) {
+	m.mu.Lock()
+	m.stats.Gets++
+	data, ok := m.nodes[h]
+	if !ok {
+		m.stats.Misses++
+	}
+	m.mu.Unlock()
+	return data, ok
+}
+
+// Has implements Store.
+func (m *MemStore) Has(h hash.Hash) bool {
+	m.mu.RLock()
+	_, ok := m.nodes[h]
+	m.mu.RUnlock()
+	return ok
+}
+
+// Stats implements Store.
+func (m *MemStore) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// Len returns the number of distinct nodes resident.
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.nodes)
+}
+
+// SizeOf returns the stored size of h in bytes, or 0 if absent. Used by the
+// deduplication-ratio metric, which needs per-node byte sizes.
+func (m *MemStore) SizeOf(h hash.Hash) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.nodes[h])
+}

@@ -1,0 +1,202 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	data := []byte("node contents")
+	h := s.Put(data)
+	if h != hash.Of(data) {
+		t.Fatalf("Put returned %v, want content digest", h)
+	}
+	got, ok := s.Get(h)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if !s.Has(h) {
+		t.Fatal("Has = false after Put")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewMemStore()
+	if _, ok := s.Get(hash.Of([]byte("absent"))); ok {
+		t.Fatal("Get on empty store returned ok")
+	}
+	if s.Stats().Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", s.Stats().Misses)
+	}
+}
+
+func TestPutIsDeduplicated(t *testing.T) {
+	s := NewMemStore()
+	data := []byte("same node")
+	h1 := s.Put(data)
+	h2 := s.Put(data)
+	if h1 != h2 {
+		t.Fatal("identical content produced different hashes")
+	}
+	st := s.Stats()
+	if st.UniqueNodes != 1 || st.RawNodes != 2 || st.DedupHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.UniqueBytes != int64(len(data)) || st.RawBytes != 2*int64(len(data)) {
+		t.Fatalf("byte accounting = %+v", st)
+	}
+}
+
+func TestPutCopiesCallerBuffer(t *testing.T) {
+	s := NewMemStore()
+	buf := []byte("mutate me")
+	h := s.Put(buf)
+	buf[0] = 'X'
+	got, _ := s.Get(h)
+	if got[0] == 'X' {
+		t.Fatal("store aliases caller buffer")
+	}
+}
+
+func TestSizeOfAndLen(t *testing.T) {
+	s := NewMemStore()
+	h := s.Put([]byte("12345"))
+	if s.SizeOf(h) != 5 {
+		t.Fatalf("SizeOf = %d", s.SizeOf(h))
+	}
+	if s.SizeOf(hash.Of([]byte("other"))) != 0 {
+		t.Fatal("SizeOf(absent) != 0")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := NewMemStore()
+	s.Put([]byte("x"))
+	if s.Stats().String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := NewMemStore()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				data := []byte(fmt.Sprintf("w%d-i%d", w%4, i)) // overlap across workers
+				h := s.Put(data)
+				if got, ok := s.Get(h); !ok || !bytes.Equal(got, data) {
+					t.Errorf("Get after Put failed for %q", data)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 4*perWorker {
+		t.Fatalf("Len = %d, want %d", s.Len(), 4*perWorker)
+	}
+}
+
+func TestUniqueBytesNeverExceedsRawProperty(t *testing.T) {
+	f := func(blobs [][]byte) bool {
+		s := NewMemStore()
+		for _, b := range blobs {
+			s.Put(b)
+		}
+		st := s.Stats()
+		return st.UniqueBytes <= st.RawBytes && st.UniqueNodes <= st.RawNodes &&
+			st.DedupHits == st.RawNodes-st.UniqueNodes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedStoreServesFromCache(t *testing.T) {
+	back := NewMemStore()
+	c := NewCachedStore(back, 1<<20)
+	h := c.Put([]byte("hot node"))
+
+	before := back.Stats().Gets
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Get(h); !ok {
+			t.Fatal("cached Get failed")
+		}
+	}
+	if got := back.Stats().Gets - before; got != 0 {
+		t.Fatalf("backing Gets = %d, want 0 (all cached)", got)
+	}
+	hits, misses := c.CacheStats()
+	if hits != 5 || misses != 0 {
+		t.Fatalf("cache hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCachedStoreFallsBackToBacking(t *testing.T) {
+	back := NewMemStore()
+	h := back.Put([]byte("only in backing"))
+	c := NewCachedStore(back, 1<<20)
+	got, ok := c.Get(h)
+	if !ok || string(got) != "only in backing" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Second read must now be cached.
+	before := back.Stats().Gets
+	c.Get(h)
+	if back.Stats().Gets != before {
+		t.Fatal("second Get hit backing store")
+	}
+}
+
+func TestCachedStoreEvicts(t *testing.T) {
+	back := NewMemStore()
+	c := NewCachedStore(back, 64) // tiny budget
+	var hs []hash.Hash
+	for i := 0; i < 10; i++ {
+		hs = append(hs, c.Put(bytes.Repeat([]byte{byte(i)}, 32)))
+	}
+	// Early nodes must have been evicted; reads go to backing.
+	before := back.Stats().Gets
+	c.Get(hs[0])
+	if back.Stats().Gets == before {
+		t.Fatal("expected eviction to force backing read")
+	}
+}
+
+func TestCachedStoreZeroBudgetDisablesCaching(t *testing.T) {
+	back := NewMemStore()
+	c := NewCachedStore(back, 0)
+	h := c.Put([]byte("uncached"))
+	before := back.Stats().Gets
+	c.Get(h)
+	c.Get(h)
+	if back.Stats().Gets-before != 2 {
+		t.Fatal("zero-budget cache served a hit")
+	}
+}
+
+func TestCachedStoreHas(t *testing.T) {
+	back := NewMemStore()
+	c := NewCachedStore(back, 1<<20)
+	h := back.Put([]byte("backing only"))
+	if !c.Has(h) {
+		t.Fatal("Has should consult backing")
+	}
+	h2 := c.Put([]byte("both"))
+	if !c.Has(h2) {
+		t.Fatal("Has should find cached node")
+	}
+}

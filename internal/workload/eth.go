@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/rlp"
+)
+
+// EthConfig parameterizes the Ethereum-shaped workload of §5.1.3: blocks of
+// RLP-encoded transactions keyed by the 64-byte hex transaction hash, one
+// index per block, versions at block granularity.
+type EthConfig struct {
+	// Blocks is the number of blocks to generate.
+	Blocks int
+	// TxPerBlock is the average number of transactions per block
+	// (mainnet blocks in the paper's range carry ~100–200).
+	TxPerBlock int
+	// Seed makes the chain reproducible.
+	Seed int64
+}
+
+// DefaultEth returns a laptop-scaled version of the paper's block range.
+func DefaultEth() EthConfig { return EthConfig{Blocks: 300, TxPerBlock: 150, Seed: 11} }
+
+// Ethereum generates synthetic blocks.
+type Ethereum struct {
+	cfg EthConfig
+}
+
+// NewEthereum returns a generator for cfg.
+func NewEthereum(cfg EthConfig) *Ethereum { return &Ethereum{cfg: cfg} }
+
+// Block is one block's worth of transactions: the per-block version unit.
+type Block struct {
+	Number uint64
+	Txs    []core.Entry
+}
+
+// transaction synthesizes one RLP-encoded transaction. The paper reports
+// raw transactions of 100–57738 bytes with an average of 532; we match the
+// shape with a majority of small value transfers and a long tail of
+// contract calls with large calldata (capped at 8KB to stay laptop-sized —
+// see DESIGN.md §4).
+func (e *Ethereum) transaction(rng *rand.Rand, nonce uint64) []byte {
+	to := make([]byte, 20)
+	rng.Read(to)
+	var data []byte
+	switch {
+	case rng.Float64() < 0.55: // plain transfer: no calldata
+	case rng.Float64() < 0.8: // token transfer-ish: ~68–260 bytes
+		data = make([]byte, 68+rng.Intn(192))
+		rng.Read(data)
+	default: // contract interaction: exponential tail
+		n := 256 + int(rng.ExpFloat64()*1200)
+		if n > 8192 {
+			n = 8192
+		}
+		data = make([]byte, n)
+		rng.Read(data)
+	}
+	sig := make([]byte, 64)
+	rng.Read(sig)
+	tx := rlp.List(
+		rlp.Uint(nonce),
+		rlp.Uint(1_000_000_000+uint64(rng.Intn(100_000_000_000))), // gas price
+		rlp.Uint(21000+uint64(rng.Intn(2_000_000))),               // gas limit
+		rlp.Bytes(to),
+		rlp.Uint(uint64(rng.Int63())), // value in wei
+		rlp.Bytes(data),
+		rlp.Uint(uint64(27+rng.Intn(2))), // v
+		rlp.Bytes(sig[:32]),              // r
+		rlp.Bytes(sig[32:]),              // s
+	)
+	return rlp.Encode(tx)
+}
+
+// BlockAt generates block n. Keys are the 64-character hex encodings of the
+// transaction hashes, matching the paper's 64-byte keys.
+func (e *Ethereum) BlockAt(n int) Block {
+	rng := rand.New(rand.NewSource(e.cfg.Seed + int64(n)*6700417))
+	count := e.cfg.TxPerBlock/2 + rng.Intn(e.cfg.TxPerBlock) // avg ≈ TxPerBlock
+	b := Block{Number: uint64(8_900_000 + n)}
+	for i := 0; i < count; i++ {
+		raw := e.transaction(rng, uint64(i))
+		sum := sha256.Sum256(raw)
+		key := make([]byte, 64)
+		hex.Encode(key, sum[:])
+		b.Txs = append(b.Txs, core.Entry{Key: key, Value: raw})
+	}
+	return b
+}
+
+// Config returns the generator's configuration.
+func (e *Ethereum) Config() EthConfig { return e.cfg }

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// WikiConfig parameterizes the Wikipedia-shaped dataset of §5.1.2: keys are
+// page URLs (31–298 bytes, average ≈50), values are plain-text abstracts
+// (1–1036 bytes, average ≈96), and the corpus evolves over a sequence of
+// versions, each updating a slice of pages.
+type WikiConfig struct {
+	// Pages is the number of distinct pages.
+	Pages int
+	// Versions is the number of dataset versions (the paper divides three
+	// months of dumps into 300).
+	Versions int
+	// UpdatesPerVersion is how many pages change per version.
+	UpdatesPerVersion int
+	// Seed makes the corpus reproducible.
+	Seed int64
+}
+
+// DefaultWiki returns a laptop-scaled version of the paper's setup.
+func DefaultWiki() WikiConfig {
+	return WikiConfig{Pages: 20000, Versions: 300, UpdatesPerVersion: 200, Seed: 7}
+}
+
+// Wiki generates the corpus.
+type Wiki struct {
+	cfg WikiConfig
+}
+
+// NewWiki returns a generator for cfg.
+func NewWiki(cfg WikiConfig) *Wiki { return &Wiki{cfg: cfg} }
+
+const wikiPrefix = "https://en.wikipedia.org/wiki/"
+
+// syllables compose pronounceable pseudo-titles.
+var syllables = []string{
+	"an", "ber", "cor", "dal", "eth", "fin", "gor", "hal", "ing", "jor",
+	"kan", "lor", "mer", "nor", "oth", "pra", "qui", "ran", "sol", "tur",
+	"umb", "ver", "wal", "xen", "yor", "zan",
+}
+
+var abstractWords = []string{
+	"the", "of", "and", "a", "in", "is", "was", "to", "for", "with",
+	"city", "river", "species", "album", "football", "village", "politician",
+	"historic", "province", "genus", "battle", "railway", "novel", "church",
+	"district", "mountain", "university", "company", "island", "dynasty",
+}
+
+// Key returns the URL key of page i. Title lengths are drawn so keys span
+// 31–298 bytes with an average near 50. Key generation uses a splitmix64
+// stream: it sits on the hot path of the throughput experiments.
+func (w *Wiki) Key(i int) []byte {
+	st := splitmix64(uint64(i) ^ uint64(w.cfg.Seed)*0x9E3779B97F4A7C15)
+	next := func() uint64 { st = splitmix64(st); return st }
+	var sb strings.Builder
+	sb.WriteString(wikiPrefix)
+	// Title: mostly short (2–5 syllables), occasionally very long, always
+	// suffixed with the page id for uniqueness.
+	n := 2 + int(next()%4)
+	if next()%50 == 0 { // rare long titles stretch toward 298 bytes
+		n = 20 + int(next()%60)
+	}
+	for j := 0; j < n; j++ {
+		if j > 0 && next()%10 < 3 {
+			sb.WriteByte('_')
+		}
+		sb.WriteString(syllables[next()%uint64(len(syllables))])
+	}
+	sb.WriteByte('_')
+	sb.WriteString(strings.ToUpper(strings.TrimLeft(string(rune('A'+i%26)), "")))
+	sb.WriteString(intToTitle(i))
+	return []byte(sb.String())
+}
+
+// intToTitle renders i in a compact alphabetic form.
+func intToTitle(i int) string {
+	if i == 0 {
+		return "A"
+	}
+	var sb []byte
+	for i > 0 {
+		sb = append(sb, byte('A'+i%26))
+		i /= 26
+	}
+	return string(sb)
+}
+
+// Value returns the abstract of page i at version v. Lengths are drawn from
+// a skewed (exponential) distribution over 1–1036 bytes averaging ≈96.
+func (w *Wiki) Value(i, v int) []byte {
+	st := splitmix64(uint64(i)*31 + uint64(v)*0x9E3779B97F4A7C15 ^ uint64(w.cfg.Seed))
+	next := func() uint64 { st = splitmix64(st); return st }
+	u := (float64(next()>>11) + 0.5) / (1 << 53)
+	n := 1 + int(-math.Log(u)*90)
+	if n > 1036 {
+		n = 1036
+	}
+	var sb strings.Builder
+	for sb.Len() < n {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(abstractWords[next()%uint64(len(abstractWords))])
+	}
+	out := sb.String()
+	if len(out) > n {
+		out = out[:n]
+	}
+	return []byte(out)
+}
+
+// Dataset returns version 0 of the corpus.
+func (w *Wiki) Dataset() []core.Entry {
+	out := make([]core.Entry, w.cfg.Pages)
+	for i := range out {
+		out[i] = core.Entry{Key: w.Key(i), Value: w.Value(i, 0)}
+	}
+	return out
+}
+
+// VersionUpdates returns the page updates that produce version v (v ≥ 1)
+// from version v−1.
+func (w *Wiki) VersionUpdates(v int) []core.Entry {
+	rng := rand.New(rand.NewSource(w.cfg.Seed + int64(v)*104729))
+	out := make([]core.Entry, w.cfg.UpdatesPerVersion)
+	for j := range out {
+		page := rng.Intn(w.cfg.Pages)
+		out[j] = core.Entry{Key: w.Key(page), Value: w.Value(page, v)}
+	}
+	return out
+}
+
+// Config returns the generator's configuration.
+func (w *Wiki) Config() WikiConfig { return w.cfg }

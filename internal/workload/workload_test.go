@@ -1,0 +1,318 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rlp"
+)
+
+// --- Zipfian ---
+
+func TestZipfianBounds(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 0.9} {
+		z := NewZipfian(1000, theta, 42)
+		for i := 0; i < 10000; i++ {
+			v := z.Next()
+			if v >= 1000 {
+				t.Fatalf("θ=%v: rank %d out of range", theta, v)
+			}
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	// With θ=0.9 the most popular rank must dominate; with θ=0 the
+	// distribution must be roughly flat.
+	counts := func(theta float64) []int {
+		z := NewZipfian(100, theta, 7)
+		c := make([]int, 100)
+		for i := 0; i < 100000; i++ {
+			c[z.Next()]++
+		}
+		return c
+	}
+	flat := counts(0)
+	skew := counts(0.9)
+	if skew[0] < 5*flat[0] {
+		t.Fatalf("rank 0: skewed %d vs flat %d — not skewed enough", skew[0], flat[0])
+	}
+	// Uniform: min and max counts within 3x of each other.
+	min, max := flat[0], flat[0]
+	for _, c := range flat {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max > 3*min {
+		t.Fatalf("uniform counts spread too wide: %d..%d", min, max)
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a, b := NewZipfian(500, 0.5, 9), NewZipfian(500, 0.5, 9)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfianPanicsOnZeroItems(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipfian(0, 0.5, 1)
+}
+
+// --- YCSB ---
+
+func TestYCSBKeyProperties(t *testing.T) {
+	y := NewYCSB(YCSBConfig{Records: 50000, Seed: 1})
+	seen := map[string]bool{}
+	for i := 0; i < 50000; i++ {
+		k := y.Key(i)
+		if len(k) < 5 || len(k) > 15 {
+			t.Fatalf("key %q has length %d, want 5..15", k, len(k))
+		}
+		if seen[string(k)] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[string(k)] = true
+	}
+}
+
+func TestYCSBValueLengths(t *testing.T) {
+	y := NewYCSB(DefaultYCSB())
+	total := 0
+	for i := 0; i < 1000; i++ {
+		v := y.Value(i, 0)
+		if len(v) < 128 || len(v) > 384 {
+			t.Fatalf("value length %d outside [128,384]", len(v))
+		}
+		total += len(v)
+	}
+	avg := total / 1000
+	if avg < 230 || avg > 280 {
+		t.Fatalf("average value length %d, want ≈256", avg)
+	}
+}
+
+func TestYCSBValueChangesAcrossVersions(t *testing.T) {
+	y := NewYCSB(DefaultYCSB())
+	if bytes.Equal(y.Value(1, 0), y.Value(1, 1)) {
+		t.Fatal("versions produce identical values")
+	}
+	if !bytes.Equal(y.Value(1, 0), y.Value(1, 0)) {
+		t.Fatal("same version not deterministic")
+	}
+}
+
+func TestYCSBDataset(t *testing.T) {
+	cfg := DefaultYCSB()
+	cfg.Records = 500
+	ds := NewYCSB(cfg).Dataset()
+	if len(ds) != 500 {
+		t.Fatalf("dataset size %d", len(ds))
+	}
+}
+
+func TestYCSBOpsWriteRatio(t *testing.T) {
+	for _, ratio := range []float64{0, 0.5, 1} {
+		cfg := DefaultYCSB()
+		cfg.WriteRatio = ratio
+		ops := NewYCSB(cfg).Ops(10000)
+		writes := 0
+		for _, op := range ops {
+			if op.Write {
+				writes++
+				if op.Entry.Value == nil {
+					t.Fatal("write op without value")
+				}
+			}
+		}
+		got := float64(writes) / 10000
+		if got < ratio-0.03 || got > ratio+0.03 {
+			t.Fatalf("write ratio %v, want %v", got, ratio)
+		}
+	}
+}
+
+func TestOverlapWorkloadSharing(t *testing.T) {
+	y := NewYCSB(YCSBConfig{Records: 10000, Seed: 3})
+	const parties, ops = 4, 1000
+	for _, ratio := range []float64{0.1, 0.5, 1.0} {
+		ws := OverlapWorkload(y, parties, ops, ratio, 77)
+		if len(ws) != parties {
+			t.Fatalf("parties = %d", len(ws))
+		}
+		// Count entries identical across the first two parties.
+		set := map[string]bool{}
+		for _, e := range ws[0] {
+			set[string(e.Key)+"\x00"+string(e.Value)] = true
+		}
+		shared := 0
+		for _, e := range ws[1] {
+			if set[string(e.Key)+"\x00"+string(e.Value)] {
+				shared++
+			}
+		}
+		want := int(float64(ops) * ratio)
+		if shared < want-ops/20 {
+			t.Fatalf("ratio %v: shared %d, want ≥ %d", ratio, shared, want)
+		}
+	}
+}
+
+// --- Wiki ---
+
+func TestWikiKeyShape(t *testing.T) {
+	w := NewWiki(WikiConfig{Pages: 5000, Seed: 5})
+	total, max := 0, 0
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		k := string(w.Key(i))
+		if len(k) < 31 || len(k) > 298 {
+			t.Fatalf("key length %d outside [31,298]: %q", len(k), k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate wiki key %q", k)
+		}
+		seen[k] = true
+		total += len(k)
+		if len(k) > max {
+			max = len(k)
+		}
+	}
+	avg := total / 5000
+	if avg < 38 || avg > 70 {
+		t.Fatalf("average key length %d, want ≈50", avg)
+	}
+	if max < 80 {
+		t.Fatalf("max key length %d; long-tail titles missing", max)
+	}
+}
+
+func TestWikiValueShape(t *testing.T) {
+	w := NewWiki(WikiConfig{Pages: 100, Seed: 5})
+	total := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		v := w.Value(i%100, i/100)
+		if len(v) < 1 || len(v) > 1036 {
+			t.Fatalf("value length %d outside [1,1036]", len(v))
+		}
+		total += len(v)
+	}
+	avg := total / n
+	if avg < 60 || avg > 140 {
+		t.Fatalf("average value length %d, want ≈96", avg)
+	}
+}
+
+func TestWikiVersionUpdates(t *testing.T) {
+	cfg := WikiConfig{Pages: 1000, Versions: 10, UpdatesPerVersion: 50, Seed: 5}
+	w := NewWiki(cfg)
+	u1 := w.VersionUpdates(1)
+	u2 := w.VersionUpdates(2)
+	if len(u1) != 50 || len(u2) != 50 {
+		t.Fatalf("update sizes %d, %d", len(u1), len(u2))
+	}
+	if bytes.Equal(u1[0].Key, u2[0].Key) && bytes.Equal(u1[0].Value, u2[0].Value) {
+		t.Fatal("distinct versions produced identical first updates")
+	}
+	// Deterministic.
+	again := w.VersionUpdates(1)
+	if !bytes.Equal(u1[0].Key, again[0].Key) {
+		t.Fatal("VersionUpdates not deterministic")
+	}
+}
+
+// --- Ethereum ---
+
+func TestEthereumBlockShape(t *testing.T) {
+	e := NewEthereum(EthConfig{Blocks: 10, TxPerBlock: 100, Seed: 11})
+	total, count := 0, 0
+	for n := 0; n < 10; n++ {
+		b := e.BlockAt(n)
+		if b.Number != uint64(8_900_000+n) {
+			t.Fatalf("block number %d", b.Number)
+		}
+		if len(b.Txs) < 50 || len(b.Txs) > 150 {
+			t.Fatalf("block %d has %d txs", n, len(b.Txs))
+		}
+		for _, tx := range b.Txs {
+			if len(tx.Key) != 64 {
+				t.Fatalf("tx key length %d, want 64", len(tx.Key))
+			}
+			if len(tx.Value) < 100 {
+				t.Fatalf("tx of %d bytes, below the 100-byte minimum", len(tx.Value))
+			}
+			total += len(tx.Value)
+			count++
+		}
+	}
+	avg := total / count
+	if avg < 250 || avg > 1000 {
+		t.Fatalf("average tx size %d, want ≈532", avg)
+	}
+}
+
+func TestEthereumTxsAreValidRLP(t *testing.T) {
+	e := NewEthereum(DefaultEth())
+	b := e.BlockAt(0)
+	for _, tx := range b.Txs[:10] {
+		v, err := rlp.Decode(tx.Value)
+		if err != nil {
+			t.Fatalf("tx does not decode: %v", err)
+		}
+		if v.Kind() != rlp.KindList || len(v.Items()) != 9 {
+			t.Fatalf("tx shape: kind=%v items=%d", v.Kind(), len(v.Items()))
+		}
+		nonce, err := v.Items()[0].AsUint()
+		if err != nil {
+			t.Fatalf("nonce: %v", err)
+		}
+		_ = nonce
+	}
+}
+
+func TestEthereumDeterministic(t *testing.T) {
+	e := NewEthereum(DefaultEth())
+	a, b := e.BlockAt(5), e.BlockAt(5)
+	if len(a.Txs) != len(b.Txs) || !bytes.Equal(a.Txs[0].Value, b.Txs[0].Value) {
+		t.Fatal("BlockAt not deterministic")
+	}
+}
+
+func TestKeysUniqueWithinBlockProperty(t *testing.T) {
+	e := NewEthereum(DefaultEth())
+	f := func(n uint8) bool {
+		b := e.BlockAt(int(n))
+		seen := map[string]bool{}
+		for _, tx := range b.Txs {
+			if seen[string(tx.Key)] {
+				return false
+			}
+			seen[string(tx.Key)] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYCSBConfigString(t *testing.T) {
+	s := DefaultYCSB().String()
+	if s != fmt.Sprintf("ycsb(n=%d θ=0.0 w=0.0)", 10000) {
+		t.Fatalf("String = %q", s)
+	}
+}

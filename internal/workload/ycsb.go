@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// YCSBConfig parameterizes the synthetic key-value workload of §5.1.1:
+// keys of 5–15 bytes, values averaging 256 bytes, record counts from 10⁴ to
+// 2.56·10⁶, and read/write/mixed operation mixes under Zipfian skew.
+type YCSBConfig struct {
+	// Records is the number of initially loaded records.
+	Records int
+	// Theta is the Zipfian parameter (0 = uniform; the paper uses 0, 0.5
+	// and 0.9).
+	Theta float64
+	// WriteRatio is the fraction of write operations in a workload
+	// (0, 0.5 or 1 in the paper).
+	WriteRatio float64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// DefaultYCSB matches the paper's default scale knobs.
+func DefaultYCSB() YCSBConfig {
+	return YCSBConfig{Records: 10000, Theta: 0, WriteRatio: 0, Seed: 1}
+}
+
+// YCSB generates datasets and operation streams.
+type YCSB struct {
+	cfg YCSBConfig
+}
+
+// NewYCSB returns a generator for cfg.
+func NewYCSB(cfg YCSBConfig) *YCSB { return &YCSB{cfg: cfg} }
+
+// splitmix64 scrambles ids into stable pseudo-random words.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Key renders record id i as a unique key of 5–15 bytes: a base-36 id
+// (lowercase) padded with uppercase letters, so the id/padding boundary is
+// unambiguous and distinct ids can never render to the same key.
+func (y *YCSB) Key(i int) []byte {
+	s := "u" + strconv.FormatUint(uint64(i), 36)
+	target := 5 + int(splitmix64(uint64(i)+uint64(y.cfg.Seed))%11)
+	for len(s) < target {
+		s += string(rune('A' + splitmix64(uint64(i)*31+uint64(len(s)))%26))
+	}
+	return []byte(s)
+}
+
+// Value produces a pseudo-random value for record i at write version v.
+// Lengths are uniform in [128, 384] (mean 256, the paper's average). The
+// filler is a splitmix64 stream rather than math/rand: value generation sits
+// on the hot path of every experiment, and seeding a rand.Rand per value
+// would dominate the measurements.
+func (y *YCSB) Value(i int, version int) []byte {
+	st := splitmix64(uint64(i)*2654435761 ^ uint64(version)*0x9E3779B97F4A7C15 ^ uint64(y.cfg.Seed))
+	n := 128 + int(st%257)
+	out := make([]byte, n)
+	x := st
+	for j := 0; j < n; j += 8 {
+		x = splitmix64(x)
+		for k := 0; k < 8 && j+k < n; k++ {
+			out[j+k] = byte(x >> (8 * k))
+		}
+	}
+	return out
+}
+
+// Dataset returns the initial Records entries.
+func (y *YCSB) Dataset() []core.Entry {
+	out := make([]core.Entry, y.cfg.Records)
+	for i := range out {
+		out[i] = core.Entry{Key: y.Key(i), Value: y.Value(i, 0)}
+	}
+	return out
+}
+
+// Op is one workload operation.
+type Op struct {
+	Write bool
+	Entry core.Entry
+}
+
+// Ops returns an n-operation stream over the dataset's key space with the
+// configured write ratio and skew. Written values embed the op index, so
+// writes genuinely change records.
+func (y *YCSB) Ops(n int) []Op {
+	z := NewZipfian(uint64(y.cfg.Records), y.cfg.Theta, y.cfg.Seed+1000)
+	rng := rand.New(rand.NewSource(y.cfg.Seed + 2000))
+	out := make([]Op, n)
+	for i := range out {
+		id := int(z.Next())
+		write := rng.Float64() < y.cfg.WriteRatio
+		op := Op{Write: write, Entry: core.Entry{Key: y.Key(id)}}
+		if write {
+			op.Entry.Value = y.Value(id, i+1)
+		}
+		out[i] = op
+	}
+	return out
+}
+
+// OverlapWorkload produces the diverse-group collaboration inputs of §5.4.2:
+// parties all start from the same base dataset and then each executes ops
+// operations, of which ratio·ops are drawn from a shared pool (same key and
+// value across parties) and the rest are party-private.
+func OverlapWorkload(y *YCSB, parties, ops int, ratio float64, seed int64) [][]core.Entry {
+	shared := int(float64(ops) * ratio)
+	sharedPool := make([]core.Entry, shared)
+	z := NewZipfian(uint64(y.cfg.Records), y.cfg.Theta, seed)
+	for i := range sharedPool {
+		id := int(z.Next())
+		sharedPool[i] = core.Entry{Key: y.Key(id), Value: y.Value(id, 1_000_000+i)}
+	}
+	out := make([][]core.Entry, parties)
+	for p := 0; p < parties; p++ {
+		w := make([]core.Entry, 0, ops)
+		w = append(w, sharedPool...)
+		zp := NewZipfian(uint64(y.cfg.Records), y.cfg.Theta, seed+int64(p)*7919+1)
+		for i := shared; i < ops; i++ {
+			id := int(zp.Next())
+			// Private writes use party-salted values so they never
+			// collide across parties.
+			e := core.Entry{
+				Key:   y.Key(id),
+				Value: y.Value(id, 2_000_000+p*ops+i),
+			}
+			w = append(w, e)
+		}
+		// Each party interleaves shared and private work in its own
+		// order. Structurally invariant indexes still converge to
+		// identical pages for the shared content; history-dependent
+		// structures (the baseline) do not — the contrast §5.4.2
+		// measures.
+		rng := rand.New(rand.NewSource(seed + int64(p)*104729 + 13))
+		rng.Shuffle(len(w), func(i, j int) { w[i], w[j] = w[j], w[i] })
+		out[p] = w
+	}
+	return out
+}
+
+// String renders the config for experiment labels.
+func (c YCSBConfig) String() string {
+	return fmt.Sprintf("ycsb(n=%d θ=%.1f w=%.1f)", c.Records, c.Theta, c.WriteRatio)
+}
