@@ -3,29 +3,45 @@
 //
 // Usage:
 //
-//	siribench [-scale small|medium|full] [experiment ...]
+//	siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]
 //	siribench -list
 //
 // With no experiment arguments every experiment runs in paper order. Output
 // is a text table per figure/subfigure with the same rows and series the
 // paper plots.
+//
+// Every experiment can run against each node-store backend: -store selects
+// it (in-memory single-lock, in-memory sharded, or append-only segment
+// files on disk), -shards and -storedir tune the latter two, and -cache
+// layers a bounded LRU node cache over whichever backend is active.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/store"
 )
 
 func main() {
 	scaleName := flag.String("scale", "medium", "experiment scale: small, medium or full")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	storeName := flag.String("store", store.BackendMem,
+		"node store backend: "+strings.Join(store.Backends(), ", "))
+	shards := flag.Int("shards", 0, "shard count for -store=sharded (0 = default)")
+	storeDir := flag.String("storedir", "", "base directory for -store=disk segment files (default: OS temp dir)")
+	cacheBytes := flag.Int64("cache", 0, "LRU node-cache bytes layered over the store backend (0 = no cache)")
+	clientCache := flag.Int64("clientcache", 0,
+		"forkbase client node-cache bytes for the system experiments (0 = paper default 64 MiB, negative = disabled)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: siribench [-scale small|medium|full] [experiment ...]\n\n")
-		fmt.Fprintf(os.Stderr, "experiments (default: all):\n")
+		fmt.Fprintf(os.Stderr, "usage: siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "flags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nexperiments (default: all):\n")
 		for _, e := range bench.Experiments() {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.Name, e.Desc)
 		}
@@ -44,6 +60,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	scale.Store = bench.StoreConfig{
+		Backend:    *storeName,
+		Shards:     *shards,
+		Dir:        *storeDir,
+		CacheBytes: *cacheBytes,
+	}
+	scale.ClientCacheBytes = *clientCache
+	// Reject unknown backends before hours of experiments start.
+	if probe, err := scale.NewStore(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	} else {
+		store.Release(probe)
+	}
 
 	var experiments []bench.Experiment
 	if flag.NArg() == 0 {
@@ -59,7 +89,11 @@ func main() {
 		}
 	}
 
-	fmt.Printf("siribench: scale=%s, %d experiment(s)\n\n", scale.Name, len(experiments))
+	storeDesc := *storeName
+	if *cacheBytes > 0 {
+		storeDesc += fmt.Sprintf("+%dB cache", *cacheBytes)
+	}
+	fmt.Printf("siribench: scale=%s, store=%s, %d experiment(s)\n\n", scale.Name, storeDesc, len(experiments))
 	for _, e := range experiments {
 		start := time.Now()
 		tables, err := e.Run(scale)

@@ -4,5 +4,8 @@
 // Pattern-Oriented-Split Tree — plus the MVMB+-Tree baseline, a Prolly Tree,
 // a Forkbase-style client/server engine, the paper's workload generators,
 // and a benchmark harness regenerating every table and figure of the
-// evaluation. See README.md for a tour and DESIGN.md for the system map.
+// evaluation. Node storage is pluggable: in-memory (single-lock or
+// sharded) and append-only on-disk backends share one content-addressed
+// store contract, selectable per experiment via siribench's -store flag.
+// See README.md for a tour of the layout and the store backend matrix.
 package repro

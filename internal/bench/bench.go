@@ -11,6 +11,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -53,6 +54,106 @@ type Scale struct {
 	Fig1Records     int
 	Fig1Updates     int
 	Fig1Checkpoints []int
+
+	// Store selects the node-store backend every candidate builds on, so
+	// each table/figure can run against the mem/sharded/disk ×
+	// cache-size matrix. The zero value is the historical default: an
+	// uncached MemStore. cmd/siribench populates it from -store/-shards/
+	// -storedir/-cache.
+	Store StoreConfig
+	// ClientCacheBytes bounds the Forkbase client node cache in the
+	// system experiments (Figures 21–22). 0 selects the paper's default
+	// (64 MiB); negative disables client caching.
+	ClientCacheBytes int64
+
+	// tracker, when set, records every store NewStore opens so the
+	// experiment wrapper can release them all when the run ends. See
+	// WithStoreTracking.
+	tracker *storeTracker
+}
+
+// storeTracker collects stores opened during one experiment run.
+type storeTracker struct {
+	mu     sync.Mutex
+	stores []store.Store
+}
+
+func (t *storeTracker) add(s store.Store) {
+	t.mu.Lock()
+	t.stores = append(t.stores, s)
+	t.mu.Unlock()
+}
+
+// releaseAll releases every tracked store. Releasing a store twice is safe
+// (DiskStore.Close is idempotent), so experiments that already release
+// per-cell for promptness need no special casing.
+func (t *storeTracker) releaseAll() {
+	t.mu.Lock()
+	stores := t.stores
+	t.stores = nil
+	t.mu.Unlock()
+	for _, s := range stores {
+		_ = store.Release(s)
+	}
+}
+
+// WithStoreTracking returns a copy of sc whose NewStore registers every
+// store it opens, plus the release function that closes them all. The
+// experiment registry wraps every Run with it so no figure can leak disk
+// stores, even on error paths.
+func (sc Scale) WithStoreTracking() (Scale, func()) {
+	t := &storeTracker{}
+	sc.tracker = t
+	return sc, t.releaseAll
+}
+
+// StoreConfig mirrors store.Config for the fields experiments may vary.
+type StoreConfig struct {
+	Backend    string // "mem" (default), "sharded" or "disk"
+	Shards     int    // sharded backend; 0 = store.DefaultShards
+	Dir        string // disk backend base dir; "" = OS temp dir
+	CacheBytes int64  // >0 layers an LRU cache over the backend
+}
+
+// NewStore opens one store per the scale's backend selection. Disk-backed
+// stores land in a fresh subdirectory each call and remove it on Release,
+// so candidates never share or leak segment files.
+func (sc Scale) NewStore() (store.Store, error) {
+	s, err := store.Open(store.Config{
+		Backend:    sc.Store.Backend,
+		Shards:     sc.Store.Shards,
+		Dir:        sc.Store.Dir,
+		CacheBytes: sc.Store.CacheBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if sc.tracker != nil {
+		sc.tracker.add(s)
+	}
+	return s, nil
+}
+
+// ReleaseIndex releases the store backing idx once an experiment cell is
+// done with every version built over it. In-memory backends make this a
+// no-op; disk backends close and remove their segment files.
+func ReleaseIndex(idx core.Index) {
+	if idx != nil {
+		_ = store.Release(idx.Store())
+	}
+}
+
+// ReleaseVersions releases every distinct store behind a version set (the
+// collaboration experiments build one store per party).
+func ReleaseVersions(versions []core.Index) {
+	seen := make(map[store.Store]bool)
+	for _, v := range versions {
+		if v == nil || seen[v.Store()] {
+			continue
+		}
+		seen[v.Store()] = true
+		_ = store.Release(v.Store())
+	}
 }
 
 // TinyScale keeps the full experiment suite runnable in a few seconds
@@ -163,27 +264,43 @@ func CandidateSet(sc Scale) []Candidate {
 		{
 			Name: "POS-Tree",
 			New: func() (core.Index, error) {
-				return postree.New(store.NewMemStore(), postree.ConfigForNodeSize(sc.NodeSize)), nil
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return postree.New(s, postree.ConfigForNodeSize(sc.NodeSize)), nil
 			},
 		},
 		{
 			Name: "MBT",
 			New: func() (core.Index, error) {
-				return mbt.New(store.NewMemStore(), mbt.Config{Capacity: sc.MBTBuckets, Fanout: 32})
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return mbt.New(s, mbt.Config{Capacity: sc.MBTBuckets, Fanout: 32})
 			},
 			PerOpWrites: true,
 		},
 		{
 			Name: "MPT",
 			New: func() (core.Index, error) {
-				return mpt.New(store.NewMemStore()), nil
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return mpt.New(s), nil
 			},
 			PerOpWrites: true,
 		},
 		{
 			Name: "MVMB+-Tree",
 			New: func() (core.Index, error) {
-				return mvmbt.New(store.NewMemStore(), mvmbt.ConfigForNodeSize(sc.NodeSize)), nil
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return mvmbt.New(s, mvmbt.ConfigForNodeSize(sc.NodeSize)), nil
 			},
 			PerOpWrites: true,
 		},

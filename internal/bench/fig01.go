@@ -21,7 +21,11 @@ const gigabitBytesPerSecond = 125_000_000
 // ship each over gigabit Ethernet.
 func Fig01(sc Scale) ([]*Table, error) {
 	y := workload.NewYCSB(workload.YCSBConfig{Records: sc.Fig1Records, Seed: 1})
-	s := store.NewMemStore()
+	s, err := sc.NewStore()
+	if err != nil {
+		return nil, err
+	}
+	defer store.Release(s)
 	idx, err := postree.Build(s, postree.ConfigForNodeSize(sc.NodeSize), y.Dataset())
 	if err != nil {
 		return nil, err

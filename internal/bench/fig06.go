@@ -52,6 +52,7 @@ func fig06Cell(sc Scale, cand Candidate, n int, theta, writeRatio float64) (floa
 	if err != nil {
 		return 0, err
 	}
+	defer ReleaseIndex(idx) // all versions share idx's store
 	idx, err = LoadBatched(idx, y.Dataset(), sc.Batch)
 	if err != nil {
 		return 0, err

@@ -67,6 +67,7 @@ func fig07Wiki(sc Scale) (*Table, error) {
 		}
 		readCells = append(readCells, f1(rt/1000))
 		writeCells = append(writeCells, f1(wt/1000))
+		ReleaseIndex(idx)
 	}
 	t.AddRow("Read", readCells...)
 	t.AddRow("Write", writeCells...)
@@ -159,6 +160,7 @@ func fig07Eth(sc Scale) (*Table, error) {
 		readTput := float64(reads) / time.Since(start).Seconds()
 		readCells = append(readCells, f2(readTput/1000))
 		writeCells = append(writeCells, f2(writeTput/1000))
+		ReleaseVersions(chain.versions) // one store per block
 	}
 	t.AddRow("Read", readCells...)
 	t.AddRow("Write", writeCells...)

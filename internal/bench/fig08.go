@@ -52,6 +52,8 @@ func Fig08(sc Scale) ([]*Table, error) {
 				return nil, fmt.Errorf("fig8 %s: %w", cand.Name, err)
 			}
 			elapsed := time.Since(start)
+			ReleaseIndex(a)
+			ReleaseIndex(b)
 			if len(diffs) < delta {
 				return nil, fmt.Errorf("fig8 %s: found %d diffs, want ≥ %d", cand.Name, len(diffs), delta)
 			}

@@ -39,6 +39,7 @@ func Fig09(sc Scale) ([]*Table, error) {
 			}
 		}
 		histograms[ci] = hist
+		ReleaseIndex(idx)
 	}
 
 	t := &Table{

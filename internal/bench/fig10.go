@@ -78,6 +78,7 @@ func latencyTable(sc Scale, id string, write bool, theta float64, datasetFn func
 			return nil, err
 		}
 		samples, _, err := Latencies(idx, ops)
+		ReleaseIndex(idx)
 		if err != nil {
 			return nil, fmt.Errorf("%s %s: %w", id, cand.Name, err)
 		}

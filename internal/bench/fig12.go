@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -37,9 +38,7 @@ func Fig12(sc Scale) ([]*Table, error) {
 	}
 
 	for _, cand := range cands {
-		var chain []interface {
-			Get([]byte) ([]byte, bool, error)
-		}
+		var chain []core.Index
 		var writeSamples []time.Duration
 		for _, b := range blocks {
 			idx, err := cand.New()
@@ -87,6 +86,7 @@ func Fig12(sc Scale) ([]*Table, error) {
 		write.AddRow(cand.Name,
 			us(Mean(writeSamples)), us(Percentile(writeSamples, 0.5)),
 			us(Percentile(writeSamples, 0.9)), us(Percentile(writeSamples, 0.99)))
+		ReleaseVersions(chain) // one store per block
 	}
 	return []*Table{read, write}, nil
 }

@@ -23,12 +23,18 @@ func Fig13(sc Scale) ([]*Table, error) {
 	counts := sc.YCSBCounts
 	for _, n := range counts {
 		y := workload.NewYCSB(workload.YCSBConfig{Records: n, Seed: 13})
-		tree, err := mbt.New(store.NewMemStore(), mbt.Config{Capacity: sc.MBTBuckets, Fanout: 32})
+		s, err := sc.NewStore()
 		if err != nil {
+			return nil, err
+		}
+		tree, err := mbt.New(s, mbt.Config{Capacity: sc.MBTBuckets, Fanout: 32})
+		if err != nil {
+			store.Release(s)
 			return nil, err
 		}
 		idx, err := LoadBatched(tree, y.Dataset(), sc.Batch)
 		if err != nil {
+			store.Release(s)
 			return nil, err
 		}
 		m := idx.(*mbt.Tree)
@@ -42,9 +48,11 @@ func Fig13(sc Scale) ([]*Table, error) {
 			key := y.Key(int(z.Next()))
 			_, ok, bd, err := m.GetBreakdown(key)
 			if err != nil {
+				store.Release(s)
 				return nil, err
 			}
 			if !ok {
+				store.Release(s)
 				return nil, fmt.Errorf("fig13: key %q missing", key)
 			}
 			load += float64(bd.Load.Nanoseconds())
@@ -53,6 +61,7 @@ func Fig13(sc Scale) ([]*Table, error) {
 		t.AddRow(fmt.Sprint(n),
 			f2(load/float64(probes)/1000),
 			f2(scan/float64(probes)/1000))
+		store.Release(s)
 	}
 	return []*Table{t}, nil
 }

@@ -64,6 +64,7 @@ func Fig14(sc Scale) ([]*Table, error) {
 			}
 			versions, err := versionedLoad(idx, y.Dataset(), sc.Batch)
 			if err != nil {
+				ReleaseIndex(idx)
 				return nil, err
 			}
 			// One update pass over the loaded data.
@@ -76,10 +77,12 @@ func Fig14(sc Scale) ([]*Table, error) {
 			}
 			moreVersions, err := versionedLoad(head, updates, sc.Batch)
 			if err != nil {
+				ReleaseIndex(idx)
 				return nil, err
 			}
 			versions = append(versions, moreVersions...)
 			bytes, count, err := storageOf(versions)
+			ReleaseIndex(idx)
 			if err != nil {
 				return nil, fmt.Errorf("fig14 %s: %w", cand.Name, err)
 			}

@@ -61,6 +61,7 @@ func Fig15(sc Scale) ([]*Table, error) {
 				cpi++
 			}
 		}
+		ReleaseIndex(head)
 	}
 	for i, cp := range checkpoints {
 		storageCells := make([]string, len(cands))

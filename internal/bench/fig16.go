@@ -54,6 +54,7 @@ func Fig16(sc Scale) ([]*Table, error) {
 				cpi++
 			}
 		}
+		ReleaseVersions(versions) // one store per block
 	}
 	for i, cp := range checkpoints {
 		storageCells := make([]string, len(cands))

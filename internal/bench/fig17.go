@@ -67,6 +67,7 @@ func collabTables(sc Scale, figure, xlabel string, param func(x int) (overlap fl
 				return nil, fmt.Errorf("%s %s x=%d: %w", figure, cand.Name, x, err)
 			}
 			st, err := core.AnalyzeVersions(versions...)
+			ReleaseVersions(versions)
 			if err != nil {
 				return nil, err
 			}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/postree"
-	"repro/internal/store"
 )
 
 // ablationTables sweeps the overlap ratio for two POS-Tree configurations
@@ -26,9 +25,13 @@ func ablationTables(sc Scale, figure string, onLabel, offLabel string, off postr
 	}
 	mkCand := func(ab postree.Ablation) Candidate {
 		return Candidate{Name: "POS-Tree", New: func() (core.Index, error) {
+			s, err := sc.NewStore()
+			if err != nil {
+				return nil, err
+			}
 			cfg := postree.ConfigForNodeSize(sc.NodeSize)
 			cfg.Ablation = ab
-			return postree.New(store.NewMemStore(), cfg), nil
+			return postree.New(s, cfg), nil
 		}}
 	}
 	for _, ratio := range []int{10, 20, 40, 60, 80, 100} {
@@ -39,6 +42,7 @@ func ablationTables(sc Scale, figure string, onLabel, offLabel string, off postr
 				return nil, fmt.Errorf("%s ratio=%d: %w", figure, ratio, err)
 			}
 			st, err := core.AnalyzeVersions(versions...)
+			ReleaseVersions(versions)
 			if err != nil {
 				return nil, err
 			}

@@ -19,6 +19,19 @@ import (
 // experiments (§5.6.1: "Forkbase caches the nodes at clients").
 const clientCacheBytes = 64 << 20
 
+// clientCacheFor resolves the scale's client-cache selection: 0 keeps the
+// paper default, negative disables caching.
+func clientCacheFor(sc Scale) int64 {
+	switch {
+	case sc.ClientCacheBytes > 0:
+		return sc.ClientCacheBytes
+	case sc.ClientCacheBytes < 0:
+		return 0
+	default:
+		return clientCacheBytes
+	}
+}
+
 // servedCandidate pairs an index constructor with the Loader a client needs
 // to interpret its nodes.
 type servedCandidate struct {
@@ -35,7 +48,11 @@ func servedCandidates(sc Scale) []servedCandidate {
 		{
 			name: "POS-Tree",
 			new: func() (core.Index, error) {
-				return postree.New(store.NewMemStore(), posCfg), nil
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return postree.New(s, posCfg), nil
 			},
 			loader: func(s store.Store, root hash.Hash, height int) core.Index {
 				return postree.Load(s, posCfg, root, height)
@@ -44,7 +61,11 @@ func servedCandidates(sc Scale) []servedCandidate {
 		{
 			name: "MBT",
 			new: func() (core.Index, error) {
-				return mbt.New(store.NewMemStore(), mbtCfg)
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return mbt.New(s, mbtCfg)
 			},
 			loader: func(s store.Store, root hash.Hash, _ int) core.Index {
 				t, err := mbt.Load(s, mbtCfg, root)
@@ -57,7 +78,11 @@ func servedCandidates(sc Scale) []servedCandidate {
 		{
 			name: "MPT",
 			new: func() (core.Index, error) {
-				return mpt.New(store.NewMemStore()), nil
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return mpt.New(s), nil
 			},
 			loader: func(s store.Store, root hash.Hash, _ int) core.Index {
 				return mpt.Load(s, root)
@@ -66,7 +91,11 @@ func servedCandidates(sc Scale) []servedCandidate {
 		{
 			name: "MVMB+-Tree",
 			new: func() (core.Index, error) {
-				return mvmbt.New(store.NewMemStore(), mvCfg), nil
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return mvmbt.New(s, mvCfg), nil
 			},
 			loader: func(s store.Store, root hash.Hash, height int) core.Index {
 				return mvmbt.Load(s, mvCfg, root, height)
@@ -119,6 +148,7 @@ func fig21Cell(sc Scale, cand servedCandidate, n int) (readTput, writeTput float
 	if err != nil {
 		return 0, 0, err
 	}
+	defer ReleaseIndex(idx) // runs after srv.Close: handlers are done
 	idx, err = LoadBatched(idx, y.Dataset(), sc.Batch)
 	if err != nil {
 		return 0, 0, err
@@ -130,7 +160,7 @@ func fig21Cell(sc Scale, cand servedCandidate, n int) (readTput, writeTput float
 	}
 	defer srv.Close()
 
-	cli, err := forkbase.Dial(addr, cand.loader, clientCacheBytes)
+	cli, err := forkbase.Dial(addr, cand.loader, clientCacheFor(sc))
 	if err != nil {
 		return 0, 0, err
 	}

@@ -27,7 +27,11 @@ func Fig22(sc Scale) ([]*Table, error) {
 		{
 			name: "Forkbase",
 			new: func() (core.Index, error) {
-				return postree.New(store.NewMemStore(), posCfg), nil
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return postree.New(s, posCfg), nil
 			},
 			loader: func(s store.Store, root hash.Hash, height int) core.Index {
 				return postree.Load(s, posCfg, root, height)
@@ -36,7 +40,11 @@ func Fig22(sc Scale) ([]*Table, error) {
 		{
 			name: "Noms",
 			new: func() (core.Index, error) {
-				return prolly.New(store.NewMemStore(), proCfg), nil
+				s, err := sc.NewStore()
+				if err != nil {
+					return nil, err
+				}
+				return prolly.New(s, proCfg), nil
 			},
 			loader: func(s store.Store, root hash.Hash, height int) core.Index {
 				return prolly.Load(s, proCfg, root, height)
@@ -79,6 +87,7 @@ func fig22Cell(sc Scale, sys servedCandidate, n int) (readTput, writeTput float6
 	if err != nil {
 		return 0, 0, err
 	}
+	defer ReleaseIndex(idx) // runs after srv.Close: handlers are done
 	idx, err = LoadBatched(idx, y.Dataset(), sc.Batch)
 	if err != nil {
 		return 0, 0, err
@@ -90,7 +99,7 @@ func fig22Cell(sc Scale, sys servedCandidate, n int) (readTput, writeTput float6
 	}
 	defer srv.Close()
 
-	cli, err := forkbase.Dial(addr, sys.loader, clientCacheBytes)
+	cli, err := forkbase.Dial(addr, sys.loader, clientCacheFor(sc))
 	if err != nil {
 		return 0, 0, err
 	}

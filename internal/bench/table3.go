@@ -8,7 +8,6 @@ import (
 	"repro/internal/mbt"
 	"repro/internal/mpt"
 	"repro/internal/postree"
-	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -38,6 +37,7 @@ func table3Dedup(cand Candidate, sc Scale) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer ReleaseVersions(versions)
 	st, err := core.AnalyzeVersions(versions...)
 	if err != nil {
 		return 0, err
@@ -55,7 +55,11 @@ func table3POS(sc Scale) (*Table, error) {
 	for _, size := range []int{512, 1024, 2048, 4096} {
 		size := size
 		cand := Candidate{Name: "POS-Tree", New: func() (core.Index, error) {
-			return postree.New(store.NewMemStore(), postree.ConfigForNodeSize(size)), nil
+			s, err := sc.NewStore()
+			if err != nil {
+				return nil, err
+			}
+			return postree.New(s, postree.ConfigForNodeSize(size)), nil
 		}}
 		eta, err := table3Dedup(cand, sc)
 		if err != nil {
@@ -78,7 +82,11 @@ func table3MBT(sc Scale) (*Table, error) {
 	for _, b := range counts {
 		b := b
 		cand := Candidate{Name: "MBT", New: func() (core.Index, error) {
-			return mbt.New(store.NewMemStore(), mbt.Config{Capacity: b, Fanout: 32})
+			s, err := sc.NewStore()
+			if err != nil {
+				return nil, err
+			}
+			return mbt.New(s, mbt.Config{Capacity: b, Fanout: 32})
 		}}
 		eta, err := table3Dedup(cand, sc)
 		if err != nil {
@@ -122,7 +130,11 @@ func table3MPT(sc Scale) (*Table, error) {
 			for i := range ops {
 				ops[i].Key = pad(ops[i].Key)
 			}
-			var idx core.Index = mpt.New(store.NewMemStore())
+			s, err := sc.NewStore()
+			if err != nil {
+				return nil, err
+			}
+			var idx core.Index = mpt.New(s)
 			head, err := LoadBatched(idx, initData, sc.Batch)
 			if err != nil {
 				return nil, err
@@ -135,6 +147,7 @@ func table3MPT(sc Scale) (*Table, error) {
 			versions = append(versions, more...)
 		}
 		st, err := core.AnalyzeVersions(versions...)
+		ReleaseVersions(versions)
 		if err != nil {
 			return nil, err
 		}

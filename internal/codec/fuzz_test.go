@@ -1,0 +1,84 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWriterReaderRoundTrip encodes a schema of fuzzed fields and decodes
+// it back; every field must survive and the reader must end exactly at the
+// buffer boundary.
+func FuzzWriterReaderRoundTrip(f *testing.F) {
+	f.Add(uint64(0), []byte(nil), []byte("payload"), byte(1))
+	f.Add(uint64(1<<63), []byte("a"), []byte{}, byte(0xff))
+	f.Add(uint64(300), bytes.Repeat([]byte("n"), 100), []byte("x"), byte(7))
+
+	f.Fuzz(func(t *testing.T, u uint64, a, b []byte, tag byte) {
+		var h32 [32]byte
+		copy(h32[:], a)
+
+		w := NewWriter(64)
+		w.Byte(tag)
+		w.Uvarint(u)
+		w.LenBytes(a)
+		w.Bytes32(h32[:])
+		w.LenBytes(b)
+
+		r := NewReader(w.Bytes())
+		gotTag, err := r.Byte()
+		if err != nil || gotTag != tag {
+			t.Fatalf("Byte = %v, %v", gotTag, err)
+		}
+		gotU, err := r.Uvarint()
+		if err != nil || gotU != u {
+			t.Fatalf("Uvarint = %d, %v (want %d)", gotU, err, u)
+		}
+		gotA, err := r.LenBytes()
+		if err != nil || !bytes.Equal(gotA, a) {
+			t.Fatalf("LenBytes(a) = %x, %v", gotA, err)
+		}
+		got32, err := r.Bytes32()
+		if err != nil || !bytes.Equal(got32, h32[:]) {
+			t.Fatalf("Bytes32 = %x, %v", got32, err)
+		}
+		gotB, err := r.LenBytesCopy()
+		if err != nil || !bytes.Equal(gotB, b) {
+			t.Fatalf("LenBytesCopy(b) = %x, %v", gotB, err)
+		}
+		if err := r.Done(); err != nil {
+			t.Fatalf("Done after full read: %v", err)
+		}
+	})
+}
+
+// FuzzReaderMalformed drives the reader over arbitrary bytes: decode
+// attempts may fail but must never panic, over-read, or return lengths
+// beyond the buffer.
+func FuzzReaderMalformed(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // overflowing varint
+	f.Add([]byte{0x05, 0x01, 0x02})                                                 // length prefix beyond buffer
+	f.Add(bytes.Repeat([]byte{0x80}, 12))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		for r.Remaining() > 0 {
+			before := r.Remaining()
+			if b, err := r.LenBytes(); err == nil {
+				if len(b) > len(data) {
+					t.Fatalf("LenBytes returned %d bytes from a %d-byte buffer", len(b), len(data))
+				}
+			} else if _, err := r.Byte(); err != nil {
+				break
+			}
+			if r.Remaining() >= before {
+				break // no forward progress possible
+			}
+		}
+		if r.Remaining() < 0 {
+			t.Fatal("reader over-consumed the buffer")
+		}
+		_ = r.Done()
+	})
+}

@@ -1,0 +1,241 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mbt"
+	"repro/internal/mpt"
+	"repro/internal/postree"
+	"repro/internal/store"
+)
+
+// siriCandidates lists the index classes under the cross-index property
+// test, each over a fresh store.
+func siriCandidates() []struct {
+	name string
+	new  func() (core.Index, error)
+} {
+	return []struct {
+		name string
+		new  func() (core.Index, error)
+	}{
+		{"MPT", func() (core.Index, error) {
+			return mpt.New(store.NewMemStore()), nil
+		}},
+		{"MBT", func() (core.Index, error) {
+			return mbt.New(store.NewMemStore(), mbt.Config{Capacity: 64, Fanout: 8})
+		}},
+		{"POS-Tree", func() (core.Index, error) {
+			return postree.New(store.NewMemStore(), postree.ConfigForNodeSize(512)), nil
+		}},
+	}
+}
+
+// siriOp is one randomized mutation.
+type siriOp struct {
+	del   bool
+	batch []core.Entry // batch mode when len > 1 or !del and key == nil
+	key   []byte
+	value []byte
+}
+
+// genOps produces a deterministic random insert/update/delete sequence over
+// a bounded key space so updates and re-inserts of deleted keys are common.
+func genOps(seed int64, n int) []siriOp {
+	rng := rand.New(rand.NewSource(seed))
+	key := func() []byte {
+		return []byte(fmt.Sprintf("key-%03d", rng.Intn(120)))
+	}
+	value := func() []byte {
+		return []byte(fmt.Sprintf("val-%d", rng.Intn(1_000_000)))
+	}
+	ops := make([]siriOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.45: // single put (insert or update)
+			ops = append(ops, siriOp{key: key(), value: value()})
+		case r < 0.70: // delete (often of an absent key)
+			ops = append(ops, siriOp{del: true, key: key()})
+		default: // batch put with possible duplicate keys (later wins)
+			b := make([]core.Entry, rng.Intn(15)+2)
+			for j := range b {
+				b[j] = core.Entry{Key: key(), Value: value()}
+			}
+			ops = append(ops, siriOp{batch: b})
+		}
+	}
+	return ops
+}
+
+// applyOp advances one index version by one operation.
+func applyOp(idx core.Index, op siriOp) (core.Index, error) {
+	switch {
+	case op.del:
+		return idx.Delete(op.key)
+	case op.batch != nil:
+		return idx.PutBatch(op.batch)
+	default:
+		return idx.Put(op.key, op.value)
+	}
+}
+
+// applyOracle mirrors applyOp on the map oracle.
+func applyOracle(m map[string]string, op siriOp) {
+	switch {
+	case op.del:
+		delete(m, string(op.key))
+	case op.batch != nil:
+		for _, e := range op.batch {
+			m[string(e.Key)] = string(e.Value)
+		}
+	default:
+		m[string(op.key)] = string(op.value)
+	}
+}
+
+func (op siriOp) String() string {
+	switch {
+	case op.del:
+		return fmt.Sprintf("del %s", op.key)
+	case op.batch != nil:
+		return fmt.Sprintf("batch %d", len(op.batch))
+	default:
+		return fmt.Sprintf("put %s", op.key)
+	}
+}
+
+// checkAgainstOracle verifies lookups, count and full scans match the map
+// oracle.
+func checkAgainstOracle(t *testing.T, name string, idx core.Index, oracle map[string]string) {
+	t.Helper()
+	for k, want := range oracle {
+		v, ok, err := idx.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("%s: Get(%q): %v", name, k, err)
+		}
+		if !ok || string(v) != want {
+			t.Fatalf("%s: Get(%q) = %q, %v; oracle has %q", name, k, v, ok, want)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		absent := fmt.Sprintf("absent-%03d", i)
+		if _, ok, err := idx.Get([]byte(absent)); err != nil || ok {
+			t.Fatalf("%s: Get(%q) = %v, %v; key should be absent", name, absent, ok, err)
+		}
+	}
+	n, err := idx.Count()
+	if err != nil {
+		t.Fatalf("%s: Count: %v", name, err)
+	}
+	if n != len(oracle) {
+		t.Fatalf("%s: Count = %d, oracle has %d", name, n, len(oracle))
+	}
+	// Scan: every entry exactly once, values matching. MBT iterates in
+	// bucket order, so compare as sorted sets.
+	var got []string
+	err = idx.Iterate(func(k, v []byte) bool {
+		got = append(got, string(k)+"\x00"+string(v))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("%s: Iterate: %v", name, err)
+	}
+	want := make([]string, 0, len(oracle))
+	for k, v := range oracle {
+		want = append(want, k+"\x00"+v)
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: scan returned %d entries, oracle has %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: scan mismatch at %d: %q vs %q", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCrossIndexOracleProperty applies identical random insert/update/delete
+// sequences to MPT, MBT and POS-Tree and requires all of them to agree with
+// a map oracle on lookups, counts and scans — and requires two independent
+// replicas replaying the same sequence to agree on every root hash
+// (determinism half of structural invariance, §4.1).
+func TestCrossIndexOracleProperty(t *testing.T) {
+	for _, seed := range []int64{1, 42, 20260727} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ops := genOps(seed, 240)
+			for _, cand := range siriCandidates() {
+				a, err := cand.new()
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := cand.new()
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle := make(map[string]string)
+				for i, op := range ops {
+					if a, err = applyOp(a, op); err != nil {
+						t.Fatalf("%s: op %d (%s): %v", cand.name, i, op, err)
+					}
+					if b, err = applyOp(b, op); err != nil {
+						t.Fatalf("%s replica: op %d (%s): %v", cand.name, i, op, err)
+					}
+					applyOracle(oracle, op)
+					if a.RootHash() != b.RootHash() {
+						t.Fatalf("%s: replicas diverged after op %d (%s)", cand.name, i, op)
+					}
+					if (i+1)%60 == 0 {
+						checkAgainstOracle(t, cand.name, a, oracle)
+					}
+				}
+				checkAgainstOracle(t, cand.name, a, oracle)
+			}
+		})
+	}
+}
+
+// TestCrossIndexStructuralInvariance is the stronger half of §4.1: the root
+// hash depends only on the final contents, not the update history. An index
+// grown through a random mutation history must hash identically to a fresh
+// index bulk-loaded with the final state in one batch.
+func TestCrossIndexStructuralInvariance(t *testing.T) {
+	ops := genOps(7, 200)
+	for _, cand := range siriCandidates() {
+		grown, err := cand.new()
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := make(map[string]string)
+		for i, op := range ops {
+			if grown, err = applyOp(grown, op); err != nil {
+				t.Fatalf("%s: op %d: %v", cand.name, i, err)
+			}
+			applyOracle(oracle, op)
+		}
+
+		final := make([]core.Entry, 0, len(oracle))
+		for k, v := range oracle {
+			final = append(final, core.Entry{Key: []byte(k), Value: []byte(v)})
+		}
+		sort.Slice(final, func(i, j int) bool { return bytes.Compare(final[i].Key, final[j].Key) < 0 })
+		fresh, err := cand.new()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh, err = fresh.PutBatch(final); err != nil {
+			t.Fatalf("%s: bulk load: %v", cand.name, err)
+		}
+		if grown.RootHash() != fresh.RootHash() {
+			t.Fatalf("%s: structural invariance violated: grown root %v != bulk-loaded root %v",
+				cand.name, grown.RootHash(), fresh.RootHash())
+		}
+	}
+}

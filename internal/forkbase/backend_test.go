@@ -1,0 +1,113 @@
+package forkbase
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/postree"
+	"repro/internal/store"
+)
+
+// TestServletAcrossStoreBackends serves the same dataset from a servlet
+// whose index sits on each store backend in turn — the server side of the
+// backend matrix cmd/siribench selects with -store. Reads, writes and the
+// post-write reads must behave identically on all of them.
+func TestServletAcrossStoreBackends(t *testing.T) {
+	for _, backend := range store.Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			s, err := store.Open(store.Config{Backend: backend, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { store.Release(s) })
+
+			cfg := postree.ConfigForNodeSize(256)
+			idx, err := postree.Build(s, cfg, entriesN(300))
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, addr := startServlet(t, idx)
+
+			cli, err := Dial(addr, posLoader(cfg), 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cli.Close()
+
+			for i := 0; i < 300; i += 23 {
+				key := []byte(fmt.Sprintf("key-%05d", i))
+				v, ok, err := cli.Get(key)
+				if err != nil || !ok || !bytes.Equal(v, []byte(fmt.Sprintf("value-%05d", i))) {
+					t.Fatalf("Get(%q) = %q, %v, %v", key, v, ok, err)
+				}
+			}
+			if err := cli.PutBatch(entriesAt(300, 20)); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := cli.Get([]byte("key-00310"))
+			if err != nil || !ok || string(v) != "value-00310" {
+				t.Fatalf("post-write Get = %q, %v, %v", v, ok, err)
+			}
+			if srv.Head().RootHash().IsNull() {
+				t.Fatal("null head after writes")
+			}
+		})
+	}
+}
+
+// TestServletDiskBackendSurvivesReopen writes through the servlet onto a
+// disk store, closes everything, and serves the data again from a reopened
+// store — persistence across a full server restart.
+func TestServletDiskBackendSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := postree.ConfigForNodeSize(256)
+
+	d, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := postree.Build(d, cfg, entriesN(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := idx.RootHash()
+	height := idx.Height()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { re.Close() })
+	_, addr := startServlet(t, postree.Load(re, cfg, root, height))
+
+	cli, err := Dial(addr, posLoader(cfg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 200; i += 17 {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		v, ok, err := cli.Get(key)
+		if err != nil || !ok || !bytes.Equal(v, []byte(fmt.Sprintf("value-%05d", i))) {
+			t.Fatalf("Get(%q) after reopen = %q, %v, %v", key, v, ok, err)
+		}
+	}
+}
+
+// entriesAt generates n sequential entries starting at index start.
+func entriesAt(start, n int) []core.Entry {
+	out := make([]core.Entry, n)
+	for i := range out {
+		out[i] = core.Entry{
+			Key:   []byte(fmt.Sprintf("key-%05d", start+i)),
+			Value: []byte(fmt.Sprintf("value-%05d", start+i)),
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package rlp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the decoder. Anything it accepts
+// must be a canonical encoding — re-encoding the decoded value must
+// reproduce the input byte-for-byte, and the round trip must be stable.
+func FuzzDecode(f *testing.F) {
+	// Valid encodings across every header form.
+	f.Add(Encode(Bytes(nil)))
+	f.Add(Encode(Bytes([]byte{0x05})))
+	f.Add(Encode(Bytes([]byte{0x80})))
+	f.Add(Encode(String("short string")))
+	f.Add(Encode(Bytes(bytes.Repeat([]byte("x"), 60)))) // long-string header
+	f.Add(Encode(Uint(0)))
+	f.Add(Encode(Uint(1 << 40)))
+	f.Add(Encode(List()))
+	f.Add(Encode(List(String("a"), List(Uint(7), String("b")))))
+	f.Add(Encode(List(Bytes(bytes.Repeat([]byte("y"), 30)), Bytes(bytes.Repeat([]byte("z"), 30))))) // long-list header
+	// Malformed inputs: truncations, non-canonical forms, absurd lengths.
+	f.Add([]byte{})
+	f.Add([]byte{0x81, 0x05})       // single byte wrapped (non-canonical)
+	f.Add([]byte{0xb8, 0x01, 0x61}) // long form for short string
+	f.Add([]byte{0xb9, 0xff, 0xff})
+	f.Add([]byte{0xf8})
+	f.Add([]byte{0xc2, 0x61})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panics and false accepts are not
+		}
+		enc := Encode(v)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decoder accepted non-canonical input:\n in  %x\n out %x", data, enc)
+		}
+		v2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(Encode(v2), enc) {
+			t.Fatalf("round trip unstable: %x vs %x", Encode(v2), enc)
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip builds structured values from fuzzed leaves and
+// checks Encode/Decode is the identity on them.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add([]byte("leaf"), []byte{}, uint64(12345), uint8(3))
+	f.Add([]byte{0x00}, []byte{0x7f}, uint64(0), uint8(0))
+	f.Add(bytes.Repeat([]byte("A"), 100), []byte("b"), uint64(1<<63), uint8(9))
+
+	f.Fuzz(func(t *testing.T, s1, s2 []byte, u uint64, depth uint8) {
+		v := List(Bytes(s1), Uint(u), Bytes(s2))
+		for i := 0; i < int(depth%6); i++ {
+			v = List(v, Uint(uint64(i)), Bytes(s2))
+		}
+		enc := Encode(v)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of fresh encoding failed: %v", err)
+		}
+		if !bytes.Equal(Encode(got), enc) {
+			t.Fatalf("round trip changed the encoding")
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package store_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// benchBackends pairs every backend with a constructor for the concurrent
+// throughput comparison. The sharded store's win over the single-mutex
+// MemStore under parallel Put/Get is the point of these benchmarks:
+//
+//	go test ./internal/store -bench 'Parallel' -cpu 1,4,8
+func benchBackends(b *testing.B) []struct {
+	name string
+	new  func() store.Store
+} {
+	return []struct {
+		name string
+		new  func() store.Store
+	}{
+		{"mem", func() store.Store { return store.NewMemStore() }},
+		{"sharded", func() store.Store { return store.NewShardedStore(0) }},
+		{"disk", func() store.Store {
+			d, err := store.OpenDiskStore(b.TempDir(), store.DiskOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		}},
+	}
+}
+
+// benchPayloads generates n distinct ~1KB node payloads (the paper's tuned
+// node size).
+func benchPayloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, 1024)
+		copy(p, fmt.Sprintf("payload-%08d", i))
+		out[i] = p
+	}
+	return out
+}
+
+func BenchmarkStorePutParallel(b *testing.B) {
+	payloads := benchPayloads(4096)
+	for _, backend := range benchBackends(b) {
+		b.Run(backend.name, func(b *testing.B) {
+			s := backend.new()
+			defer store.Release(s)
+			var next atomic.Int64
+			b.SetBytes(1024)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					s.Put(payloads[int(i)%len(payloads)])
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkStoreGetParallel(b *testing.B) {
+	payloads := benchPayloads(4096)
+	for _, backend := range benchBackends(b) {
+		b.Run(backend.name, func(b *testing.B) {
+			s := backend.new()
+			defer store.Release(s)
+			hs := make([]hash.Hash, len(payloads))
+			for i, p := range payloads {
+				hs[i] = s.Put(p)
+			}
+			if d, ok := s.(*store.DiskStore); ok {
+				if err := d.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Int64
+			b.SetBytes(1024)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					if _, ok := s.Get(hs[int(i)%len(hs)]); !ok {
+						b.Error("miss on resident node")
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreMixedParallel is the index-update shape: mostly reads with
+// a stream of fresh writes mixed in.
+func BenchmarkStoreMixedParallel(b *testing.B) {
+	payloads := benchPayloads(4096)
+	for _, backend := range benchBackends(b) {
+		b.Run(backend.name, func(b *testing.B) {
+			s := backend.new()
+			defer store.Release(s)
+			hs := make([]hash.Hash, len(payloads))
+			for i, p := range payloads {
+				hs[i] = s.Put(p)
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					if i%10 == 0 {
+						s.Put(payloads[int(i)%len(payloads)])
+					} else if _, ok := s.Get(hs[int(i)%len(hs)]); !ok {
+						b.Error("miss on resident node")
+						return
+					}
+				}
+			})
+		})
+	}
+}

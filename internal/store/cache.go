@@ -86,6 +86,10 @@ func (c *CachedStore) Has(h hash.Hash) bool {
 // Stats reports the backing store's accounting.
 func (c *CachedStore) Stats() Stats { return c.backing.Stats() }
 
+// Close releases the backing store's resources (a no-op for in-memory
+// backings), so Release reaches through the cache layer.
+func (c *CachedStore) Close() error { return Release(c.backing) }
+
 // CacheStats returns local cache hits and misses.
 func (c *CachedStore) CacheStats() (hits, misses int64) {
 	c.mu.Lock()

@@ -1,0 +1,475 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/hash"
+)
+
+// DiskStore persists nodes in append-only segment files, the natural layout
+// for immutable content-addressed pages: records are only ever appended,
+// never rewritten, so sequential writes are the single I/O pattern and a
+// segment, once rolled, is immutable forever.
+//
+// On-disk format. A directory holds segment files seg-000000.seg,
+// seg-000001.seg, … Each segment is a sequence of records:
+//
+//	[4-byte big-endian payload length][32-byte SHA-256 digest][payload]
+//
+// The digest doubles as a checksum: it is the content address, so a record
+// whose payload fails to re-hash to its stored digest is corrupt by
+// definition. An in-memory directory maps digest → (segment, offset,
+// length); it is rebuilt by scanning the segments on open, which also makes
+// the store crash-safe — a torn write at the tail of the last segment is
+// detected (short record or digest mismatch) and truncated away, and every
+// record before it is served as usual.
+//
+// Writes are batched through a buffered writer and tracked in a pending map
+// until flushed, so Get is always consistent: unflushed nodes are served
+// from memory, flushed nodes via ReadAt on the (immutable) file region.
+// Flushing happens automatically every FlushBytes of new data, on Sync, and
+// on Close.
+//
+// Raw/dedup accounting matches MemStore within a process lifetime. After a
+// reopen the raw counters restart from the recovered unique footprint
+// (dedup history is not persisted), preserving UniqueBytes ≤ RawBytes.
+type DiskStore struct {
+	dirPath       string
+	opts          DiskOptions
+	removeOnClose bool
+
+	ctr counters
+
+	mu           sync.RWMutex
+	locs         map[hash.Hash]recordLoc
+	pending      map[hash.Hash][]byte
+	pendingBytes int
+	// resident holds nodes too large for the record format (payloads over
+	// maxRecordBytes). They are served from memory for the store's
+	// lifetime and never persisted; the condition is reported as a sticky
+	// error by Sync/Close rather than silently dropping data on reopen.
+	resident   map[hash.Hash][]byte
+	readers    []*os.File // one per segment, index = segment id
+	active     *os.File   // append handle on the last segment
+	w          *bufio.Writer
+	activeID   int
+	activeSize int64 // logical size of the active segment, buffered included
+	err        error // first write/flush error, surfaced by Sync/Close
+	closed     bool
+}
+
+// DiskOptions tunes a DiskStore. The zero value selects the defaults noted
+// on each field.
+type DiskOptions struct {
+	// SegmentBytes rolls the active segment once it would exceed this many
+	// bytes (default 64 MiB). A record larger than the limit still goes to
+	// its own segment rather than failing.
+	SegmentBytes int64
+	// FlushBytes bounds how much appended data may sit in the write buffer
+	// before an automatic flush (default 1 MiB).
+	FlushBytes int
+	// SyncOnFlush fsyncs the active segment after every flush. Off by
+	// default: the paper's experiments measure structure costs, not disk
+	// sync latency, and crash recovery truncates torn tails either way.
+	SyncOnFlush bool
+}
+
+// recordLoc locates one stored payload.
+type recordLoc struct {
+	seg int32
+	n   int32
+	off int64 // offset of the payload, past the record header
+}
+
+const (
+	recordHeaderSize    = 4 + hash.Size
+	defaultSegmentBytes = 64 << 20
+	defaultFlushBytes   = 1 << 20
+	// maxRecordBytes caps a single record's payload. Put enforces it on
+	// the write path (larger nodes stay memory-resident with a sticky
+	// error) and recovery enforces it on the read path, so the writer
+	// never produces a record the rebuild-on-open scan would reject.
+	maxRecordBytes = 1 << 30
+)
+
+func segmentName(id int) string { return fmt.Sprintf("seg-%06d.seg", id) }
+
+// OpenDiskStore opens (creating if necessary) the store rooted at dir.
+// Existing segments are scanned to rebuild the directory; a torn record at
+// a segment tail is truncated away.
+func OpenDiskStore(dir string, opts DiskOptions) (*DiskStore, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = defaultFlushBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: disk: %w", err)
+	}
+	d := &DiskStore{
+		dirPath:  dir,
+		opts:     opts,
+		locs:     make(map[hash.Hash]recordLoc),
+		pending:  make(map[hash.Hash][]byte),
+		resident: make(map[hash.Hash][]byte),
+	}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil {
+		return nil, fmt.Errorf("store: disk: %w", err)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		if filepath.Base(name) != segmentName(i) {
+			d.closeFiles()
+			return nil, fmt.Errorf("store: disk: segment sequence broken at %s (want %s)", filepath.Base(name), segmentName(i))
+		}
+		size, err := d.recoverSegment(i, name)
+		if err != nil {
+			d.closeFiles()
+			return nil, err
+		}
+		d.activeSize = size
+	}
+	// The recovered raw footprint is the unique footprint: duplicate Puts
+	// from earlier runs were never written.
+	d.ctr.rawNodes.Store(d.ctr.uniqueNodes.Load())
+	d.ctr.rawBytes.Store(d.ctr.uniqueBytes.Load())
+
+	d.activeID = len(names) - 1
+	if len(names) == 0 {
+		if err := d.appendSegment(); err != nil {
+			return nil, err
+		}
+	} else if err := d.openActiveWriter(); err != nil {
+		d.closeFiles()
+		return nil, err
+	}
+	return d, nil
+}
+
+// recoverSegment scans one segment, registering every intact record and
+// truncating the file after the last one. It returns the valid size and
+// keeps a read handle in d.readers.
+func (d *DiskStore) recoverSegment(id int, path string) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: disk: %w", err)
+	}
+	fileSize := int64(0)
+	if st, err := f.Stat(); err == nil {
+		fileSize = st.Size()
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	var hdr [recordHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break // clean EOF or torn header: valid data ends at off
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		// A length the writer would never produce, or one reaching past
+		// the end of the file, marks a torn/corrupt tail — and bounding
+		// by the file size keeps a corrupt header from triggering a
+		// multi-gigabyte allocation.
+		if n > maxRecordBytes || int64(n) > fileSize-off-recordHeaderSize {
+			break
+		}
+		h, err := hash.FromBytes(hdr[4:])
+		if err != nil {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break // torn payload
+		}
+		if hash.Of(payload) != h {
+			break // payload does not re-hash to its address: torn write
+		}
+		if _, dup := d.locs[h]; !dup {
+			d.locs[h] = recordLoc{seg: int32(id), n: int32(n), off: off + recordHeaderSize}
+			d.ctr.uniqueNodes.Add(1)
+			d.ctr.uniqueBytes.Add(int64(n))
+		}
+		off += recordHeaderSize + int64(n)
+	}
+	if st, err := f.Stat(); err == nil && st.Size() > off {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("store: disk: truncating torn tail of %s: %w", filepath.Base(path), err)
+		}
+	}
+	d.readers = append(d.readers, f)
+	return off, nil
+}
+
+// openActiveWriter attaches the buffered append writer to the current
+// active segment (d.activeID), which must already have a reader.
+func (d *DiskStore) openActiveWriter() error {
+	path := filepath.Join(d.dirPath, segmentName(d.activeID))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: disk: %w", err)
+	}
+	d.active = f
+	d.w = bufio.NewWriterSize(f, d.opts.FlushBytes)
+	return nil
+}
+
+// appendSegment creates segment activeID+1 and makes it active. Callers
+// must have flushed the previous writer.
+func (d *DiskStore) appendSegment() error {
+	id := d.activeID + 1
+	path := filepath.Join(d.dirPath, segmentName(id))
+	rf, err := os.Open(path)
+	if os.IsNotExist(err) {
+		if f, cerr := os.Create(path); cerr != nil {
+			return fmt.Errorf("store: disk: %w", cerr)
+		} else if cerr = f.Close(); cerr != nil {
+			return fmt.Errorf("store: disk: %w", cerr)
+		}
+		rf, err = os.Open(path)
+	}
+	if err != nil {
+		return fmt.Errorf("store: disk: %w", err)
+	}
+	if d.active != nil {
+		d.active.Close()
+	}
+	d.readers = append(d.readers, rf)
+	d.activeID = id
+	d.activeSize = 0
+	return d.openActiveWriter()
+}
+
+// Put implements Store. Write errors are sticky and surfaced by Sync and
+// Close; until then the affected nodes remain readable from memory.
+func (d *DiskStore) Put(data []byte) hash.Hash {
+	h := hash.Of(data)
+	d.ctr.rawNodes.Add(1)
+	d.ctr.rawBytes.Add(int64(len(data)))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.locs[h]; ok {
+		d.ctr.dedupHits.Add(1)
+		return h
+	}
+	if _, ok := d.resident[h]; ok {
+		d.ctr.dedupHits.Add(1)
+		return h
+	}
+	if d.closed {
+		d.fail(errors.New("store: disk: Put after Close"))
+		return h
+	}
+	if int64(len(data)) > maxRecordBytes {
+		// Larger than the record format allows: recovery would reject it
+		// on reopen, so never write it. Keep it readable in memory and
+		// surface the condition instead of losing it (and the records
+		// after it) silently on the next open.
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		d.resident[h] = cp
+		d.ctr.uniqueNodes.Add(1)
+		d.ctr.uniqueBytes.Add(int64(len(data)))
+		d.fail(fmt.Errorf("store: disk: node of %d bytes exceeds the record limit (%d); kept memory-resident, not persisted", len(data), maxRecordBytes))
+		return h
+	}
+	rec := recordHeaderSize + int64(len(data))
+	if d.activeSize > 0 && d.activeSize+rec > d.opts.SegmentBytes {
+		if err := d.flushLocked(); err == nil {
+			if err := d.appendSegment(); err != nil {
+				d.fail(err)
+			}
+		}
+	}
+	var hdr [recordHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(data)))
+	copy(hdr[4:], h[:])
+	if _, err := d.w.Write(hdr[:]); err != nil {
+		d.fail(err)
+	}
+	if _, err := d.w.Write(data); err != nil {
+		d.fail(err)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.pending[h] = cp
+	d.pendingBytes += len(cp)
+	d.locs[h] = recordLoc{seg: int32(d.activeID), n: int32(len(data)), off: d.activeSize + recordHeaderSize}
+	d.activeSize += rec
+	d.ctr.uniqueNodes.Add(1)
+	d.ctr.uniqueBytes.Add(int64(len(data)))
+	if d.pendingBytes >= d.opts.FlushBytes {
+		_ = d.flushLocked()
+	}
+	return h
+}
+
+// fail records the first error for Sync/Close to report; later errors are
+// dropped — under a persistent failure (disk full) every subsequent write
+// fails too, and joining millions of them would grow without bound.
+func (d *DiskStore) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// flushLocked pushes buffered records to the OS and retires the pending
+// map. On failure pending entries are kept so reads stay correct. Caller
+// holds d.mu.
+func (d *DiskStore) flushLocked() error {
+	if err := d.w.Flush(); err != nil {
+		d.fail(fmt.Errorf("store: disk: flush: %w", err))
+		return err
+	}
+	if d.opts.SyncOnFlush {
+		if err := d.active.Sync(); err != nil {
+			d.fail(fmt.Errorf("store: disk: sync: %w", err))
+			return err
+		}
+	}
+	clear(d.pending)
+	d.pendingBytes = 0
+	return nil
+}
+
+// Get implements Store. Flushed records are read without holding the lock:
+// a written file region is immutable and *os.File supports concurrent
+// ReadAt.
+func (d *DiskStore) Get(h hash.Hash) ([]byte, bool) {
+	d.ctr.gets.Add(1)
+	d.mu.RLock()
+	if p, ok := d.pending[h]; ok {
+		d.mu.RUnlock()
+		return p, true
+	}
+	if r, ok := d.resident[h]; ok {
+		d.mu.RUnlock()
+		return r, true
+	}
+	loc, ok := d.locs[h]
+	var f *os.File
+	if ok {
+		f = d.readers[loc.seg]
+	}
+	d.mu.RUnlock()
+	if !ok {
+		d.ctr.misses.Add(1)
+		return nil, false
+	}
+	buf := make([]byte, loc.n)
+	if _, err := f.ReadAt(buf, loc.off); err != nil {
+		d.ctr.misses.Add(1)
+		d.mu.Lock()
+		d.fail(fmt.Errorf("store: disk: read seg %d @%d: %w", loc.seg, loc.off, err))
+		d.mu.Unlock()
+		return nil, false
+	}
+	return buf, true
+}
+
+// Has implements Store.
+func (d *DiskStore) Has(h hash.Hash) bool {
+	d.mu.RLock()
+	_, ok := d.locs[h]
+	if !ok {
+		_, ok = d.resident[h]
+	}
+	d.mu.RUnlock()
+	return ok
+}
+
+// Stats implements Store.
+func (d *DiskStore) Stats() Stats { return d.ctr.snapshot() }
+
+// Len returns the number of distinct nodes resident.
+func (d *DiskStore) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.locs) + len(d.resident)
+}
+
+// SizeOf returns the stored size of h in bytes, or 0 if absent.
+func (d *DiskStore) SizeOf(h hash.Hash) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if r, ok := d.resident[h]; ok {
+		return len(r)
+	}
+	return int(d.locs[h].n)
+}
+
+// Dir returns the directory holding the segment files.
+func (d *DiskStore) Dir() string { return d.dirPath }
+
+// Segments returns how many segment files the store spans.
+func (d *DiskStore) Segments() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.readers)
+}
+
+// Sync flushes buffered records and fsyncs the active segment, then
+// reports any write error accumulated so far.
+func (d *DiskStore) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return d.err
+	}
+	if err := d.flushLocked(); err != nil {
+		return d.err
+	}
+	if err := d.active.Sync(); err != nil {
+		d.fail(fmt.Errorf("store: disk: sync: %w", err))
+	}
+	return d.err
+}
+
+// Close flushes and closes every file handle. When the store was opened as
+// an ephemeral backend (store.Open without KeepFiles), the segment
+// directory is removed as well. Close reports the first write error
+// encountered during the store's lifetime.
+func (d *DiskStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return d.err
+	}
+	d.closed = true
+	_ = d.flushLocked()
+	d.closeFiles()
+	if d.removeOnClose {
+		if err := os.RemoveAll(d.dirPath); err != nil {
+			d.fail(err)
+		}
+	}
+	return d.err
+}
+
+// closeFiles closes all handles without flushing. Caller holds d.mu (or is
+// the constructor on its error path).
+func (d *DiskStore) closeFiles() {
+	if d.active != nil {
+		if err := d.active.Close(); err != nil {
+			d.fail(err)
+		}
+		d.active = nil
+	}
+	for _, f := range d.readers {
+		if err := f.Close(); err != nil {
+			d.fail(err)
+		}
+	}
+	d.readers = nil
+}

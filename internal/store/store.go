@@ -4,10 +4,24 @@
 // page-level deduplication and tamper evidence natural: writing the same
 // node twice stores it once, and any mutation produces a new key.
 //
-// The in-memory implementation keeps byte- and node-level accounting so the
+// Every implementation keeps byte- and node-level accounting so the
 // storage experiments (Figures 1 and 14–18 of the paper) can report both the
 // deduplicated footprint (unique bytes) and the raw footprint (all bytes
 // ever written, as if every version were stored separately).
+//
+// Four backends share the Store contract (verified by the conformance
+// suite in the storetest subpackage):
+//
+//	MemStore      single-lock in-memory map; the simple baseline
+//	ShardedStore  N-way sharded in-memory map, per-shard locks and atomic
+//	              stats, for concurrent index updates at scale
+//	DiskStore     append-only segment files with an in-memory directory,
+//	              crash-safe via a rebuild-on-open scan
+//	CachedStore   bounded LRU layered over any of the above
+//
+// Open selects a backend by name ("mem", "sharded", "disk") plus an
+// optional cache layer; cmd/siribench threads the same selection through
+// every experiment via its -store flag.
 package store
 
 import (

@@ -1,0 +1,229 @@
+// Package storetest provides the conformance suite every store.Store
+// implementation must pass. A backend wires itself in with one line:
+//
+//	storetest.RunStoreTests(t, func(t *testing.T) store.Store { return store.NewMemStore() })
+//
+// The suite pins down the contract the index structures and the paper's
+// storage figures rely on: content addressing, dedup accounting
+// (UniqueBytes ≤ RawBytes, DedupHits = RawNodes − UniqueNodes), buffer
+// ownership, miss counting, and safety under concurrent Put/Get (run the
+// suite under -race to make that part meaningful).
+package storetest
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// Factory returns a fresh empty store for one (sub)test. Implementations
+// needing cleanup should register it with t.Cleanup.
+type Factory func(t *testing.T) store.Store
+
+// RunStoreTests runs the full conformance suite against stores produced by
+// newStore.
+func RunStoreTests(t *testing.T, newStore Factory) {
+	t.Helper()
+	tests := []struct {
+		name string
+		fn   func(*testing.T, Factory)
+	}{
+		{"PutGetRoundTrip", testPutGetRoundTrip},
+		{"GetMissing", testGetMissing},
+		{"HasSemantics", testHasSemantics},
+		{"DedupAccounting", testDedupAccounting},
+		{"CopiesCallerBuffer", testCopiesCallerBuffer},
+		{"EmptyValue", testEmptyValue},
+		{"ManyNodes", testManyNodes},
+		{"StatsInvariantsProperty", testStatsInvariantsProperty},
+		{"ConcurrentPutGet", testConcurrentPutGet},
+		{"ConcurrentDedup", testConcurrentDedup},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) { tc.fn(t, newStore) })
+	}
+}
+
+func testPutGetRoundTrip(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	data := []byte("node contents")
+	h := s.Put(data)
+	if h != hash.Of(data) {
+		t.Fatalf("Put returned %v, want the content digest", h)
+	}
+	got, ok := s.Get(h)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+func testGetMissing(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	if _, ok := s.Get(hash.Of([]byte("absent"))); ok {
+		t.Fatal("Get on empty store returned ok")
+	}
+	st := s.Stats()
+	if st.Gets != 1 || st.Misses != 1 {
+		t.Fatalf("stats after one miss = %+v", st)
+	}
+}
+
+func testHasSemantics(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	h := s.Put([]byte("present"))
+	if !s.Has(h) {
+		t.Fatal("Has = false after Put")
+	}
+	if s.Has(hash.Of([]byte("absent"))) {
+		t.Fatal("Has = true for absent node")
+	}
+	// Has must not disturb the Get/Miss counters.
+	if st := s.Stats(); st.Gets != 0 || st.Misses != 0 {
+		t.Fatalf("Has moved the Get counters: %+v", st)
+	}
+}
+
+func testDedupAccounting(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	data := []byte("same node")
+	h1 := s.Put(data)
+	h2 := s.Put(data)
+	if h1 != h2 {
+		t.Fatal("identical content produced different hashes")
+	}
+	st := s.Stats()
+	if st.UniqueNodes != 1 || st.RawNodes != 2 || st.DedupHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.UniqueBytes != int64(len(data)) || st.RawBytes != 2*int64(len(data)) {
+		t.Fatalf("byte accounting = %+v", st)
+	}
+}
+
+func testCopiesCallerBuffer(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	buf := []byte("mutate me")
+	want := append([]byte(nil), buf...)
+	h := s.Put(buf)
+	buf[0] = 'X'
+	got, ok := s.Get(h)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("store aliases the caller buffer: got %q", got)
+	}
+}
+
+func testEmptyValue(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	h := s.Put(nil)
+	if h != hash.Of(nil) {
+		t.Fatalf("Put(nil) hash = %v", h)
+	}
+	got, ok := s.Get(h)
+	if !ok || len(got) != 0 {
+		t.Fatalf("Get of empty node = %q, %v", got, ok)
+	}
+	if !s.Has(h) {
+		t.Fatal("Has = false for empty node")
+	}
+}
+
+func testManyNodes(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	const n = 500
+	hs := make([]hash.Hash, n)
+	var bytesTotal int64
+	for i := 0; i < n; i++ {
+		data := blob(i)
+		hs[i] = s.Put(data)
+		bytesTotal += int64(len(data))
+	}
+	for i, h := range hs {
+		got, ok := s.Get(h)
+		if !ok || !bytes.Equal(got, blob(i)) {
+			t.Fatalf("node %d: Get = %q, %v", i, got, ok)
+		}
+	}
+	st := s.Stats()
+	if st.UniqueNodes != n || st.UniqueBytes != bytesTotal {
+		t.Fatalf("stats after %d distinct nodes = %+v", n, st)
+	}
+}
+
+func testStatsInvariantsProperty(t *testing.T, newStore Factory) {
+	f := func(blobs [][]byte) bool {
+		s := newStore(t)
+		for _, b := range blobs {
+			s.Put(b)
+		}
+		st := s.Stats()
+		return st.UniqueBytes <= st.RawBytes && st.UniqueNodes <= st.RawNodes &&
+			st.DedupHits == st.RawNodes-st.UniqueNodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testConcurrentPutGet(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	const workers, perWorker = 8, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				data := []byte(fmt.Sprintf("w%d-i%d", w%4, i)) // overlap across workers
+				h := s.Put(data)
+				if got, ok := s.Get(h); !ok || !bytes.Equal(got, data) {
+					t.Errorf("Get after Put failed for %q", data)
+					return
+				}
+				if !s.Has(h) {
+					t.Errorf("Has after Put failed for %q", data)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.UniqueNodes != 4*perWorker {
+		t.Fatalf("UniqueNodes = %d, want %d", st.UniqueNodes, 4*perWorker)
+	}
+}
+
+func testConcurrentDedup(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	const workers, blobs = 8, 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < blobs; i++ {
+				s.Put(blob(i)) // every worker writes the same set
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.UniqueNodes != blobs {
+		t.Fatalf("UniqueNodes = %d, want %d", st.UniqueNodes, blobs)
+	}
+	if st.RawNodes != workers*blobs {
+		t.Fatalf("RawNodes = %d, want %d", st.RawNodes, workers*blobs)
+	}
+	if st.DedupHits != st.RawNodes-st.UniqueNodes {
+		t.Fatalf("DedupHits = %d, want %d", st.DedupHits, st.RawNodes-st.UniqueNodes)
+	}
+}
+
+// blob generates deterministic distinct content of varied length.
+func blob(i int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("node-%04d|", i)), i%7+1)
+}
