@@ -28,8 +28,10 @@ import (
 )
 
 func main() {
-	scaleName := flag.String("scale", "medium", "experiment scale: small, medium or full")
+	scaleName := flag.String("scale", "medium", "experiment scale: tiny, small, medium or full")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	jsonPath := flag.String("json", "",
+		"also write a machine-readable report (ops/s tables + store stats per experiment) to this path, e.g. BENCH_2.json")
 	storeName := flag.String("store", store.BackendMem,
 		"node store backend: "+strings.Join(store.Backends(), ", "))
 	shards := flag.Int("shards", 0, "shard count for -store=sharded (0 = default)")
@@ -94,14 +96,35 @@ func main() {
 		storeDesc += fmt.Sprintf("+%dB cache", *cacheBytes)
 	}
 	fmt.Printf("siribench: scale=%s, store=%s, %d experiment(s)\n\n", scale.Name, storeDesc, len(experiments))
+	var report *bench.Report
+	if *jsonPath != "" {
+		report = bench.NewReport(scale.Name, storeDesc)
+	}
 	for _, e := range experiments {
 		start := time.Now()
-		tables, err := e.Run(scale)
+		var tables []*bench.Table
+		var err error
+		if report != nil {
+			var stats store.Stats
+			tables, stats, err = bench.RunWithStats(e, scale)
+			if err == nil {
+				report.Add(e, tables, stats, time.Since(start))
+			}
+		} else {
+			tables, err = e.Run(scale)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 		bench.FprintAll(os.Stdout, tables)
 		fmt.Printf("[%s done in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if report != nil {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("machine-readable report written to %s\n", *jsonPath)
 	}
 }

@@ -7,5 +7,13 @@
 // evaluation. Node storage is pluggable: in-memory (single-lock or
 // sharded) and append-only on-disk backends share one content-addressed
 // store contract, selectable per experiment via siribench's -store flag.
-// See README.md for a tour of the layout and the store backend matrix.
+//
+// Writes follow a stage → commit → batch-flush pipeline: batch updates
+// mutate decoded in-memory nodes (MPT on a dirty overlay, MBT and
+// POS-Tree through a staged writer), the nodes reachable from the final
+// root are encoded and hashed exactly once at commit, and the whole batch
+// lands in the store through one store.Batcher.PutBatch call. Reads go
+// through a per-index decoded-node LRU so hot upper levels are parsed
+// once. See README.md ("The write path") for details, the store backend
+// matrix, and the layout tour.
 package repro

@@ -84,6 +84,26 @@ func (t *storeTracker) add(s store.Store) {
 	t.mu.Unlock()
 }
 
+// aggregate sums the current accounting of every tracked store. Called
+// before releaseAll when a caller wants the run's storage footprint (a
+// released DiskStore has deleted its files).
+func (t *storeTracker) aggregate() store.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var agg store.Stats
+	for _, s := range t.stores {
+		st := s.Stats()
+		agg.UniqueNodes += st.UniqueNodes
+		agg.UniqueBytes += st.UniqueBytes
+		agg.RawNodes += st.RawNodes
+		agg.RawBytes += st.RawBytes
+		agg.DedupHits += st.DedupHits
+		agg.Gets += st.Gets
+		agg.Misses += st.Misses
+	}
+	return agg
+}
+
 // releaseAll releases every tracked store. Releasing a store twice is safe
 // (DiskStore.Close is idempotent), so experiments that already release
 // per-cell for promptness need no special casing.
@@ -232,9 +252,12 @@ func FullScale() Scale {
 	}
 }
 
-// ScaleByName resolves small/medium/full.
+// ScaleByName resolves tiny/small/medium/full. Tiny is the CI smoke scale:
+// the whole suite in seconds, every code path exercised.
 func ScaleByName(name string) (Scale, error) {
 	switch name {
+	case "tiny":
+		return TinyScale(), nil
 	case "small":
 		return SmallScale(), nil
 	case "medium", "":
@@ -242,7 +265,7 @@ func ScaleByName(name string) (Scale, error) {
 	case "full":
 		return FullScale(), nil
 	}
-	return Scale{}, fmt.Errorf("bench: unknown scale %q (want small, medium or full)", name)
+	return Scale{}, fmt.Errorf("bench: unknown scale %q (want tiny, small, medium or full)", name)
 }
 
 // Candidate describes one index class under test.

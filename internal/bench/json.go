@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Report is the machine-readable form of one siribench run, written by
+// cmd/siribench -json. It carries everything the text tables print —
+// ops/s cells per figure — plus the aggregate store accounting per
+// experiment, so successive PRs can be compared as a perf trajectory
+// (CI uploads one BENCH_<pr>.json per run as an artifact).
+type Report struct {
+	Scale       string             `json:"scale"`
+	Store       string             `json:"store"`
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	StartedAt   time.Time          `json:"started_at"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// ExperimentResult is one experiment's tables plus run metadata.
+type ExperimentResult struct {
+	Name      string  `json:"name"`
+	Desc      string  `json:"desc"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// StoreStats aggregates the accounting of every store the experiment
+	// opened (one per candidate per cell), snapshotted before release: the
+	// raw-vs-unique node and byte series behind the storage figures.
+	StoreStats store.Stats `json:"store_stats"`
+	Tables     []*Table    `json:"tables"`
+}
+
+// NewReport starts a report for one run.
+func NewReport(scale, storeDesc string) *Report {
+	return &Report{
+		Scale:     scale,
+		Store:     storeDesc,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		StartedAt: time.Now().UTC(),
+	}
+}
+
+// Add records one finished experiment.
+func (r *Report) Add(e Experiment, tables []*Table, stats store.Stats, elapsed time.Duration) {
+	r.Experiments = append(r.Experiments, ExperimentResult{
+		Name:       e.Name,
+		Desc:       e.Desc,
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		StoreStats: stats,
+		Tables:     tables,
+	})
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: report: %w", err)
+	}
+	return nil
+}

@@ -1,6 +1,10 @@
 package bench
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
 
 // Experiment is one runnable paper artifact.
 type Experiment struct {
@@ -10,6 +14,9 @@ type Experiment struct {
 	Desc string
 	// Run executes the experiment at the given scale.
 	Run func(Scale) ([]*Table, error)
+	// raw is the unwrapped run function, kept so RunWithStats can install
+	// its own store tracker and read the stats before release.
+	raw func(Scale) ([]*Table, error)
 }
 
 // Experiments lists every reproduced table and figure in paper order.
@@ -17,27 +24,35 @@ type Experiment struct {
 // Scale.NewStore — disk-backed ones in particular — are released when the
 // experiment returns, success or error.
 func Experiments() []Experiment {
-	return []Experiment{
-		{"fig1", "storage and transmission time, deduplicated vs raw", tracked(Fig01)},
-		{"fig6", "YCSB throughput grid: skew × write ratio × dataset size", tracked(Fig06)},
-		{"fig7", "throughput on Wiki and Ethereum datasets", tracked(Fig07)},
-		{"fig8", "diff latency between independently loaded versions", tracked(Fig08)},
-		{"fig9", "traversed tree height distribution", tracked(Fig09)},
-		{"fig10", "YCSB latency distributions (read/write × balanced/skewed)", tracked(Fig10)},
-		{"fig11", "Wiki latency distributions", tracked(Fig11)},
-		{"fig12", "Ethereum latency distributions", tracked(Fig12)},
-		{"fig13", "MBT lookup breakdown: load vs scan", tracked(Fig13)},
-		{"fig14", "single-group storage usage and node counts", tracked(Fig14)},
-		{"fig15", "Wiki storage usage and node counts", tracked(Fig15)},
-		{"fig16", "Ethereum storage usage and node counts", tracked(Fig16)},
-		{"fig17", "collaboration metrics vs overlap ratio", tracked(Fig17)},
-		{"fig18", "collaboration metrics vs batch size", tracked(Fig18)},
-		{"table3", "deduplication ratio vs structure parameters", tracked(Table3)},
-		{"fig19", "ablation: structurally invariant property", tracked(Fig19)},
-		{"fig20", "ablation: recursively identical property", tracked(Fig20)},
-		{"fig21", "system throughput integrated with Forkbase engine", tracked(Fig21)},
-		{"fig22", "Forkbase (POS-Tree) vs Noms (Prolly Tree)", tracked(Fig22)},
+	defs := []struct {
+		name, desc string
+		run        func(Scale) ([]*Table, error)
+	}{
+		{"fig1", "storage and transmission time, deduplicated vs raw", Fig01},
+		{"fig6", "YCSB throughput grid: skew × write ratio × dataset size", Fig06},
+		{"fig7", "throughput on Wiki and Ethereum datasets", Fig07},
+		{"fig8", "diff latency between independently loaded versions", Fig08},
+		{"fig9", "traversed tree height distribution", Fig09},
+		{"fig10", "YCSB latency distributions (read/write × balanced/skewed)", Fig10},
+		{"fig11", "Wiki latency distributions", Fig11},
+		{"fig12", "Ethereum latency distributions", Fig12},
+		{"fig13", "MBT lookup breakdown: load vs scan", Fig13},
+		{"fig14", "single-group storage usage and node counts", Fig14},
+		{"fig15", "Wiki storage usage and node counts", Fig15},
+		{"fig16", "Ethereum storage usage and node counts", Fig16},
+		{"fig17", "collaboration metrics vs overlap ratio", Fig17},
+		{"fig18", "collaboration metrics vs batch size", Fig18},
+		{"table3", "deduplication ratio vs structure parameters", Table3},
+		{"fig19", "ablation: structurally invariant property", Fig19},
+		{"fig20", "ablation: recursively identical property", Fig20},
+		{"fig21", "system throughput integrated with Forkbase engine", Fig21},
+		{"fig22", "Forkbase (POS-Tree) vs Noms (Prolly Tree)", Fig22},
 	}
+	out := make([]Experiment, len(defs))
+	for i, d := range defs {
+		out[i] = Experiment{Name: d.name, Desc: d.desc, Run: tracked(d.run), raw: d.run}
+	}
+	return out
 }
 
 // tracked wraps an experiment so every store its Scale.NewStore opens is
@@ -48,6 +63,23 @@ func tracked(run func(Scale) ([]*Table, error)) func(Scale) ([]*Table, error) {
 		defer release()
 		return run(sc)
 	}
+}
+
+// RunWithStats runs e at sc and also returns the aggregate store accounting
+// across every store the run opened, snapshotted before the stores are
+// released (a released disk store has deleted its files). It is the entry
+// point for the machine-readable report of cmd/siribench -json; plain Run
+// discards the stats with the stores.
+func RunWithStats(e Experiment, sc Scale) ([]*Table, store.Stats, error) {
+	run := e.raw
+	if run == nil {
+		run = e.Run // foreign Experiment value: stats will cover nothing
+	}
+	sc, release := sc.WithStoreTracking()
+	defer release()
+	tables, err := run(sc)
+	stats := sc.tracker.aggregate()
+	return tables, stats, err
 }
 
 // ByName resolves an experiment by CLI name.

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/hash"
+)
+
+// NodeCache is a small LRU of decoded nodes keyed by their content digest.
+// Index instances share one per family (every version derived from the same
+// New/Load call), so Get-heavy workloads stop re-decoding the hot upper
+// levels of the tree on every lookup: the store still holds the canonical
+// bytes, this holds the parsed form.
+//
+// Content addressing makes the cache trivially coherent — a digest can only
+// ever map to one decoding — so there is no invalidation path. Cached
+// values are shared between callers and MUST be treated as immutable;
+// the index packages copy nodes before mutating them.
+type NodeCache[T any] struct {
+	mu      sync.Mutex
+	max     int
+	entries map[hash.Hash]*cacheNode[T]
+	head    *cacheNode[T] // most recently used
+	tail    *cacheNode[T] // least recently used
+}
+
+type cacheNode[T any] struct {
+	h          hash.Hash
+	v          T
+	prev, next *cacheNode[T]
+}
+
+// DefaultNodeCacheEntries bounds the per-index decoded-node caches. At the
+// paper's ~1KB node size this is a few MB of decoded state per index
+// family — enough to keep every internal level of a multi-million entry
+// tree resident.
+const DefaultNodeCacheEntries = 4096
+
+// NewNodeCache returns a cache bounded to max entries; max <= 0 selects
+// DefaultNodeCacheEntries.
+func NewNodeCache[T any](max int) *NodeCache[T] {
+	if max <= 0 {
+		max = DefaultNodeCacheEntries
+	}
+	return &NodeCache[T]{max: max, entries: make(map[hash.Hash]*cacheNode[T])}
+}
+
+// Get returns the decoded node cached under h, marking it most recently
+// used.
+func (c *NodeCache[T]) Get(h hash.Hash) (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[h]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	c.moveToFront(n)
+	return n.v, true
+}
+
+// Add caches v under h, evicting the least recently used entry when full.
+func (c *NodeCache[T]) Add(h hash.Hash, v T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.entries[h]; ok {
+		c.moveToFront(n)
+		return
+	}
+	n := &cacheNode[T]{h: h, v: v}
+	c.entries[h] = n
+	c.pushFront(n)
+	if len(c.entries) > c.max {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.h)
+	}
+}
+
+// Load returns the decoding of h, serving from cache when possible and
+// otherwise fetching the raw bytes and decoding them, caching on success.
+// It is the one place the cache-check → fetch → decode → cache-fill shape
+// lives, shared by every index package; a nil receiver degrades to plain
+// fetch+decode. The callbacks do not escape, so hot-path calls stay
+// allocation-free.
+func (c *NodeCache[T]) Load(h hash.Hash, fetch func() ([]byte, error), decode func([]byte) (T, error)) (T, error) {
+	if c != nil {
+		if v, ok := c.Get(h); ok {
+			return v, nil
+		}
+	}
+	var zero T
+	data, err := fetch()
+	if err != nil {
+		return zero, err
+	}
+	v, err := decode(data)
+	if err != nil {
+		return zero, err
+	}
+	if c != nil {
+		c.Add(h, v)
+	}
+	return v, nil
+}
+
+// Len returns the number of cached nodes.
+func (c *NodeCache[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *NodeCache[T]) pushFront(n *cacheNode[T]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *NodeCache[T]) unlink(n *cacheNode[T]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *NodeCache[T]) moveToFront(n *cacheNode[T]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// StagedWriter is the commit-time write path shared by the index
+// structures: batch mutations encode their new nodes into the writer
+// instead of the store, and one Flush at commit persists everything through
+// the store's batch interface.
+//
+// Two effects make this the fast write path. First, only nodes reachable
+// from the committed root are ever staged — the O(N·depth) intermediate
+// nodes a naive sequence of copy-on-write updates would persist (and
+// immediately orphan) are never encoded, hashed or written. Second, each
+// node's digest is computed exactly once, here, during bottom-up Merkle
+// hashing; Flush hands the digests to store.PutBatchHashed so the store
+// does not hash again, and the whole batch lands under one round of store
+// synchronization.
+//
+// A StagedWriter is single-batch and not safe for concurrent use; create
+// one per mutation, Flush it, and drop it.
+type StagedWriter struct {
+	s      store.Store
+	hashes []hash.Hash
+	encs   [][]byte
+	index  map[hash.Hash]int // staged position by digest, for dedup + Lookup
+}
+
+// NewStagedWriter returns an empty writer staging into s.
+func NewStagedWriter(s store.Store) *StagedWriter {
+	return &StagedWriter{s: s, index: make(map[hash.Hash]int)}
+}
+
+// Put stages one encoded node and returns its digest. The writer takes
+// ownership of enc (callers pass freshly encoded buffers). Staging the same
+// content twice is a deduplicated no-op, mirroring store semantics.
+func (w *StagedWriter) Put(enc []byte) hash.Hash {
+	h := hash.Of(enc)
+	if _, ok := w.index[h]; ok {
+		return h
+	}
+	w.index[h] = len(w.encs)
+	w.hashes = append(w.hashes, h)
+	w.encs = append(w.encs, enc)
+	return h
+}
+
+// Lookup serves reads of staged-but-unflushed nodes, so editors that walk
+// nodes they just produced (e.g. a root collapse after a rebuild) see their
+// own writes. It does not fall through to the store.
+func (w *StagedWriter) Lookup(h hash.Hash) ([]byte, bool) {
+	i, ok := w.index[h]
+	if !ok {
+		return nil, false
+	}
+	return w.encs[i], true
+}
+
+// Staged returns how many distinct nodes are waiting to be flushed.
+func (w *StagedWriter) Staged() int { return len(w.encs) }
+
+// Flush persists every staged node in one batch write and resets the
+// writer. Digests computed at Put time ride along, so built-in backends
+// skip re-hashing.
+func (w *StagedWriter) Flush() {
+	if len(w.encs) == 0 {
+		return
+	}
+	store.PutBatchHashed(w.s, w.hashes, w.encs)
+	w.hashes = nil
+	w.encs = nil
+	w.index = make(map[hash.Hash]int)
+}

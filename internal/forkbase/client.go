@@ -92,9 +92,11 @@ func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
 	return rt, rp, nil
 }
 
-// fetchNode retrieves one node from the servlet.
+// fetchNode retrieves one node from the servlet. The request payload slices
+// the digest directly — Hash.Bytes would allocate a copy per fetch on this
+// hot path.
 func (c *Client) fetchNode(h hash.Hash) ([]byte, bool, error) {
-	typ, payload, err := c.roundTrip(msgGetNode, h.Bytes())
+	typ, payload, err := c.roundTrip(msgGetNode, h[:])
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,51 @@
+package hash_test
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// BenchmarkOf measures the two hashing paths against an inline
+// sha256.New-per-call baseline. The single-part case is the encode path
+// every index node write takes (one ~1KB node per call) and compiles to an
+// allocation-free sha256.Sum256; the multi-part case covers callers hashing
+// split encodings through the pooled digest state, which keeps the state
+// off the heap even when escape analysis cannot (the baseline below only
+// reaches 0 allocs/op because the compiler can stack-allocate the digest in
+// this closure — hash.Of, a variadic exported function, gets no such
+// guarantee at arbitrary call sites).
+func BenchmarkOf(b *testing.B) {
+	node := make([]byte, 1024)
+	for i := range node {
+		node[i] = byte(i)
+	}
+	b.Run("single-1KB", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			_ = hash.Of(node)
+		}
+	})
+	b.Run("multi-3-parts", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(1024)
+		a, m, z := node[:256], node[256:512], node[512:]
+		for i := 0; i < b.N; i++ {
+			_ = hash.Of(a, m, z)
+		}
+	})
+	// The unpooled baseline, kept runnable so benchstat can show the delta
+	// without checking out the previous commit.
+	b.Run("baseline-unpooled-1KB", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			h := sha256.New()
+			h.Write(node)
+			var out hash.Hash
+			h.Sum(out[:0])
+		}
+	})
+}

@@ -16,6 +16,10 @@ type Tree struct {
 	cfg   Config
 	sizes []int // node count per level, buckets first
 	root  hash.Hash
+	// cache holds decoded internal nodes keyed by digest, shared by every
+	// version derived from the same New/Load call, so the path walk of a
+	// lookup stops re-decoding the hot upper levels.
+	cache *core.NodeCache[*internalNode]
 }
 
 // Compile-time interface checks.
@@ -32,12 +36,14 @@ func New(s store.Store, cfg Config) (*Tree, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes()}
+	t := &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes(), cache: core.NewNodeCache[*internalNode](0)}
 
-	// Build the complete empty tree level by level. Nodes with identical
-	// child lists are memoized so the build does O(levels) distinct hash
-	// computations rather than O(capacity).
-	emptyBucket := s.Put(encodeBucket(&bucketNode{}))
+	// Build the complete empty tree level by level into a staged writer —
+	// one batch flush instead of a Put per distinct node. Nodes with
+	// identical child lists are memoized so the build does O(levels)
+	// distinct hash computations rather than O(capacity).
+	w := core.NewStagedWriter(s)
+	emptyBucket := w.Put(encodeBucket(&bucketNode{}))
 	level := make([]hash.Hash, cfg.Capacity)
 	for i := range level {
 		level[i] = emptyBucket
@@ -52,13 +58,14 @@ func New(s store.Store, cfg Config) (*Tree, error) {
 			key := string(enc)
 			h, ok := memo[key]
 			if !ok {
-				h = s.Put(enc)
+				h = w.Put(enc)
 				memo[key] = h
 			}
 			next[p] = h
 		}
 		level = next
 	}
+	w.Flush()
 	t.root = level[0]
 	return t, nil
 }
@@ -69,7 +76,7 @@ func Load(s store.Store, cfg Config, root hash.Hash) (*Tree, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes(), root: root}, nil
+	return &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes(), root: root, cache: core.NewNodeCache[*internalNode](0)}, nil
 }
 
 // Name implements core.Index.
@@ -96,6 +103,13 @@ func (t *Tree) loadRaw(h hash.Hash) ([]byte, error) {
 	return data, nil
 }
 
+// loadInternal fetches and decodes the internal node at h, serving repeat
+// visits from the shared decoded-node cache. Cached nodes are shared:
+// callers copy the child slice before mutating (see updateNode).
+func (t *Tree) loadInternal(h hash.Hash) (*internalNode, error) {
+	return t.cache.Load(h, func() ([]byte, error) { return t.loadRaw(h) }, decodeInternal)
+}
+
 // bucketPath walks from the root to bucket b, returning the node hashes on
 // the path (root first, bucket last). This is the paper's reverse simulation
 // of the complete multi-way tree search.
@@ -103,11 +117,7 @@ func (t *Tree) bucketPath(b int) ([]hash.Hash, error) {
 	path := []hash.Hash{t.root}
 	h := t.root
 	for l := t.topLevel(); l > 0; l-- {
-		data, err := t.loadRaw(h)
-		if err != nil {
-			return nil, err
-		}
-		n, err := decodeInternal(data)
+		n, err := t.loadInternal(h)
 		if err != nil {
 			return nil, err
 		}
@@ -216,11 +226,20 @@ func (t *Tree) PutBatch(entries []core.Entry) (core.Index, error) {
 		return t, nil
 	}
 	groups := t.groupByBucket(core.SortEntries(entries), nil)
-	root, err := t.updateNode(t.root, t.topLevel(), 0, groups)
+	return t.commitGroups(groups)
+}
+
+// commitGroups rewrites the affected paths bottom-up through a staged
+// writer, so the whole update lands in the store as one batch flush of
+// exactly the nodes reachable from the new root.
+func (t *Tree) commitGroups(groups []bucketGroup) (core.Index, error) {
+	w := core.NewStagedWriter(t.s)
+	root, err := t.updateNode(w, t.root, t.topLevel(), 0, groups)
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{s: t.s, cfg: t.cfg, sizes: t.sizes, root: root}, nil
+	w.Flush()
+	return &Tree{s: t.s, cfg: t.cfg, sizes: t.sizes, root: root, cache: t.cache}, nil
 }
 
 // Delete implements core.Index.
@@ -234,11 +253,7 @@ func (t *Tree) Delete(key []byte) (core.Index, error) {
 		return t, nil
 	}
 	groups := t.groupByBucket(nil, [][]byte{key})
-	root, err := t.updateNode(t.root, t.topLevel(), 0, groups)
-	if err != nil {
-		return nil, err
-	}
-	return &Tree{s: t.s, cfg: t.cfg, sizes: t.sizes, root: root}, nil
+	return t.commitGroups(groups)
 }
 
 // groupByBucket partitions puts and dels into per-bucket groups sorted by
@@ -279,21 +294,21 @@ func (t *Tree) groupByBucket(puts []core.Entry, dels [][]byte) []bucketGroup {
 // updateNode rewrites node (level, pos) applying the given bucket groups,
 // returning the new node hash. Only children whose bucket ranges intersect
 // the groups are copied; the rest are shared with the previous version.
-func (t *Tree) updateNode(h hash.Hash, level, pos int, groups []bucketGroup) (hash.Hash, error) {
-	data, err := t.loadRaw(h)
-	if err != nil {
-		return hash.Null, err
-	}
+func (t *Tree) updateNode(w *core.StagedWriter, h hash.Hash, level, pos int, groups []bucketGroup) (hash.Hash, error) {
 	if level == 0 {
+		data, err := t.loadRaw(h)
+		if err != nil {
+			return hash.Null, err
+		}
 		bucket, err := decodeBucket(data)
 		if err != nil {
 			return hash.Null, err
 		}
 		g := groups[0] // exactly one group reaches a bucket
 		nb := &bucketNode{entries: applyToBucket(bucket.entries, g.puts, g.dels)}
-		return t.s.Put(encodeBucket(nb)), nil
+		return w.Put(encodeBucket(nb)), nil
 	}
-	n, err := decodeInternal(data)
+	n, err := t.loadInternal(h)
 	if err != nil {
 		return hash.Null, err
 	}
@@ -311,14 +326,14 @@ func (t *Tree) updateNode(h hash.Hash, level, pos int, groups []bucketGroup) (ha
 		if slot < 0 || slot >= len(nn.children) {
 			return hash.Null, fmt.Errorf("mbt: update slot %d out of range at level %d", slot, level)
 		}
-		child, err := t.updateNode(nn.children[slot], level-1, pos*t.cfg.Fanout+slot, groups[i:j])
+		child, err := t.updateNode(w, nn.children[slot], level-1, pos*t.cfg.Fanout+slot, groups[i:j])
 		if err != nil {
 			return hash.Null, err
 		}
 		nn.children[slot] = child
 		i = j
 	}
-	return t.s.Put(encodeInternal(nn)), nil
+	return w.Put(encodeInternal(nn)), nil
 }
 
 // Count implements core.Index.

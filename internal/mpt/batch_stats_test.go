@@ -1,0 +1,86 @@
+package mpt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpt"
+	"repro/internal/store"
+)
+
+// batchEntries builds n distinct key-value entries with well-spread keys.
+func batchEntries(n int) []core.Entry {
+	entries := make([]core.Entry, n)
+	for i := range entries {
+		entries[i] = core.Entry{
+			Key:   []byte(fmt.Sprintf("user%07d", i*2654435761%n)), // scrambled order
+			Value: []byte(fmt.Sprintf("value-%d", i)),
+		}
+	}
+	return entries
+}
+
+// TestPutBatchStoreStats locks in the storage accounting of the staged
+// batch write path. Before commit-time hashing, a 10k-entry PutBatch was a
+// loop of single inserts persisting every intermediate version's nodes —
+// O(entries × depth) Puts of which all but the final version's were
+// immediately unreachable, silently inflating the RawNodes/RawBytes series
+// of the Figure 1/14 storage experiments for batched loads. The staged path
+// must write exactly the final version's reachable node set, and the
+// sequential path must cost at least 2× more node writes (the acceptance
+// bar; in practice it is >5×).
+func TestPutBatchStoreStats(t *testing.T) {
+	const n = 10_000
+	entries := batchEntries(n)
+
+	staged := store.NewMemStore()
+	idx, err := mpt.New(staged).PutBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stagedStats := staged.Stats()
+
+	seq := store.NewMemStore()
+	var seqIdx core.Index = mpt.New(seq)
+	for _, e := range entries {
+		if seqIdx, err = seqIdx.Put(e.Key, e.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqStats := seq.Stats()
+
+	// Structural invariance: both paths commit byte-identical roots.
+	if idx.RootHash() != seqIdx.RootHash() {
+		t.Fatalf("staged root %v != sequential root %v", idx.RootHash(), seqIdx.RootHash())
+	}
+
+	// The staged batch stores nothing but the final version: every write is
+	// unique (the staged writer dedups before flushing) and every stored
+	// node is reachable from the committed root.
+	if stagedStats.RawNodes != stagedStats.UniqueNodes {
+		t.Errorf("staged path wrote duplicates: raw=%d unique=%d",
+			stagedStats.RawNodes, stagedStats.UniqueNodes)
+	}
+	reach, err := core.ReachStats(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(reach.Nodes) != stagedStats.UniqueNodes {
+		t.Errorf("staged path left garbage: %d stored nodes, %d reachable",
+			stagedStats.UniqueNodes, reach.Nodes)
+	}
+	if int64(reach.Bytes) != stagedStats.UniqueBytes {
+		t.Errorf("staged byte footprint %d != reachable bytes %d",
+			stagedStats.UniqueBytes, reach.Bytes)
+	}
+
+	// The headline: the acceptance bar of ≥2× fewer store writes.
+	if seqStats.RawNodes < 2*stagedStats.RawNodes {
+		t.Errorf("staged PutBatch wrote %d nodes, sequential wrote %d — want ≥2× reduction",
+			stagedStats.RawNodes, seqStats.RawNodes)
+	}
+	t.Logf("10k-entry batch: staged %d node writes (%d B), sequential %d node writes (%d B), %.1fx reduction",
+		stagedStats.RawNodes, stagedStats.RawBytes, seqStats.RawNodes, seqStats.RawBytes,
+		float64(seqStats.RawNodes)/float64(stagedStats.RawNodes))
+}

@@ -1,0 +1,175 @@
+package mpt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// This file is the trie's commit-time write path: PutBatch mutates decoded
+// in-memory nodes on a dirty overlay and only encodes, hashes and persists
+// the nodes reachable from the final root, once, at commit. A sequence of
+// copy-on-write single inserts instead persists every intermediate node it
+// creates — O(batch × depth) pages of which all but the final version's are
+// garbage the moment the next insert lands. Structural invariance
+// guarantees both paths commit byte-identical roots (the property tests in
+// internal/core enforce it).
+
+// sref points at one child in the overlay: a dirty in-memory node when n is
+// non-nil, otherwise a committed node by digest (hash.Null = absent).
+type sref struct {
+	h hash.Hash
+	n snode
+}
+
+// snode is a dirty decoded node: exactly one of *sleaf, *sext, *sbranch.
+// Dirty nodes are private to one batch, so the insert mutates them in
+// place — no per-update copying, encoding or hashing.
+type snode interface{ staged() }
+
+type sleaf struct {
+	path  []byte
+	value []byte
+}
+
+type sext struct {
+	path  []byte
+	child sref
+}
+
+type sbranch struct {
+	children [branchWidth]sref
+	value    []byte
+	hasValue bool
+}
+
+func (*sleaf) staged()   {}
+func (*sext) staged()    {}
+func (*sbranch) staged() {}
+
+// resolve returns the dirty node behind r, loading and converting a
+// committed node on first touch. Conversion allocates a fresh staged node
+// (decoded nodes may be shared through the node cache and must never be
+// mutated); the byte slices inside are shared read-only.
+func (t *Trie) resolve(r sref) (snode, error) {
+	if r.n != nil {
+		return r.n, nil
+	}
+	n, err := t.load(r.h)
+	if err != nil {
+		return nil, err
+	}
+	switch n := n.(type) {
+	case *leafNode:
+		return &sleaf{path: n.path, value: n.value}, nil
+	case *extensionNode:
+		return &sext{path: n.path, child: sref{h: n.child}}, nil
+	case *branchNode:
+		sb := &sbranch{value: n.value, hasValue: n.hasValue}
+		for i, c := range n.children {
+			sb.children[i] = sref{h: c}
+		}
+		return sb, nil
+	}
+	return nil, fmt.Errorf("mpt: unreachable node type %T", n)
+}
+
+// stagedInsert adds (path, value) below r, returning the new subtree ref.
+// It mirrors insert (trie.go) case for case, but mutates dirty nodes in
+// place and defers all hashing to commit.
+func (t *Trie) stagedInsert(r sref, path, value []byte) (sref, error) {
+	if r.n == nil && r.h.IsNull() {
+		return sref{n: &sleaf{path: path, value: value}}, nil
+	}
+	n, err := t.resolve(r)
+	if err != nil {
+		return sref{}, err
+	}
+	switch n := n.(type) {
+	case *sleaf:
+		cp := commonPrefixLen(n.path, path)
+		if cp == len(n.path) && cp == len(path) {
+			n.value = value
+			return sref{n: n}, nil
+		}
+		b := &sbranch{}
+		if cp == len(n.path) {
+			b.value, b.hasValue = n.value, true
+		} else {
+			b.children[n.path[cp]] = sref{n: &sleaf{path: n.path[cp+1:], value: n.value}}
+		}
+		if cp == len(path) {
+			b.value, b.hasValue = value, true
+		} else {
+			b.children[path[cp]] = sref{n: &sleaf{path: path[cp+1:], value: value}}
+		}
+		if cp > 0 {
+			return sref{n: &sext{path: path[:cp], child: sref{n: b}}}, nil
+		}
+		return sref{n: b}, nil
+
+	case *sext:
+		cp := commonPrefixLen(n.path, path)
+		if cp == len(n.path) {
+			child, err := t.stagedInsert(n.child, path[cp:], value)
+			if err != nil {
+				return sref{}, err
+			}
+			n.child = child
+			return sref{n: n}, nil
+		}
+		b := &sbranch{}
+		if cp+1 == len(n.path) {
+			b.children[n.path[cp]] = n.child
+		} else {
+			b.children[n.path[cp]] = sref{n: &sext{path: n.path[cp+1:], child: n.child}}
+		}
+		if cp == len(path) {
+			b.value, b.hasValue = value, true
+		} else {
+			b.children[path[cp]] = sref{n: &sleaf{path: path[cp+1:], value: value}}
+		}
+		if cp > 0 {
+			return sref{n: &sext{path: path[:cp], child: sref{n: b}}}, nil
+		}
+		return sref{n: b}, nil
+
+	case *sbranch:
+		if len(path) == 0 {
+			n.value, n.hasValue = value, true
+			return sref{n: n}, nil
+		}
+		child, err := t.stagedInsert(n.children[path[0]], path[1:], value)
+		if err != nil {
+			return sref{}, err
+		}
+		n.children[path[0]] = child
+		return sref{n: n}, nil
+	}
+	return sref{}, fmt.Errorf("mpt: unreachable staged node type %T", n)
+}
+
+// commit encodes the dirty subtree under r bottom-up — children first, so
+// every parent encoding embeds final child digests — staging each node into
+// w exactly once. Clean refs pass through untouched: their subtrees were
+// never decoded, let alone modified.
+func (t *Trie) commit(r sref, w *core.StagedWriter) hash.Hash {
+	if r.n == nil {
+		return r.h
+	}
+	switch n := r.n.(type) {
+	case *sleaf:
+		return w.Put(encodeNode(&leafNode{path: n.path, value: n.value}))
+	case *sext:
+		child := t.commit(n.child, w)
+		return w.Put(encodeNode(&extensionNode{path: n.path, child: child}))
+	case *sbranch:
+		b := &branchNode{value: n.value, hasValue: n.hasValue}
+		for i, c := range n.children {
+			b.children[i] = t.commit(c, w)
+		}
+		return w.Put(encodeNode(b))
+	}
+	panic(fmt.Sprintf("mpt: unreachable staged node type %T", r.n))
+}

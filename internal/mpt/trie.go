@@ -14,6 +14,10 @@ import (
 type Trie struct {
 	s    store.Store
 	root hash.Hash
+	// cache holds decoded nodes keyed by digest, shared by every version
+	// derived from the same New/Load call so hot upper levels are parsed
+	// once, not per lookup.
+	cache *core.NodeCache[node]
 }
 
 // Compile-time interface checks.
@@ -23,10 +27,19 @@ var (
 )
 
 // New returns an empty trie over s.
-func New(s store.Store) *Trie { return &Trie{s: s} }
+func New(s store.Store) *Trie {
+	return &Trie{s: s, cache: core.NewNodeCache[node](0)}
+}
 
 // Load returns a trie view of an existing root digest in s.
-func Load(s store.Store, root hash.Hash) *Trie { return &Trie{s: s, root: root} }
+func Load(s store.Store, root hash.Hash) *Trie {
+	return &Trie{s: s, root: root, cache: core.NewNodeCache[node](0)}
+}
+
+// derive returns a new version at root sharing the store and node cache.
+func (t *Trie) derive(root hash.Hash) *Trie {
+	return &Trie{s: t.s, root: root, cache: t.cache}
+}
 
 // Name implements core.Index.
 func (t *Trie) Name() string { return "MPT" }
@@ -37,13 +50,17 @@ func (t *Trie) Store() store.Store { return t.s }
 // RootHash implements core.Index.
 func (t *Trie) RootHash() hash.Hash { return t.root }
 
-// load fetches and decodes the node at h.
+// load fetches and decodes the node at h, serving repeat visits from the
+// shared decoded-node cache. Cached nodes are shared: callers copy before
+// mutating (see the nb := *n pattern in insert and remove).
 func (t *Trie) load(h hash.Hash) (node, error) {
-	data, ok := t.s.Get(h)
-	if !ok {
-		return nil, fmt.Errorf("%w: mpt node %v", core.ErrMissingNode, h)
-	}
-	return decodeNode(data)
+	return t.cache.Load(h, func() ([]byte, error) {
+		data, ok := t.s.Get(h)
+		if !ok {
+			return nil, fmt.Errorf("%w: mpt node %v", core.ErrMissingNode, h)
+		}
+		return data, nil
+	}, decodeNode)
 }
 
 // save encodes and stores n, returning its digest.
@@ -123,28 +140,40 @@ func (t *Trie) Put(key, value []byte) (core.Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Trie{s: t.s, root: root}, nil
+	return t.derive(root), nil
 }
 
-// PutBatch implements core.Index. MPT builds top-down, so a batch is a
-// sequence of single inserts (the paper's MPT has no bottom-up batch path).
+// PutBatch implements core.Index: a true batch insert. All entries mutate a
+// dirty overlay of decoded nodes top-down (child pointers stay in-memory),
+// then commit hashes the overlay bottom-up once and flushes every new node
+// through the store's batch write path. Only nodes reachable from the
+// final root are persisted — none of the intermediate-version churn the
+// sequential path pays — and the committed root is byte-identical to the
+// one sequential inserts would produce (structural invariance).
 func (t *Trie) PutBatch(entries []core.Entry) (core.Index, error) {
 	if err := core.ValidateEntries(entries); err != nil {
 		return nil, err
 	}
-	cur := t
-	for _, e := range core.SortEntries(entries) {
+	sorted := core.SortEntries(entries)
+	if len(sorted) == 0 {
+		return t, nil
+	}
+	root := sref{h: t.root}
+	for _, e := range sorted {
 		v := e.Value
 		if v == nil {
 			v = []byte{}
 		}
-		root, err := cur.insert(cur.root, keyToNibbles(e.Key), v)
+		var err error
+		root, err = t.stagedInsert(root, keyToNibbles(e.Key), v)
 		if err != nil {
 			return nil, err
 		}
-		cur = &Trie{s: t.s, root: root}
 	}
-	return cur, nil
+	w := core.NewStagedWriter(t.s)
+	rh := t.commit(root, w)
+	w.Flush()
+	return t.derive(rh), nil
 }
 
 // insert adds (path, value) below the subtree rooted at h, returning the new
@@ -238,7 +267,7 @@ func (t *Trie) Delete(key []byte) (core.Index, error) {
 	if !found {
 		return t, nil
 	}
-	return &Trie{s: t.s, root: root}, nil
+	return t.derive(root), nil
 }
 
 // remove deletes path below h, collapsing redundant nodes on the way up.

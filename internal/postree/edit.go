@@ -76,7 +76,11 @@ func (t *Tree) PutBatch(entries []core.Entry) (core.Index, error) {
 	if len(entries) == 0 {
 		return t, nil
 	}
-	return t.applyOps(makeOps(core.SortEntries(entries), nil))
+	nt, err := t.withStage().applyOps(makeOps(core.SortEntries(entries), nil))
+	if err != nil {
+		return nil, err
+	}
+	return nt.commitStage(), nil
 }
 
 // Put implements core.Index.
@@ -97,7 +101,11 @@ func (t *Tree) Delete(key []byte) (core.Index, error) {
 	} else if !ok {
 		return t, nil
 	}
-	return t.applyOps(makeOps(nil, [][]byte{key}))
+	nt, err := t.withStage().applyOps(makeOps(nil, [][]byte{key}))
+	if err != nil {
+		return nil, err
+	}
+	return nt.commitStage(), nil
 }
 
 // applyOps routes a normalized op batch to the configured edit strategy.
@@ -244,7 +252,7 @@ func (t *Tree) chunkEdit(ops []editOp) (*Tree, error) {
 // single-child internal roots so the result matches the canonical
 // from-scratch build (which never wraps a lone ref in a parent).
 func (t *Tree) finishEdit(refs []ref, level int) (*Tree, error) {
-	nt := &Tree{s: t.s, cfg: t.cfg, salt: t.salt}
+	nt := t.derived()
 	if len(refs) == 0 {
 		return nt, nil
 	}

@@ -62,6 +62,13 @@ type Tree struct {
 	root   hash.Hash
 	height int // levels including the leaf level; 0 for the empty tree
 	salt   uint64
+	// stage, when non-nil, is the active batch's staged writer: saves are
+	// buffered there and loadRaw serves staged nodes back (read-your-writes)
+	// until the public mutation entry point flushes and clears it.
+	stage *core.StagedWriter
+	// cache holds decoded internal nodes keyed by digest, shared by every
+	// version derived from the same New/Build/Load call.
+	cache *core.NodeCache[*internalNode]
 }
 
 // Compile-time interface checks.
@@ -72,14 +79,14 @@ var (
 
 // New returns an empty tree over s.
 func New(s store.Store, cfg Config) *Tree {
-	return &Tree{s: s, cfg: cfg}
+	return &Tree{s: s, cfg: cfg, cache: core.NewNodeCache[*internalNode](0)}
 }
 
 // Load returns a tree view of an existing root in s. The caller must supply
 // the Config the tree was built with and the tree height recorded at build
 // time (see Height).
 func Load(s store.Store, cfg Config, root hash.Hash, height int) *Tree {
-	return &Tree{s: s, cfg: cfg, root: root, height: height}
+	return &Tree{s: s, cfg: cfg, root: root, height: height, cache: core.NewNodeCache[*internalNode](0)}
 }
 
 // Build bulk-loads entries bottom-up (the paper's batched building path:
@@ -88,8 +95,12 @@ func Build(s store.Store, cfg Config, entries []core.Entry) (*Tree, error) {
 	if err := core.ValidateEntries(entries); err != nil {
 		return nil, err
 	}
-	t := &Tree{s: s, cfg: cfg}
-	return t.rebuild(core.SortEntries(entries))
+	t := New(s, cfg).withStage()
+	nt, err := t.rebuild(core.SortEntries(entries))
+	if err != nil {
+		return nil, err
+	}
+	return nt.commitStage(), nil
 }
 
 // Name implements core.Index.
@@ -112,8 +123,42 @@ func (t *Tree) Height() int { return t.height }
 // Config returns the tree's parameters.
 func (t *Tree) Config() Config { return t.cfg }
 
-// loadRaw fetches a node encoding.
+// derived returns an empty tree value carrying the receiver's store,
+// config, salt, active stage and cache — the base every edit builds its
+// result on.
+func (t *Tree) derived() *Tree {
+	return &Tree{s: t.s, cfg: t.cfg, salt: t.salt, stage: t.stage, cache: t.cache}
+}
+
+// withStage returns a copy of t with a fresh staged writer attached, so
+// every save inside the mutation is buffered for one commit-time flush.
+func (t *Tree) withStage() *Tree {
+	if t.stage != nil {
+		return t
+	}
+	cp := *t
+	cp.stage = core.NewStagedWriter(t.s)
+	return &cp
+}
+
+// commitStage flushes the staged batch to the store and detaches the
+// writer, making the receiver a fully committed version.
+func (t *Tree) commitStage() *Tree {
+	if t.stage != nil {
+		t.stage.Flush()
+		t.stage = nil
+	}
+	return t
+}
+
+// loadRaw fetches a node encoding, serving the active batch's unflushed
+// writes first so editors can walk nodes they just produced.
 func (t *Tree) loadRaw(h hash.Hash) ([]byte, error) {
+	if t.stage != nil {
+		if data, ok := t.stage.Lookup(h); ok {
+			return t.unsalt(data)
+		}
+	}
 	data, ok := t.s.Get(h)
 	if !ok {
 		return nil, fmt.Errorf("%w: postree node %v", core.ErrMissingNode, h)
@@ -121,13 +166,22 @@ func (t *Tree) loadRaw(h hash.Hash) ([]byte, error) {
 	return t.unsalt(data)
 }
 
-// saveLeaf / saveInternal encode, salt (ablation only) and store a node.
+// saveLeaf / saveInternal encode, salt (ablation only) and store a node —
+// into the active batch's staged writer when one is attached, directly to
+// the store otherwise.
 func (t *Tree) saveLeaf(n *leafNode) hash.Hash {
-	return t.s.Put(t.salted(encodeLeaf(n)))
+	return t.save(t.salted(encodeLeaf(n)))
 }
 
 func (t *Tree) saveInternal(n *internalNode) hash.Hash {
-	return t.s.Put(t.salted(encodeInternal(n)))
+	return t.save(t.salted(encodeInternal(n)))
+}
+
+func (t *Tree) save(enc []byte) hash.Hash {
+	if t.stage != nil {
+		return t.stage.Put(enc)
+	}
+	return t.s.Put(enc)
 }
 
 // salted prepends the version salt under AblationNoRecursiveIdentity so that
@@ -163,11 +217,9 @@ func (t *Tree) loadLeaf(h hash.Hash) (*leafNode, error) {
 }
 
 func (t *Tree) loadInternal(h hash.Hash) (*internalNode, error) {
-	data, err := t.loadRaw(h)
-	if err != nil {
-		return nil, err
-	}
-	return decodeInternal(data)
+	// Decoded internal nodes are cached by digest and shared across
+	// versions; edit paths never mutate a loaded node's refs slice.
+	return t.cache.Load(h, func() ([]byte, error) { return t.loadRaw(h) }, decodeInternal)
 }
 
 // searchRefs returns the index of the child to descend into for key: the
@@ -319,7 +371,7 @@ var ablationSalt atomic.Uint64
 
 // rebuild chunks the full sorted entry run bottom-up into a fresh tree.
 func (t *Tree) rebuild(entries []core.Entry) (*Tree, error) {
-	nt := &Tree{s: t.s, cfg: t.cfg, salt: t.salt}
+	nt := t.derived()
 	if t.cfg.Ablation == AblationNoRecursiveIdentity {
 		nt.salt = ablationSalt.Add(1)
 	}

@@ -124,3 +124,40 @@ func BenchmarkStoreMixedParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStorePutGet is the single-threaded write-then-read shape of an
+// index commit followed by lookups, comparing the sequential Put loop with
+// the PutBatch path on every backend. This is the smoke benchmark CI runs
+// through benchstat on every PR.
+func BenchmarkStorePutGet(b *testing.B) {
+	payloads := benchPayloads(1024)
+	for _, backend := range benchBackends(b) {
+		for _, mode := range []string{"put", "putbatch"} {
+			b.Run(backend.name+"/"+mode, func(b *testing.B) {
+				b.SetBytes(int64(len(payloads)) * 1024)
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					s := backend.new()
+					b.StartTimer()
+					var hs []hash.Hash
+					if mode == "putbatch" {
+						hs = store.PutBatch(s, payloads)
+					} else {
+						hs = make([]hash.Hash, len(payloads))
+						for j, p := range payloads {
+							hs[j] = s.Put(p)
+						}
+					}
+					for _, h := range hs {
+						if _, ok := s.Get(h); !ok {
+							b.Fatal("miss on resident node")
+						}
+					}
+					b.StopTimer()
+					store.Release(s)
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}

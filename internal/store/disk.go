@@ -255,21 +255,30 @@ func (d *DiskStore) appendSegment() error {
 // Close; until then the affected nodes remain readable from memory.
 func (d *DiskStore) Put(data []byte) hash.Hash {
 	h := hash.Of(data)
-	d.ctr.rawNodes.Add(1)
-	d.ctr.rawBytes.Add(int64(len(data)))
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.putLocked(h, data)
+	return h
+}
+
+// putLocked appends one record under an already-computed digest. It carries
+// the whole single-record write path — dedup, oversized handling, segment
+// rolls, buffered append and accounting — so Put and PutBatchHashed share
+// one implementation. Caller holds d.mu.
+func (d *DiskStore) putLocked(h hash.Hash, data []byte) {
+	d.ctr.rawNodes.Add(1)
+	d.ctr.rawBytes.Add(int64(len(data)))
 	if _, ok := d.locs[h]; ok {
 		d.ctr.dedupHits.Add(1)
-		return h
+		return
 	}
 	if _, ok := d.resident[h]; ok {
 		d.ctr.dedupHits.Add(1)
-		return h
+		return
 	}
 	if d.closed {
 		d.fail(errors.New("store: disk: Put after Close"))
-		return h
+		return
 	}
 	if int64(len(data)) > maxRecordBytes {
 		// Larger than the record format allows: recovery would reject it
@@ -282,7 +291,7 @@ func (d *DiskStore) Put(data []byte) hash.Hash {
 		d.ctr.uniqueNodes.Add(1)
 		d.ctr.uniqueBytes.Add(int64(len(data)))
 		d.fail(fmt.Errorf("store: disk: node of %d bytes exceeds the record limit (%d); kept memory-resident, not persisted", len(data), maxRecordBytes))
-		return h
+		return
 	}
 	rec := recordHeaderSize + int64(len(data))
 	if d.activeSize > 0 && d.activeSize+rec > d.opts.SegmentBytes {
@@ -312,7 +321,6 @@ func (d *DiskStore) Put(data []byte) hash.Hash {
 	if d.pendingBytes >= d.opts.FlushBytes {
 		_ = d.flushLocked()
 	}
-	return h
 }
 
 // fail records the first error for Sync/Close to report; later errors are

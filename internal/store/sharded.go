@@ -60,10 +60,15 @@ func NewShardedStore(n int) *ShardedStore {
 // ShardCount returns the number of shards (always a power of two).
 func (s *ShardedStore) ShardCount() int { return len(s.shards) }
 
-// shardFor picks the shard owning h from the digest's leading bytes, which
-// SHA-256 distributes uniformly.
+// shardIndex picks the shard owning h from the digest's leading bytes,
+// which SHA-256 distributes uniformly.
+func (s *ShardedStore) shardIndex(h hash.Hash) uint32 {
+	return binary.BigEndian.Uint32(h[:4]) & s.mask
+}
+
+// shardFor returns the shard owning h.
 func (s *ShardedStore) shardFor(h hash.Hash) *memShard {
-	return &s.shards[binary.BigEndian.Uint32(h[:4])&s.mask]
+	return &s.shards[s.shardIndex(h)]
 }
 
 // Put implements Store. The data is copied, so callers may reuse their

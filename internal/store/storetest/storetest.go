@@ -43,6 +43,10 @@ func RunStoreTests(t *testing.T, newStore Factory) {
 		{"StatsInvariantsProperty", testStatsInvariantsProperty},
 		{"ConcurrentPutGet", testConcurrentPutGet},
 		{"ConcurrentDedup", testConcurrentDedup},
+		{"PutBatchMatchesSequentialPut", testPutBatchMatchesSequentialPut},
+		{"PutBatchHashed", testPutBatchHashed},
+		{"PutBatchEmpty", testPutBatchEmpty},
+		{"ConcurrentPutBatch", testConcurrentPutBatch},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) { tc.fn(t, newStore) })
@@ -220,6 +224,114 @@ func testConcurrentDedup(t *testing.T, newStore Factory) {
 	}
 	if st.DedupHits != st.RawNodes-st.UniqueNodes {
 		t.Fatalf("DedupHits = %d, want %d", st.DedupHits, st.RawNodes-st.UniqueNodes)
+	}
+}
+
+// batchItems builds a batch with intra-batch duplicates (every third item
+// repeats) so the dedup accounting of the batch path is exercised.
+func batchItems(n int) [][]byte {
+	items := make([][]byte, n)
+	for i := range items {
+		items[i] = blob(i - i%3)
+	}
+	return items
+}
+
+func testPutBatchMatchesSequentialPut(t *testing.T, newStore Factory) {
+	items := batchItems(60)
+
+	seq := newStore(t)
+	seqHashes := make([]hash.Hash, len(items))
+	for i, it := range items {
+		seqHashes[i] = seq.Put(it)
+	}
+
+	batched := newStore(t)
+	gotHashes := store.PutBatch(batched, items)
+	if len(gotHashes) != len(items) {
+		t.Fatalf("PutBatch returned %d hashes for %d items", len(gotHashes), len(items))
+	}
+	for i := range items {
+		if gotHashes[i] != seqHashes[i] {
+			t.Fatalf("item %d: PutBatch hash %v != Put hash %v", i, gotHashes[i], seqHashes[i])
+		}
+		got, ok := batched.Get(gotHashes[i])
+		if !ok || !bytes.Equal(got, items[i]) {
+			t.Fatalf("item %d: Get after PutBatch = %q, %v", i, got, ok)
+		}
+	}
+
+	// The batch path must account exactly like the sequential path
+	// (ignoring the Get counters the verification loop above moved).
+	ss, bs := seq.Stats(), batched.Stats()
+	ss.Gets, ss.Misses, bs.Gets, bs.Misses = 0, 0, 0, 0
+	if ss != bs {
+		t.Fatalf("stats diverge:\n  sequential: %+v\n  batched:    %+v", ss, bs)
+	}
+}
+
+func testPutBatchHashed(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	hb, ok := s.(store.HashedBatcher)
+	if !ok {
+		t.Skip("store does not implement HashedBatcher")
+	}
+	items := batchItems(30)
+	hashes := make([]hash.Hash, len(items))
+	for i, it := range items {
+		hashes[i] = hash.Of(it)
+	}
+	hb.PutBatchHashed(hashes, items)
+	for i, h := range hashes {
+		got, ok := s.Get(h)
+		if !ok || !bytes.Equal(got, items[i]) {
+			t.Fatalf("item %d: Get after PutBatchHashed = %q, %v", i, got, ok)
+		}
+	}
+	st := s.Stats()
+	if st.RawNodes != int64(len(items)) || st.DedupHits != st.RawNodes-st.UniqueNodes {
+		t.Fatalf("stats after PutBatchHashed = %+v", st)
+	}
+}
+
+func testPutBatchEmpty(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	if hs := store.PutBatch(s, nil); len(hs) != 0 {
+		t.Fatalf("PutBatch(nil) returned %d hashes", len(hs))
+	}
+	if st := s.Stats(); st.RawNodes != 0 {
+		t.Fatalf("empty batch moved counters: %+v", st)
+	}
+}
+
+func testConcurrentPutBatch(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	const workers, blobs = 8, 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			items := make([][]byte, blobs)
+			for i := range items {
+				items[i] = blob(i) // every worker writes the same set
+			}
+			hs := store.PutBatch(s, items)
+			for i, h := range hs {
+				if got, ok := s.Get(h); !ok || !bytes.Equal(got, items[i]) {
+					t.Errorf("Get after concurrent PutBatch failed for item %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.UniqueNodes != blobs {
+		t.Fatalf("UniqueNodes = %d, want %d", st.UniqueNodes, blobs)
+	}
+	if st.RawNodes != workers*blobs || st.DedupHits != st.RawNodes-st.UniqueNodes {
+		t.Fatalf("stats after concurrent batches = %+v", st)
 	}
 }
 
