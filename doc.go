@@ -16,4 +16,15 @@
 // through a per-index decoded-node LRU so hot upper levels are parsed
 // once. See README.md ("The write path") for details, the store backend
 // matrix, and the layout tour.
+//
+// The query surface is point lookups (Get), full scans (Iterate) and
+// ordered bounded scans: core.Ranger's Range(lo, hi, fn) visits the
+// half-open interval [lo, hi) in ascending key order with nil bounds
+// unbounded. All five indexes implement it — the ordered structures by
+// pruning subtrees outside the bounds (O(log N + result) node reads), the
+// hash-partitioned MBT by clipping every bucket and merging — and
+// core.RangeOf falls back to a filtered sorted Iterate for any foreign
+// index. The behavioural contract for all of this is pinned by the shared
+// conformance suite in core/indextest, run for every index over every
+// store backend.
 package repro

@@ -383,6 +383,15 @@ func Throughput(idx core.Index, ops []workloadOp, batch int) (float64, core.Inde
 			}
 			continue
 		}
+		if op.Scan {
+			// Like point Gets in this batched mode, scans read the current
+			// committed version; buffered writes stay buffered so batching
+			// candidates keep their batch advantage under scan-heavy mixes.
+			if err := RunScan(idx, op); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
 		if _, _, err := idx.Get(op.Entry.Key); err != nil {
 			return 0, nil, err
 		}
@@ -406,11 +415,32 @@ func throughputPerOp(idx core.Index, ops []workloadOp) (float64, core.Index, err
 			idx = next
 			continue
 		}
+		if op.Scan {
+			if err := RunScan(idx, op); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
 		if _, _, err := idx.Get(op.Entry.Key); err != nil {
 			return 0, nil, err
 		}
 	}
 	return float64(len(ops)) / time.Since(start).Seconds(), idx, nil
+}
+
+// RunScan executes one workload scan op: an ordered walk from the op's
+// start key visiting at most ScanLen entries, through the index's native
+// Range when it has one (all five candidates do) and the Iterate fallback
+// otherwise.
+func RunScan(idx core.Index, op workloadOp) error {
+	remaining := op.ScanLen
+	if remaining <= 0 {
+		remaining = 1
+	}
+	return core.RangeOf(idx, op.Entry.Key, nil, func(_, _ []byte) bool {
+		remaining--
+		return remaining > 0
+	})
 }
 
 // WriteBatchFor returns the batch size a candidate uses for write
@@ -432,13 +462,18 @@ func Latencies(idx core.Index, ops []workloadOp) ([]time.Duration, core.Index, e
 	out := make([]time.Duration, 0, len(ops))
 	for _, op := range ops {
 		start := time.Now()
-		if op.Write {
+		switch {
+		case op.Write:
 			next, err := idx.Put(op.Entry.Key, op.Entry.Value)
 			if err != nil {
 				return nil, nil, err
 			}
 			idx = next
-		} else {
+		case op.Scan:
+			if err := RunScan(idx, op); err != nil {
+				return nil, nil, err
+			}
+		default:
 			if _, _, err := idx.Get(op.Entry.Key); err != nil {
 				return nil, nil, err
 			}

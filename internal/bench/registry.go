@@ -47,6 +47,7 @@ func Experiments() []Experiment {
 		{"fig20", "ablation: recursively identical property", Fig20},
 		{"fig21", "system throughput integrated with Forkbase engine", Fig21},
 		{"fig22", "Forkbase (POS-Tree) vs Noms (Prolly Tree)", Fig22},
+		{"scan", "ordered range scans: selectivity sweep + YCSB-E mix (extension)", ScanExp},
 	}
 	out := make([]Experiment, len(defs))
 	for i, d := range defs {

@@ -109,9 +109,16 @@ var (
 	ErrNotFound = errors.New("core: key not found")
 )
 
-// SortEntries orders entries by key and collapses duplicate keys, keeping
-// the last occurrence (batch semantics: later writes win). The input slice
-// is not modified; the result is freshly allocated.
+// SortEntries normalizes a batch into the canonical form every index
+// commits: entries ordered by key, duplicate keys collapsed keeping the
+// last occurrence (batch semantics: later writes win), and nil values
+// replaced by empty ones so a nil-value put is indistinguishable from an
+// empty-value put — Get reports the key present either way. Centralizing
+// the normalization here keeps every PutBatch path agreeing on the same
+// semantics instead of each index patching values ad hoc (MBT used to skip
+// the nil rewrite and relied on the encoding collapsing nil and empty).
+// The input slice is not modified; the result is freshly allocated. The
+// indextest conformance suite asserts these semantics for every index.
 func SortEntries(entries []Entry) []Entry {
 	out := make([]Entry, len(entries))
 	copy(out, entries)
@@ -126,12 +133,17 @@ func SortEntries(entries []Entry) []Entry {
 			continue
 		}
 		out[w] = out[i]
+		if out[w].Value == nil {
+			out[w].Value = []byte{}
+		}
 		w++
 	}
 	return out[:w]
 }
 
-// ValidateEntries rejects batches containing empty keys.
+// ValidateEntries rejects batches containing empty keys. Callers pair it
+// with SortEntries: validate the caller's input, then commit the
+// normalized form.
 func ValidateEntries(entries []Entry) error {
 	for i, e := range entries {
 		if len(e.Key) == 0 {

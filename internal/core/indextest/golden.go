@@ -1,0 +1,49 @@
+package indextest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// GoldenEntries is the fixed entry set behind the golden root-hash vectors:
+// 96 entries with deterministic keys and values, including an empty value
+// and keys sharing long prefixes (so the MPT exercises extension splits and
+// the chunked trees exercise multi-node layouts).
+func GoldenEntries() []core.Entry {
+	out := make([]core.Entry, 0, 96)
+	for i := 0; i < 94; i++ {
+		out = append(out, core.Entry{
+			Key:   []byte(fmt.Sprintf("golden/%04d", i*7)),
+			Value: []byte(fmt.Sprintf("payload-%04d-%s", i, string(rune('a'+i%26)))),
+		})
+	}
+	out = append(out,
+		core.Entry{Key: []byte("golden/empty-value"), Value: []byte{}},
+		core.Entry{Key: []byte("zzz-last"), Value: []byte("tail")},
+	)
+	return out
+}
+
+// CanonicalRoots maps suite names to the expected hex root digest after
+// bulk-loading GoldenEntries() into an empty index built with the canonical
+// conformance configuration (the one each package's conformance test
+// passes):
+//
+//	MPT          no parameters
+//	MBT          Capacity 64, Fanout 8
+//	POS-Tree     postree.ConfigForNodeSize(512)
+//	MVMB+-Tree   mvmbt.ConfigForNodeSize(512)
+//	Prolly-Tree  prolly.ConfigForNodeSize(512)
+//
+// These digests pin the canonical node encodings: any change to an
+// encoding, a chunking rule or the hash function shows up as a loud
+// mismatch in every backend's GoldenRoot subtest. An intentional format
+// change must update these vectors in the same commit.
+var CanonicalRoots = map[string]string{
+	"MPT":         "332466ec49e9d0bee90a3bcb7fc0fa783f0edf934d05082b291290b98d96af49",
+	"MBT":         "11adcb245f0f52ede7c528d162461ab8d9c129027ae2a38fc5dfc9425fe5455f",
+	"POS-Tree":    "2f8d2cb526953f525843daf60314a1a67e73fee7b1823a31c8426a7b3f4f9c66",
+	"MVMB+-Tree":  "2e53ed8822ffa52a95031ceee1ab770cd7fe419343e245fca0319867d823c5f8",
+	"Prolly-Tree": "45e6074bcb9aa0865382bf3121fff3aa196ec7d45ca156ccdbbc5ea87953c00b",
+}

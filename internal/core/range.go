@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Ranger is the ordered bounded-scan capability. Indexes that can serve a
+// range query without visiting the whole structure implement it natively;
+// RangeOf falls back to a filtered full scan for the rest.
+//
+// Range visits every entry with lo ≤ key < hi (the half-open interval
+// [lo, hi)) in ascending key order, regardless of the index's Iterate
+// order. A nil bound is unbounded on that side: Range(nil, nil, fn) is an
+// ordered full scan. A non-nil empty hi, or lo ≥ hi, denotes an empty
+// interval. Returning false from fn stops the scan early.
+type Ranger interface {
+	Range(lo, hi []byte, fn func(key, value []byte) bool) error
+}
+
+// EmptyRange reports whether the interval [lo, hi) can hold no key at all,
+// so implementations can return before touching a single node. Shared by
+// every Range implementation so the corner cases (nil vs empty bounds,
+// inverted bounds) are decided in exactly one place.
+func EmptyRange(lo, hi []byte) bool {
+	if hi == nil {
+		return false
+	}
+	// No key is < "" (keys are non-empty and "" precedes everything), and
+	// an inverted or degenerate interval holds nothing.
+	return len(hi) == 0 || (lo != nil && bytes.Compare(lo, hi) >= 0)
+}
+
+// InRange reports lo ≤ key < hi with nil bounds unbounded — the membership
+// test matching the Ranger contract.
+func InRange(key, lo, hi []byte) bool {
+	return (lo == nil || bytes.Compare(key, lo) >= 0) &&
+		(hi == nil || bytes.Compare(key, hi) < 0)
+}
+
+// RangeOf serves the ordered bounded scan [lo, hi) over any index:
+// natively when idx implements Ranger, otherwise by filtering a full
+// Iterate. The fallback buffers and sorts the survivors before emitting,
+// because Iterate order is not key order for every index (MBT visits
+// buckets in hash order), so callers always observe ascending keys.
+func RangeOf(idx Index, lo, hi []byte, fn func(key, value []byte) bool) error {
+	if r, ok := idx.(Ranger); ok {
+		return r.Range(lo, hi, fn)
+	}
+	if EmptyRange(lo, hi) {
+		return nil
+	}
+	var got []Entry
+	err := idx.Iterate(func(k, v []byte) bool {
+		if InRange(k, lo, hi) {
+			got = append(got, Entry{Key: k, Value: v})
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(got, func(i, j int) bool { return bytes.Compare(got[i].Key, got[j].Key) < 0 })
+	for _, e := range got {
+		if !fn(e.Key, e.Value) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RangeCount returns the number of entries in [lo, hi).
+func RangeCount(idx Index, lo, hi []byte) (int, error) {
+	n := 0
+	err := RangeOf(idx, lo, hi, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}

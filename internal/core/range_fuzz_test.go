@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mbt"
+	"repro/internal/mpt"
+	"repro/internal/mvmbt"
+	"repro/internal/postree"
+	"repro/internal/prolly"
+	"repro/internal/store"
+)
+
+// fuzzFixture holds one prebuilt index per class over a fixed entry set.
+// Indexes are immutable, so all fuzz invocations can share them.
+type fuzzFixture struct {
+	indexes []core.Index
+	sorted  []core.Entry // the oracle, ascending
+}
+
+var (
+	fuzzOnce sync.Once
+	fuzzFix  fuzzFixture
+	fuzzErr  error
+)
+
+// fixtureEntries is the fixed key space the bounds are fuzzed against:
+// clustered keys with shared prefixes plus a few outliers, so bounds can
+// land inside clusters, between them, and past either end.
+func fixtureEntries() []core.Entry {
+	var out []core.Entry
+	for i := 0; i < 48; i++ {
+		out = append(out, core.Entry{
+			Key:   []byte(fmt.Sprintf("fz/%02x", i*5%251)),
+			Value: []byte(fmt.Sprintf("v%02d", i)),
+		})
+	}
+	out = append(out,
+		core.Entry{Key: []byte{0x01}, Value: []byte("low")},
+		core.Entry{Key: []byte{0xFE, 0xFF}, Value: []byte("high")},
+		core.Entry{Key: []byte("fz/"), Value: []byte("prefix-itself")},
+	)
+	return out
+}
+
+func buildFuzzFixture() {
+	entries := fixtureEntries()
+	sorted := core.SortEntries(entries)
+	builders := []func() (core.Index, error){
+		func() (core.Index, error) { return mpt.New(store.NewMemStore()), nil },
+		func() (core.Index, error) { return mbt.New(store.NewMemStore(), mbt.Config{Capacity: 32, Fanout: 4}) },
+		func() (core.Index, error) {
+			return postree.New(store.NewMemStore(), postree.ConfigForNodeSize(256)), nil
+		},
+		func() (core.Index, error) { return mvmbt.New(store.NewMemStore(), mvmbt.ConfigForNodeSize(256)), nil },
+		func() (core.Index, error) { return prolly.New(store.NewMemStore(), prolly.ConfigForNodeSize(256)), nil },
+	}
+	for _, b := range builders {
+		idx, err := b()
+		if err == nil {
+			idx, err = idx.PutBatch(entries)
+		}
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzFix.indexes = append(fuzzFix.indexes, idx)
+	}
+	fuzzFix.sorted = sorted
+}
+
+// FuzzRangeBounds fuzzes the [lo, hi) bounds — including inverted, empty,
+// equal and non-existent bounds, and nil (unbounded) sides via the two
+// bool flags — against a sorted-slice oracle, for all five index classes
+// at once: no panics, and exactly the oracle's ordered result set.
+func FuzzRangeBounds(f *testing.F) {
+	f.Add([]byte("fz/10"), []byte("fz/a0"), false, false)
+	f.Add([]byte(nil), []byte(nil), true, true)
+	f.Add([]byte{}, []byte{}, false, false)               // empty, non-nil bounds
+	f.Add([]byte("fz/50"), []byte("fz/50"), false, false) // lo == hi
+	f.Add([]byte("fz/a0"), []byte("fz/10"), false, false) // inverted
+	f.Add([]byte("no-such"), []byte("also-absent"), false, false)
+	f.Add([]byte{0x00}, []byte{0xFF, 0xFF, 0xFF}, false, false)
+	f.Add([]byte("fz/"), []byte("fz0"), false, false) // whole prefix cluster
+	f.Fuzz(func(t *testing.T, lo, hi []byte, loNil, hiNil bool) {
+		fuzzOnce.Do(buildFuzzFixture)
+		if fuzzErr != nil {
+			t.Fatalf("fixture: %v", fuzzErr)
+		}
+		if loNil {
+			lo = nil
+		}
+		if hiNil {
+			hi = nil
+		}
+		var want []core.Entry
+		for _, e := range fuzzFix.sorted {
+			if core.InRange(e.Key, lo, hi) {
+				want = append(want, e)
+			}
+		}
+		for _, idx := range fuzzFix.indexes {
+			var got []core.Entry
+			err := core.RangeOf(idx, lo, hi, func(k, v []byte) bool {
+				got = append(got, core.Entry{
+					Key:   append([]byte(nil), k...),
+					Value: append([]byte(nil), v...),
+				})
+				return true
+			})
+			if err != nil {
+				t.Fatalf("%s: Range(%q, %q): %v", idx.Name(), lo, hi, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: Range(%q, %q) returned %d entries, oracle has %d",
+					idx.Name(), lo, hi, len(got), len(want))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+					t.Fatalf("%s: Range(%q, %q) entry %d = %v, want %v",
+						idx.Name(), lo, hi, i, got[i], want[i])
+				}
+			}
+			if !sort.SliceIsSorted(got, func(i, j int) bool {
+				return bytes.Compare(got[i].Key, got[j].Key) < 0
+			}) {
+				t.Fatalf("%s: Range(%q, %q) output not in key order", idx.Name(), lo, hi)
+			}
+		}
+	})
+}

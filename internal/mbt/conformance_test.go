@@ -1,0 +1,30 @@
+package mbt_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/indextest"
+	"repro/internal/mbt"
+	"repro/internal/store"
+)
+
+// conformanceConfig is the canonical configuration the golden root vector
+// in indextest.CanonicalRoots is computed against.
+var conformanceConfig = mbt.Config{Capacity: 64, Fanout: 8}
+
+// TestIndexConformance runs the shared index conformance suite against the
+// MBT over every store backend. MBT hash-partitions keys across buckets, so
+// Iterate is bucket-ordered (not key-ordered) and Range cannot prune — the
+// suite checks its Range output is still exactly the ordered oracle answer.
+func TestIndexConformance(t *testing.T) {
+	indextest.RunIndexTests(t, "MBT", indextest.Options{
+		New: func(s store.Store) (core.Index, error) { return mbt.New(s, conformanceConfig) },
+		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
+			return mbt.Load(s, conformanceConfig, idx.RootHash())
+		},
+		OrderedIterate:        false,
+		PrunedRange:           false,
+		StructurallyInvariant: true,
+	})
+}

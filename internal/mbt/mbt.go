@@ -351,11 +351,11 @@ func (t *Tree) Iterate(fn func(key, value []byte) bool) error {
 }
 
 func (t *Tree) iterNode(h hash.Hash, level int, fn func(key, value []byte) bool) (bool, error) {
-	data, err := t.loadRaw(h)
-	if err != nil {
-		return false, err
-	}
 	if level == 0 {
+		data, err := t.loadRaw(h)
+		if err != nil {
+			return false, err
+		}
 		bucket, err := decodeBucket(data)
 		if err != nil {
 			return false, err
@@ -367,7 +367,9 @@ func (t *Tree) iterNode(h hash.Hash, level int, fn func(key, value []byte) bool)
 		}
 		return true, nil
 	}
-	n, err := decodeInternal(data)
+	// Internal levels come from the shared decoded-node cache, so repeated
+	// full or bounded scans stop re-decoding the upper tree.
+	n, err := t.loadInternal(h)
 	if err != nil {
 		return false, err
 	}

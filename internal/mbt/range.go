@@ -1,0 +1,112 @@
+package mbt
+
+import (
+	"bytes"
+	"container/heap"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Compile-time capability check.
+var _ core.Ranger = (*Tree)(nil)
+
+// Range implements core.Ranger. MBT hash-partitions keys across buckets, so
+// a bounded scan cannot prune subtrees the way the ordered indexes do —
+// any bucket may hold in-range keys, and every bucket must be visited.
+// This is the structural trade-off the paper bakes into MBT: the hash
+// partitioning that keeps the tree perfectly balanced forfeits key
+// locality. What the implementation does recover: each bucket's sorted run
+// is clipped to [lo, hi) by binary search (a subslice, nothing copied),
+// the internal levels are served from the shared decoded-node cache, and
+// the clipped runs are k-way merged through a min-heap so emission is in
+// ascending key order and an early-stopping caller costs
+// O(B·log B + result·log B) after the bucket reads — not a sort of every
+// surviving entry.
+func (t *Tree) Range(lo, hi []byte, fn func(key, value []byte) bool) error {
+	if core.EmptyRange(lo, hi) {
+		return nil
+	}
+	var runs runHeap
+	if err := t.collectRuns(t.root, t.topLevel(), lo, hi, &runs); err != nil {
+		return err
+	}
+	heap.Init(&runs)
+	for len(runs) > 0 {
+		r := &runs[0]
+		e := r.entries[r.pos]
+		if !fn(e.Key, e.Value) {
+			return nil
+		}
+		r.pos++
+		if r.pos == len(r.entries) {
+			heap.Pop(&runs)
+		} else {
+			heap.Fix(&runs, 0)
+		}
+	}
+	return nil
+}
+
+// collectRuns walks every bucket under h and appends each bucket's clipped
+// sorted run (non-empty ones only) to runs.
+func (t *Tree) collectRuns(h hash.Hash, level int, lo, hi []byte, runs *runHeap) error {
+	if level == 0 {
+		data, err := t.loadRaw(h)
+		if err != nil {
+			return err
+		}
+		bucket, err := decodeBucket(data)
+		if err != nil {
+			return err
+		}
+		i := 0
+		if lo != nil {
+			i, _ = searchBucket(bucket.entries, lo)
+		}
+		j := len(bucket.entries)
+		if hi != nil {
+			j = i + sort.Search(j-i, func(k int) bool {
+				return bytes.Compare(bucket.entries[i+k].Key, hi) >= 0
+			})
+		}
+		if i < j {
+			*runs = append(*runs, bucketRun{entries: bucket.entries[i:j]})
+		}
+		return nil
+	}
+	n, err := t.loadInternal(h)
+	if err != nil {
+		return err
+	}
+	for _, c := range n.children {
+		if err := t.collectRuns(c, level-1, lo, hi, runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bucketRun is one bucket's in-range entries with a merge cursor.
+type bucketRun struct {
+	entries []core.Entry
+	pos     int
+}
+
+// runHeap is a min-heap of runs ordered by each run's current key.
+type runHeap []bucketRun
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	return bytes.Compare(h[i].entries[h[i].pos].Key, h[j].entries[h[j].pos].Key) < 0
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(bucketRun)) }
+func (h *runHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,25 @@
+package mpt_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/indextest"
+	"repro/internal/mpt"
+	"repro/internal/store"
+)
+
+// TestIndexConformance runs the shared index conformance suite — including
+// the Range bound semantics and the subtree-pruning node-read assertion —
+// against the MPT over every store backend.
+func TestIndexConformance(t *testing.T) {
+	indextest.RunIndexTests(t, "MPT", indextest.Options{
+		New: func(s store.Store) (core.Index, error) { return mpt.New(s), nil },
+		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
+			return mpt.Load(s, idx.RootHash()), nil
+		},
+		OrderedIterate:        true,
+		PrunedRange:           true,
+		StructurallyInvariant: true,
+	})
+}

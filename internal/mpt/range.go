@@ -1,0 +1,175 @@
+package mpt
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Compile-time capability check.
+var _ core.Ranger = (*Trie)(nil)
+
+// Range implements core.Ranger: an in-order descent over the nibble trie
+// that visits only subtrees whose nibble prefix can intersect [lo, hi).
+// Keys compare identically as byte strings and as nibble sequences (nibbles
+// are a finer-grained expansion of the same bytes), so bound checks run in
+// nibble space throughout. Node loads go through the shared decoded-node
+// cache, so repeated scans of a hot range re-decode only what the LRU has
+// evicted.
+func (t *Trie) Range(lo, hi []byte, fn func(key, value []byte) bool) error {
+	if core.EmptyRange(lo, hi) {
+		return nil
+	}
+	var b nibbleBounds
+	if len(lo) > 0 {
+		b.lo = keyToNibbles(lo)
+	}
+	if hi != nil {
+		b.hi, b.hasHi = keyToNibbles(hi), true
+	}
+	_, err := t.rangeNode(t.root, nil, b, fn)
+	return err
+}
+
+// nibbleBounds carries the scan bounds in nibble space. lo is nil when
+// unbounded below; hasHi distinguishes "unbounded above" from an explicit
+// bound.
+type nibbleBounds struct {
+	lo, hi []byte
+	hasHi  bool
+}
+
+// skipSubtree reports that no key with nibble prefix q can fall in the
+// bounds: every such key k satisfies q ≤ k in nibble order and shares q, so
+// the subtree is out of range iff q ≥ hi, or q < lo with q not a prefix of
+// lo (then even q's largest extension stays below lo).
+func (b nibbleBounds) skipSubtree(q []byte) bool {
+	if b.hasHi && bytes.Compare(q, b.hi) >= 0 {
+		return true
+	}
+	return b.lo != nil && bytes.Compare(q, b.lo) < 0 && !bytes.HasPrefix(b.lo, q)
+}
+
+// compareExt compares the nibble sequence p·[nib] against bound without
+// materializing the concatenation, so branch children can be prune-checked
+// allocation-free.
+func compareExt(p []byte, nib byte, bound []byte) int {
+	n := len(p)
+	if n >= len(bound) {
+		if c := bytes.Compare(p[:len(bound)], bound); c != 0 {
+			return c
+		}
+		return 1 // p·[nib] extends bound (or equals p > bound's prefix)
+	}
+	if c := bytes.Compare(p, bound[:n]); c != 0 {
+		return c
+	}
+	switch {
+	case nib < bound[n]:
+		return -1
+	case nib > bound[n]:
+		return 1
+	case n+1 == len(bound):
+		return 0 // p·[nib] == bound
+	default:
+		return -1 // p·[nib] is a proper prefix of bound
+	}
+}
+
+// skipChild is skipSubtree for the child prefix p·[nib], and childPastHi is
+// the matching pastHi; both avoid building the concatenated prefix.
+func (b nibbleBounds) skipChild(p []byte, nib byte) bool {
+	if b.childPastHi(p, nib) {
+		return true
+	}
+	if b.lo == nil || compareExt(p, nib, b.lo) >= 0 {
+		return false
+	}
+	// p·[nib] < lo: skip unless it is a prefix of lo.
+	isPrefix := len(b.lo) > len(p) && bytes.HasPrefix(b.lo, p) && b.lo[len(p)] == nib
+	return !isPrefix
+}
+
+func (b nibbleBounds) childPastHi(p []byte, nib byte) bool {
+	return b.hasHi && compareExt(p, nib, b.hi) >= 0
+}
+
+// pastHi reports that the full key nibble sequence k is ≥ hi, which ends an
+// in-order walk: everything visited after k is larger still.
+func (b nibbleBounds) pastHi(k []byte) bool {
+	return b.hasHi && bytes.Compare(k, b.hi) >= 0
+}
+
+// belowLo reports that k is < lo and must be skipped (but the walk goes on).
+func (b nibbleBounds) belowLo(k []byte) bool {
+	return b.lo != nil && bytes.Compare(k, b.lo) < 0
+}
+
+// rangeNode walks the subtree at h (whose accumulated nibble prefix is
+// prefix) in order, emitting in-bounds entries; it returns false when the
+// scan is over (fn stopped it or the upper bound was reached). Subtrees are
+// pruned with skipSubtree before their roots are loaded, so only the two
+// boundary paths and the covered interior are ever read.
+func (t *Trie) rangeNode(h hash.Hash, prefix []byte, b nibbleBounds, fn func(key, value []byte) bool) (bool, error) {
+	if h.IsNull() {
+		return true, nil
+	}
+	n, err := t.load(h)
+	if err != nil {
+		return false, err
+	}
+	emit := func(nibbles, value []byte) (bool, error) {
+		if b.pastHi(nibbles) {
+			return false, nil
+		}
+		if b.belowLo(nibbles) {
+			return true, nil
+		}
+		key, err := nibblesToKey(nibbles)
+		if err != nil {
+			return false, err
+		}
+		return fn(key, value), nil
+	}
+	switch n := n.(type) {
+	case *leafNode:
+		return emit(append(append([]byte{}, prefix...), n.path...), n.value)
+	case *extensionNode:
+		full := append(append([]byte{}, prefix...), n.path...)
+		if b.skipSubtree(full) {
+			// An extension subtree past hi ends the in-order walk; one
+			// below lo is skipped and the walk continues.
+			return !b.pastHi(full), nil
+		}
+		return t.rangeNode(n.child, full, b, fn)
+	case *branchNode:
+		if n.hasValue {
+			ok, err := emit(prefix, n.value)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		for i, c := range n.children {
+			if c.IsNull() {
+				continue
+			}
+			// Prune-check the child prefix without materializing it; the
+			// copy is only built for children actually descended into.
+			if b.skipChild(prefix, byte(i)) {
+				if b.childPastHi(prefix, byte(i)) {
+					return false, nil // children ascend; the rest are larger
+				}
+				continue // wholly below lo
+			}
+			childPrefix := append(append([]byte{}, prefix...), byte(i))
+			ok, err := t.rangeNode(c, childPrefix, b, fn)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("mpt: unreachable node type %T", n)
+}

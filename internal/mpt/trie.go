@@ -160,12 +160,9 @@ func (t *Trie) PutBatch(entries []core.Entry) (core.Index, error) {
 	}
 	root := sref{h: t.root}
 	for _, e := range sorted {
-		v := e.Value
-		if v == nil {
-			v = []byte{}
-		}
+		// SortEntries already normalized nil values to empty.
 		var err error
-		root, err = t.stagedInsert(root, keyToNibbles(e.Key), v)
+		root, err = t.stagedInsert(root, keyToNibbles(e.Key), e.Value)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,33 @@
+package mvmbt_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/indextest"
+	"repro/internal/mvmbt"
+	"repro/internal/store"
+)
+
+// conformanceConfig is the canonical configuration the golden root vector
+// in indextest.CanonicalRoots is computed against.
+func conformanceConfig() mvmbt.Config { return mvmbt.ConfigForNodeSize(512) }
+
+// TestIndexConformance runs the shared index conformance suite against the
+// MVMB+-Tree baseline over every store backend. The baseline is
+// history-dependent (no structural invariance — the paper's Figure 2), but
+// range scans are its native strength, so the pruning assertion applies.
+func TestIndexConformance(t *testing.T) {
+	indextest.RunIndexTests(t, "MVMB+-Tree", indextest.Options{
+		New: func(s store.Store) (core.Index, error) {
+			return mvmbt.New(s, conformanceConfig()), nil
+		},
+		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
+			bt := idx.(*mvmbt.Tree)
+			return mvmbt.Load(s, conformanceConfig(), bt.RootHash(), bt.Height()), nil
+		},
+		OrderedIterate:        true,
+		PrunedRange:           true,
+		StructurallyInvariant: false,
+	})
+}

@@ -59,11 +59,8 @@ func (t *Tree) PutBatch(entries []core.Entry) (core.Index, error) {
 	}
 	ops := make([]editOp, 0, len(entries))
 	for _, e := range core.SortEntries(entries) {
-		v := e.Value
-		if v == nil {
-			v = []byte{}
-		}
-		ops = append(ops, editOp{key: e.Key, value: v})
+		// SortEntries already normalized nil values to empty.
+		ops = append(ops, editOp{key: e.Key, value: e.Value})
 	}
 	return t.apply(ops)
 }
@@ -84,7 +81,7 @@ func (t *Tree) Delete(key []byte) (core.Index, error) {
 
 // apply runs a sorted op batch through the tree.
 func (t *Tree) apply(ops []editOp) (*Tree, error) {
-	nt := &Tree{s: t.s, cfg: t.cfg}
+	nt := t.derive()
 	if t.root.IsNull() {
 		var fresh []core.Entry
 		for _, op := range ops {
@@ -108,7 +105,7 @@ func (t *Tree) apply(ops []editOp) (*Tree, error) {
 // raise builds internal levels above refs until a single root remains, then
 // collapses single-child internal roots left behind by deletions.
 func (t *Tree) raise(refs []ref, level int) (*Tree, error) {
-	nt := &Tree{s: t.s, cfg: t.cfg}
+	nt := t.derive()
 	if len(refs) == 0 {
 		return nt, nil
 	}

@@ -69,6 +69,10 @@ type Tree struct {
 	cfg    Config
 	root   hash.Hash
 	height int
+	// cache holds decoded internal nodes keyed by digest, shared by every
+	// version derived from the same New/Load call, so lookups and range
+	// scans resolve the hot upper levels without re-decoding.
+	cache *core.NodeCache[*internalNode]
 }
 
 // Compile-time interface checks.
@@ -78,11 +82,19 @@ var (
 )
 
 // New returns an empty tree over s.
-func New(s store.Store, cfg Config) *Tree { return &Tree{s: s, cfg: cfg} }
+func New(s store.Store, cfg Config) *Tree {
+	return &Tree{s: s, cfg: cfg, cache: core.NewNodeCache[*internalNode](0)}
+}
 
 // Load returns a tree view of an existing root in s.
 func Load(s store.Store, cfg Config, root hash.Hash, height int) *Tree {
-	return &Tree{s: s, cfg: cfg, root: root, height: height}
+	return &Tree{s: s, cfg: cfg, root: root, height: height, cache: core.NewNodeCache[*internalNode](0)}
+}
+
+// derive returns an empty tree value sharing the receiver's store, config
+// and decoded-node cache — the base every edit builds its result on.
+func (t *Tree) derive() *Tree {
+	return &Tree{s: t.s, cfg: t.cfg, cache: t.cache}
 }
 
 // Build bulk-loads entries by batch insertion.
@@ -203,12 +215,12 @@ func (t *Tree) loadLeaf(h hash.Hash) (*leafNode, error) {
 	return decodeLeaf(data)
 }
 
+// loadInternal fetches and decodes the internal node at h, serving repeat
+// visits from the shared decoded-node cache. Cached nodes are shared and
+// never mutated: the edit path builds fresh ref slices instead of touching
+// a loaded node's refs.
 func (t *Tree) loadInternal(h hash.Hash) (*internalNode, error) {
-	data, err := t.loadRaw(h)
-	if err != nil {
-		return nil, err
-	}
-	return decodeInternal(data)
+	return t.cache.Load(h, func() ([]byte, error) { return t.loadRaw(h) }, decodeInternal)
 }
 
 func (t *Tree) saveLeaf(n *leafNode) ref {

@@ -1,0 +1,32 @@
+package postree_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/indextest"
+	"repro/internal/postree"
+	"repro/internal/store"
+)
+
+// conformanceConfig is the canonical configuration the golden root vector
+// in indextest.CanonicalRoots is computed against.
+func conformanceConfig() postree.Config { return postree.ConfigForNodeSize(512) }
+
+// TestIndexConformance runs the shared index conformance suite — including
+// the Range bound semantics and the subtree-pruning node-read assertion —
+// against the POS-Tree over every store backend.
+func TestIndexConformance(t *testing.T) {
+	indextest.RunIndexTests(t, "POS-Tree", indextest.Options{
+		New: func(s store.Store) (core.Index, error) {
+			return postree.New(s, conformanceConfig()), nil
+		},
+		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
+			pt := idx.(*postree.Tree)
+			return postree.Load(s, conformanceConfig(), pt.RootHash(), pt.Height()), nil
+		},
+		OrderedIterate:        true,
+		PrunedRange:           true,
+		StructurallyInvariant: true,
+	})
+}

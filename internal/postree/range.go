@@ -1,0 +1,76 @@
+package postree
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Compile-time capability check.
+var _ core.Ranger = (*Tree)(nil)
+
+// Range implements core.Ranger: a B+-tree style bounded scan. The descent
+// uses each internal node's split keys to skip every child subtree whose
+// keys are wholly below lo, then walks leaves in order until the first key
+// ≥ hi, so a narrow range reads the lo boundary path plus the covered
+// leaves — O(log N + |result|) nodes — instead of the whole tree. Internal
+// nodes come from the shared decoded-node cache, so repeated scans resolve
+// the upper levels without touching the store.
+func (t *Tree) Range(lo, hi []byte, fn func(key, value []byte) bool) error {
+	if t.root.IsNull() || core.EmptyRange(lo, hi) {
+		return nil
+	}
+	_, err := t.rangeNode(t.root, t.height, lo, hi, fn)
+	return err
+}
+
+// rangeNode scans the subtree at h; false means the scan is over (fn
+// stopped it or hi was reached). The walk is the twin of mvmbt's
+// rangeNode (the packages keep separate node types by design); a fix to
+// the bound logic here must land there too.
+func (t *Tree) rangeNode(h hash.Hash, level int, lo, hi []byte, fn func(key, value []byte) bool) (bool, error) {
+	if level <= 1 {
+		leaf, err := t.loadLeaf(h)
+		if err != nil {
+			return false, err
+		}
+		i := 0
+		if lo != nil {
+			i = sort.Search(len(leaf.entries), func(i int) bool {
+				return bytes.Compare(leaf.entries[i].Key, lo) >= 0
+			})
+		}
+		for ; i < len(leaf.entries); i++ {
+			e := leaf.entries[i]
+			if hi != nil && bytes.Compare(e.Key, hi) >= 0 {
+				return false, nil
+			}
+			if !fn(e.Key, e.Value) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	n, err := t.loadInternal(h)
+	if err != nil {
+		return false, err
+	}
+	start := 0
+	if lo != nil {
+		// Children with split key < lo hold only keys < lo: prune them.
+		start = searchRefs(n.refs, lo)
+	}
+	for i := start; i < len(n.refs); i++ {
+		if hi != nil && i > start && bytes.Compare(n.refs[i-1].splitKey, hi) >= 0 {
+			// Every key under refs[i] exceeds the previous split key ≥ hi.
+			return false, nil
+		}
+		ok, err := t.rangeNode(n.refs[i].h, level-1, lo, hi, fn)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,34 @@
+package prolly_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/indextest"
+	"repro/internal/prolly"
+	"repro/internal/store"
+)
+
+// TestIndexConformance runs the shared index conformance suite — including
+// the Range bound semantics and the subtree-pruning node-read assertion —
+// against the Prolly Tree over every store backend. The canonical
+// configuration (prolly.ConfigForNodeSize(512)) is what the golden root
+// vector in indextest.CanonicalRoots is computed against: the Prolly Tree
+// shares the POS-Tree machinery but window-chunks its internal layers, so
+// its node boundaries — and hence its golden root — differ from the
+// POS-Tree's.
+func TestIndexConformance(t *testing.T) {
+	cfg := prolly.ConfigForNodeSize(512)
+	indextest.RunIndexTests(t, "Prolly-Tree", indextest.Options{
+		New: func(s store.Store) (core.Index, error) {
+			return prolly.New(s, cfg), nil
+		},
+		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
+			pt := idx.(*prolly.Tree)
+			return prolly.Load(s, cfg, pt.RootHash(), pt.Height()), nil
+		},
+		OrderedIterate:        true,
+		PrunedRange:           true,
+		StructurallyInvariant: true,
+	})
+}

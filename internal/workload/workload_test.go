@@ -316,3 +316,48 @@ func TestYCSBConfigString(t *testing.T) {
 		t.Fatalf("String = %q", s)
 	}
 }
+
+func TestYCSBScanOps(t *testing.T) {
+	y := NewYCSB(YCSBConfig{Records: 1000, WriteRatio: 0.5, Seed: 9})
+	const n, scanRatio, maxLen = 4000, 0.4, 50
+	ops := y.ScanOps(n, scanRatio, maxLen)
+	if len(ops) != n {
+		t.Fatalf("ScanOps returned %d ops, want %d", len(ops), n)
+	}
+	scans, writes := 0, 0
+	for i, op := range ops {
+		switch {
+		case op.Scan:
+			scans++
+			if op.Write {
+				t.Fatalf("op %d is both scan and write", i)
+			}
+			if op.ScanLen < 1 || op.ScanLen > maxLen {
+				t.Fatalf("op %d scan length %d outside [1, %d]", i, op.ScanLen, maxLen)
+			}
+			if len(op.Entry.Key) == 0 {
+				t.Fatalf("op %d scan has no start key", i)
+			}
+		case op.Write:
+			writes++
+			if op.Entry.Value == nil {
+				t.Fatalf("write op %d has no value", i)
+			}
+		}
+	}
+	if got := float64(scans) / n; got < scanRatio-0.05 || got > scanRatio+0.05 {
+		t.Fatalf("scan fraction = %.3f, want ≈ %.2f", got, scanRatio)
+	}
+	// Writes split the non-scan remainder per WriteRatio.
+	if got := float64(writes) / float64(n-scans); got < 0.45 || got > 0.55 {
+		t.Fatalf("write fraction of point ops = %.3f, want ≈ 0.5", got)
+	}
+	// Determinism: the same config generates the same stream.
+	again := NewYCSB(YCSBConfig{Records: 1000, WriteRatio: 0.5, Seed: 9}).ScanOps(n, scanRatio, maxLen)
+	for i := range ops {
+		if ops[i].Scan != again[i].Scan || ops[i].ScanLen != again[i].ScanLen ||
+			string(ops[i].Entry.Key) != string(again[i].Entry.Key) {
+			t.Fatalf("ScanOps not deterministic at op %d", i)
+		}
+	}
+}

@@ -85,10 +85,16 @@ func (y *YCSB) Dataset() []core.Entry {
 	return out
 }
 
-// Op is one workload operation.
+// Op is one workload operation: a read (the default), a write (Write set),
+// or an ordered range scan (Scan set — YCSB workload E's op type). A scan
+// starts at Entry.Key and visits up to ScanLen entries in ascending key
+// order.
 type Op struct {
 	Write bool
-	Entry core.Entry
+	Scan  bool
+	// ScanLen is the maximum entries a scan visits (YCSB-E scan length).
+	ScanLen int
+	Entry   core.Entry
 }
 
 // Ops returns an n-operation stream over the dataset's key space with the
@@ -103,6 +109,38 @@ func (y *YCSB) Ops(n int) []Op {
 		write := rng.Float64() < y.cfg.WriteRatio
 		op := Op{Write: write, Entry: core.Entry{Key: y.Key(id)}}
 		if write {
+			op.Entry.Value = y.Value(id, i+1)
+		}
+		out[i] = op
+	}
+	return out
+}
+
+// ScanOps returns an n-operation YCSB-E-style stream: a scanRatio fraction
+// of operations are range scans whose start key is a Zipfian-chosen record
+// and whose length is uniform in [1, maxScanLen] (YCSB-E draws scan
+// lengths uniformly); the remainder are reads and writes in the configured
+// WriteRatio mix. Scan starts follow the same skew as point operations, so
+// hot ranges exist under θ > 0 exactly like hot keys do.
+func (y *YCSB) ScanOps(n int, scanRatio float64, maxScanLen int) []Op {
+	if maxScanLen < 1 {
+		maxScanLen = 1
+	}
+	z := NewZipfian(uint64(y.cfg.Records), y.cfg.Theta, y.cfg.Seed+3000)
+	rng := rand.New(rand.NewSource(y.cfg.Seed + 4000))
+	out := make([]Op, n)
+	for i := range out {
+		id := int(z.Next())
+		if rng.Float64() < scanRatio {
+			out[i] = Op{
+				Scan:    true,
+				ScanLen: 1 + rng.Intn(maxScanLen),
+				Entry:   core.Entry{Key: y.Key(id)},
+			}
+			continue
+		}
+		op := Op{Write: rng.Float64() < y.cfg.WriteRatio, Entry: core.Entry{Key: y.Key(id)}}
+		if op.Write {
 			op.Entry.Value = y.Value(id, i+1)
 		}
 		out[i] = op
