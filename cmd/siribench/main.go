@@ -4,6 +4,7 @@
 // Usage:
 //
 //	siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]
+//	siribench [flags] version log|gc
 //	siribench -list
 //
 // With no experiment arguments every experiment runs in paper order. Output
@@ -14,6 +15,12 @@
 // it (in-memory single-lock, in-memory sharded, or append-only segment
 // files on disk), -shards and -storedir tune the latter two, and -cache
 // layers a bounded LRU node cache over whichever backend is active.
+//
+// The version verbs demonstrate the version-management subsystem
+// (internal/version): `version log` builds a scale-sized commit history and
+// prints it; `version gc` additionally garbage-collects it down to the
+// newest -retain commits and reports the space reclaimed — on -store=disk
+// including the segment bytes returned by compaction.
 package main
 
 import (
@@ -39,8 +46,11 @@ func main() {
 	cacheBytes := flag.Int64("cache", 0, "LRU node-cache bytes layered over the store backend (0 = no cache)")
 	clientCache := flag.Int64("clientcache", 0,
 		"forkbase client node-cache bytes for the system experiments (0 = paper default 64 MiB, negative = disabled)")
+	retain := flag.Int("retain", 0,
+		"commits to retain in the retention experiment and the `version gc` verb (0 = scale default)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "       siribench [flags] version log|gc\n\n")
 		fmt.Fprintf(os.Stderr, "flags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "\nexperiments (default: all):\n")
@@ -69,12 +79,27 @@ func main() {
 		CacheBytes: *cacheBytes,
 	}
 	scale.ClientCacheBytes = *clientCache
+	if *retain > 0 {
+		scale.RetentionKeep = *retain
+	}
 	// Reject unknown backends before hours of experiments start.
 	if probe, err := scale.NewStore(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	} else {
 		store.Release(probe)
+	}
+
+	if flag.NArg() > 0 && flag.Arg(0) == "version" {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: siribench [flags] version log|gc")
+			os.Exit(2)
+		}
+		if err := runVersionVerb(os.Stdout, scale, flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var experiments []bench.Experiment

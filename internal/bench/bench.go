@@ -54,6 +54,13 @@ type Scale struct {
 	Fig1Records     int
 	Fig1Updates     int
 	Fig1Checkpoints []int
+	// Retention parameters (the versioning + GC extension): commit
+	// RetentionVersions versions of RetentionUpdates updates each, then GC
+	// down to the newest RetentionKeep and report reclaimed bytes.
+	// cmd/siribench's -retain flag overrides RetentionKeep.
+	RetentionVersions int
+	RetentionUpdates  int
+	RetentionKeep     int
 
 	// Store selects the node-store backend every candidate builds on, so
 	// each table/figure can run against the mem/sharded/disk ×
@@ -193,6 +200,7 @@ func TinyScale() Scale {
 		NodeSize:    512,
 		MBTBuckets:  64,
 		Fig1Records: 500, Fig1Updates: 50, Fig1Checkpoints: []int{2, 4},
+		RetentionVersions: 8, RetentionUpdates: 40, RetentionKeep: 3,
 	}
 }
 
@@ -212,6 +220,7 @@ func SmallScale() Scale {
 		NodeSize:    1024,
 		MBTBuckets:  512,
 		Fig1Records: 5000, Fig1Updates: 100, Fig1Checkpoints: []int{10, 20, 30, 40, 50},
+		RetentionVersions: 20, RetentionUpdates: 200, RetentionKeep: 5,
 	}
 }
 
@@ -231,6 +240,7 @@ func MediumScale() Scale {
 		NodeSize:    1024,
 		MBTBuckets:  4096,
 		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
+		RetentionVersions: 50, RetentionUpdates: 1000, RetentionKeep: 5,
 	}
 }
 
@@ -249,6 +259,7 @@ func FullScale() Scale {
 		NodeSize:    1024,
 		MBTBuckets:  4096,
 		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
+		RetentionVersions: 50, RetentionUpdates: 1000, RetentionKeep: 5,
 	}
 }
 

@@ -48,6 +48,7 @@ func Experiments() []Experiment {
 		{"fig21", "system throughput integrated with Forkbase engine", Fig21},
 		{"fig22", "Forkbase (POS-Tree) vs Noms (Prolly Tree)", Fig22},
 		{"scan", "ordered range scans: selectivity sweep + YCSB-E mix (extension)", ScanExp},
+		{"retention", "version retention: commit K versions, GC to newest N, report reclaimed bytes (extension)", RetentionExp},
 	}
 	out := make([]Experiment, len(defs))
 	for i, d := range defs {

@@ -1,20 +1,3 @@
-// Package chunk implements content-defined chunking: the pattern-aware
-// partitioning that gives POS-Tree (and the Prolly Tree used in the Noms
-// comparison) its structurally invariant shape.
-//
-// A Chunker consumes a sequence of items (serialized index entries) and
-// decides after which items a node boundary falls. Boundaries are detected
-// with a Rabin-style rolling hash over a fixed-size byte window: whenever the
-// low bits of the fingerprint match the boundary pattern, the current node
-// ends. Because the decision depends only on content, the same item sequence
-// always chunks the same way — regardless of the order in which updates
-// produced that sequence. This is the property the paper calls Structurally
-// Invariant, and it is what lets identical logical states share pages.
-//
-// The chunker state fully resets at every boundary, which makes chunking a
-// left-to-right automaton: re-chunking may start at any previous boundary
-// and is guaranteed to reproduce the canonical result. The incremental edit
-// algorithms in internal/postree and internal/prolly rely on exactly this.
 package chunk
 
 import (

@@ -1,0 +1,33 @@
+// Package chunk implements content-defined chunking: the pattern-aware
+// partitioning that gives POS-Tree (and the Prolly Tree used in the Noms
+// comparison) its structurally invariant shape.
+//
+// # Boundary detection
+//
+// A Chunker consumes a sequence of items (serialized index entries) and
+// decides after which items a node boundary falls. Boundaries are detected
+// with a Rabin-style rolling hash over a fixed-size byte window: whenever the
+// low bits of the fingerprint match the boundary pattern, the current node
+// ends. Because the decision depends only on content, the same item sequence
+// always chunks the same way — regardless of the order in which updates
+// produced that sequence. This is the property the paper calls Structurally
+// Invariant, and it is what lets identical logical states share pages.
+//
+// # Resetting and incrementality
+//
+// The chunker state fully resets at every boundary, which makes chunking a
+// left-to-right automaton: re-chunking may start at any previous boundary
+// and is guaranteed to reproduce the canonical result. The incremental edit
+// algorithms in internal/postree and internal/prolly rely on exactly this —
+// an edit re-chunks only from the nearest boundary left of the change until
+// the output resynchronizes with the old boundaries.
+//
+// # Downstream consequences
+//
+// Structural invariance is also what the versioning layers lean on: two
+// parties that arrive at the same logical state produce byte-identical
+// pages and therefore identical Merkle roots (deduplicated by the
+// content-addressed store, compared for free by internal/version commits),
+// and retention GC keeps exactly one copy of every shared page because the
+// reachable sets of structurally invariant versions overlap maximally.
+package chunk

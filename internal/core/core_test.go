@@ -394,6 +394,37 @@ func TestReachStatsMissingNode(t *testing.T) {
 	}
 }
 
+// TestReachableSharedAccSkipsWalkedPages locks in the union-walk contract
+// the GC mark phase relies on: a second Reachable call sharing the same acc
+// re-reads only the pages the first call did not cover.
+func TestReachableSharedAccSkipsWalkedPages(t *testing.T) {
+	s := store.NewMemStore()
+	leaf1 := dagNode(s, "leaf-1")
+	leaf2 := dagNode(s, "leaf-2")
+	mid := dagNode(s, "mid", leaf1, leaf2)
+	root1 := dagNode(s, "root-1", mid)
+	root2 := dagNode(s, "root-2", mid) // second version sharing the subtree
+
+	acc := make(map[hash.Hash]int)
+	idx1 := &dagIndex{s: s, root: root1}
+	if _, err := Reachable(idx1, idx1, root1, acc); err != nil {
+		t.Fatal(err)
+	}
+	getsAfterFirst := s.Stats().Gets
+	idx2 := &dagIndex{s: s, root: root2}
+	if _, err := Reachable(idx2, idx2, root2, acc); err != nil {
+		t.Fatal(err)
+	}
+	// The second walk must fetch only its novel root: mid and the leaves
+	// are already in acc.
+	if gets := s.Stats().Gets - getsAfterFirst; gets != 1 {
+		t.Fatalf("second walk issued %d Gets, want 1 (only the new root)", gets)
+	}
+	if len(acc) != 5 {
+		t.Fatalf("union covers %d nodes, want 5", len(acc))
+	}
+}
+
 func TestAnalyzeVersionsSharing(t *testing.T) {
 	s := store.NewMemStore()
 	shared := dagNode(s, "shared-subtree")

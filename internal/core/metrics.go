@@ -37,6 +37,14 @@ func Reachable(idx Index, w NodeWalker, root hash.Hash, acc map[hash.Hash]int) (
 		if ht, ok := heights[h]; ok {
 			return ht, nil
 		}
+		if _, done := acc[h]; done {
+			// Walked by an earlier Reachable call sharing this acc (the
+			// GC mark unioning several retained versions): the subtree is
+			// already fully accumulated, so don't re-read it. The height
+			// reported for a subtree pruned this way is 0; callers that
+			// need exact heights pass a fresh acc (ReachStats does).
+			return 0, nil
+		}
 		data, ok := idx.Store().Get(h)
 		if !ok {
 			return 0, fmt.Errorf("%w: %v", ErrMissingNode, h)

@@ -21,6 +21,14 @@ import (
 //
 // A StagedWriter is single-batch and not safe for concurrent use; create
 // one per mutation, Flush it, and drop it.
+//
+// GC safety: never run a store sweep (store.Sweeper, driven by
+// version.Repo.GC) while a staged commit is in flight on the same store.
+// Between Flush and the moment the new root is recorded in a commit, the
+// freshly flushed nodes are unreachable from every existing commit, and a
+// concurrent sweep would reclaim them mid-commit. Serialize GC against
+// writers; see the internal/version package documentation for the full
+// contract.
 type StagedWriter struct {
 	s      store.Store
 	hashes []hash.Hash

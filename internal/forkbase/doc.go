@@ -1,0 +1,31 @@
+// Package forkbase implements a miniature version of the client/server
+// storage engine used in the paper's system experiments (§5.6): a single
+// servlet owning the authoritative index over a content-addressed store,
+// and clients that execute reads by fetching nodes over the network
+// (caching them locally, as Forkbase does) while writes are shipped to the
+// servlet and applied there.
+//
+// # Wire protocol
+//
+// The protocol is deliberately small: length-prefixed binary messages
+// carrying node fetches, batched writes, and root queries. Any core.Index
+// implementation can be served, which is how the Forkbase (POS-Tree) versus
+// Noms (Prolly Tree) comparison of §5.6.2 is run on identical plumbing.
+//
+// # Roles in the larger system
+//
+// The servlet is the write authority: it applies batches with the staged
+// commit path and advances its head root, which clients poll with root
+// queries and Load into read-only views via a Loader (the same
+// class-keyed reconstruction closure internal/version uses for checkout —
+// the two Loader types mirror each other deliberately). Client-side
+// CachedStore layers never need invalidation because nodes are immutable
+// and content-addressed.
+//
+// Garbage collection (internal/version) currently assumes a local store:
+// running it inside the servlet between batches is safe (the servlet
+// serializes writes, satisfying the GC safety contract), but clients hold
+// no lease on the nodes they cache, so a remote GC protocol — sweeping the
+// servlet's store while clients keep reading — needs a liveness handshake
+// and is tracked as a ROADMAP open item rather than implemented here.
+package forkbase

@@ -1,14 +1,3 @@
-// Package forkbase implements a miniature version of the client/server
-// storage engine used in the paper's system experiments (§5.6): a single
-// servlet owning the authoritative index over a content-addressed store,
-// and clients that execute reads by fetching nodes over the network
-// (caching them locally, as Forkbase does) while writes are shipped to the
-// servlet and applied there.
-//
-// The wire protocol is deliberately small: length-prefixed binary messages
-// carrying node fetches, batched writes, and root queries. Any core.Index
-// implementation can be served, which is how the Forkbase (POS-Tree) versus
-// Noms (Prolly Tree) comparison of §5.6.2 is run on identical plumbing.
 package forkbase
 
 import (

@@ -1,0 +1,33 @@
+// Package mbt implements the Merkle Bucket Tree (§3.4.2 of the paper): a
+// Merkle tree of fixed fanout built over a fixed-capacity hash table,
+// modeled on Hyperledger Fabric 0.6's bucket tree — extended, as the paper's
+// authors had to, with immutability (copy-on-write node updates) and index
+// lookup logic.
+//
+// # Structure
+//
+// Records hash into one of B buckets; buckets hold entries in key order and
+// form the bottom level. Internal nodes of fanout m hold the hashes of their
+// children. Capacity and fanout are fixed for the lifetime of the structure,
+// so the shape never changes: every key's node position is static, which
+// makes diff trivial (positionwise hash comparison) but lets bucket size
+// grow linearly with the record count.
+//
+// The fixed shape also decides the query trade-off recorded in the README's
+// query matrix: point lookups hash straight to their bucket, but ordered
+// Range scans cannot prune — hash partitioning spreads adjacent keys across
+// buckets, so a bounded scan visits every bucket, clips each by binary
+// search, and merges the results into key order.
+//
+// # Versioning
+//
+// A Tree value is one immutable version; mutating methods return the next
+// version sharing every untouched node through the content-addressed store.
+// New materializes the complete empty tree eagerly (content addressing
+// collapses the identical empty buckets to a handful of stored pages) and
+// Load reattaches to any committed root, which is how internal/version
+// checks out an MBT commit: the class has no height parameter, so a root
+// digest plus the original Config is enough. Under retention-driven GC
+// (version.Repo.GC) every reachable node of a retained MBT version —
+// including the shared empty-bucket pages — is marked live via Refs.
+package mbt

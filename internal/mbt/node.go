@@ -1,15 +1,3 @@
-// Package mbt implements the Merkle Bucket Tree (§3.4.2 of the paper): a
-// Merkle tree of fixed fanout built over a fixed-capacity hash table,
-// modeled on Hyperledger Fabric 0.6's bucket tree — extended, as the paper's
-// authors had to, with immutability (copy-on-write node updates) and index
-// lookup logic.
-//
-// Records hash into one of B buckets; buckets hold entries in key order and
-// form the bottom level. Internal nodes of fanout m hold the hashes of their
-// children. Capacity and fanout are fixed for the lifetime of the structure,
-// so the shape never changes: every key's node position is static, which
-// makes diff trivial (positionwise hash comparison) but lets bucket size
-// grow linearly with the record count.
 package mbt
 
 import (

@@ -10,7 +10,12 @@
 // The implementation reuses internal/postree with the window-chunking
 // internal layer enabled, so lookups, diffs, proofs and the incremental edit
 // algorithm are identical — only the boundary detector (and hence the write
-// cost and the exact node boundaries) differs.
+// cost and the exact node boundaries) differs. Everything layered above
+// postree therefore works on Prolly Trees unchanged: ordered Range scans,
+// the indextest conformance battery, and version management — a Prolly
+// commit records the class name "Prolly-Tree" with the tree height, and
+// Load (via version.Loader) reattaches to any retained root after a
+// checkout or a GC.
 package prolly
 
 import (

@@ -56,9 +56,13 @@ type DiskStore struct {
 	// maxRecordBytes). They are served from memory for the store's
 	// lifetime and never persisted; the condition is reported as a sticky
 	// error by Sync/Close rather than silently dropping data on reopen.
-	resident   map[hash.Hash][]byte
-	readers    []*os.File // one per segment, index = segment id
-	active     *os.File   // append handle on the last segment
+	resident map[hash.Hash][]byte
+	readers  []*os.File // one per segment, index = segment id
+	// obsolete holds pre-compaction segment handles retired by Sweep.
+	// They stay open until Close so lock-free Gets that captured one
+	// before a compaction swap keep reading valid (old-inode) data.
+	obsolete   []*os.File
+	active     *os.File // append handle on the last segment
 	w          *bufio.Writer
 	activeID   int
 	activeSize int64 // logical size of the active segment, buffered included
@@ -80,6 +84,11 @@ type DiskOptions struct {
 	// default: the paper's experiments measure structure costs, not disk
 	// sync latency, and crash recovery truncates torn tails either way.
 	SyncOnFlush bool
+	// CompactLiveFraction is the liveness threshold Sweep compacts below:
+	// a segment whose live-record bytes make up less than this fraction of
+	// its file size is rewritten to only its live records (default 0.5).
+	// Fully dead segments are always compacted; fully live ones never are.
+	CompactLiveFraction float64
 }
 
 // recordLoc locates one stored payload.
@@ -98,6 +107,12 @@ const (
 	// error) and recovery enforces it on the read path, so the writer
 	// never produces a record the rebuild-on-open scan would reject.
 	maxRecordBytes = 1 << 30
+	// defaultCompactLiveFraction is the Sweep compaction threshold when
+	// DiskOptions.CompactLiveFraction is unset.
+	defaultCompactLiveFraction = 0.5
+	// compactSuffix marks a compacted replacement segment before the
+	// atomic rename. The suffix keeps it out of the seg-*.seg open scan.
+	compactSuffix = ".compact"
 )
 
 func segmentName(id int) string { return fmt.Sprintf("seg-%06d.seg", id) }
@@ -112,8 +127,19 @@ func OpenDiskStore(dir string, opts DiskOptions) (*DiskStore, error) {
 	if opts.FlushBytes <= 0 {
 		opts.FlushBytes = defaultFlushBytes
 	}
+	if opts.CompactLiveFraction <= 0 || opts.CompactLiveFraction > 1 {
+		opts.CompactLiveFraction = defaultCompactLiveFraction
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: disk: %w", err)
+	}
+	// A crash between writing a compacted replacement segment and renaming
+	// it over the original leaves a *.compact orphan; the original segment
+	// is still intact, so the orphan is simply discarded.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "seg-*"+compactSuffix)); err == nil {
+		for _, tmp := range tmps {
+			_ = os.Remove(tmp)
+		}
 	}
 	d := &DiskStore{
 		dirPath:  dir,
@@ -480,4 +506,8 @@ func (d *DiskStore) closeFiles() {
 		}
 	}
 	d.readers = nil
+	for _, f := range d.obsolete {
+		_ = f.Close() // unlinked pre-compaction inodes; errors carry no signal
+	}
+	d.obsolete = nil
 }

@@ -6,8 +6,10 @@
 // The suite pins down the contract the index structures and the paper's
 // storage figures rely on: content addressing, dedup accounting
 // (UniqueBytes ≤ RawBytes, DedupHits = RawNodes − UniqueNodes), buffer
-// ownership, miss counting, and safety under concurrent Put/Get (run the
-// suite under -race to make that part meaningful).
+// ownership, miss counting, safety under concurrent Put/Get (run the suite
+// under -race to make that part meaningful), and — for stores exposing the
+// Deleter/Sweeper reclamation capability — delete-then-get semantics and
+// live-set preservation under Sweep, the store half of the version GC.
 package storetest
 
 import (
@@ -47,6 +49,11 @@ func RunStoreTests(t *testing.T, newStore Factory) {
 		{"PutBatchHashed", testPutBatchHashed},
 		{"PutBatchEmpty", testPutBatchEmpty},
 		{"ConcurrentPutBatch", testConcurrentPutBatch},
+		{"DeleteThenGet", testDeleteThenGet},
+		{"DeleteReput", testDeleteReput},
+		{"SweepPreservesLiveSet", testSweepPreservesLiveSet},
+		{"SweepEverything", testSweepEverything},
+		{"SweepKeepsConcurrentReadsSafe", testSweepKeepsConcurrentReadsSafe},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) { tc.fn(t, newStore) })
@@ -333,6 +340,170 @@ func testConcurrentPutBatch(t *testing.T, newStore Factory) {
 	if st.RawNodes != workers*blobs || st.DedupHits != st.RawNodes-st.UniqueNodes {
 		t.Fatalf("stats after concurrent batches = %+v", st)
 	}
+}
+
+// sweepable returns s if it supports delete/sweep, skipping the subtest for
+// foreign stores without the capability (all four built-in backends have it).
+func sweepable(t *testing.T, s store.Store) store.Store {
+	t.Helper()
+	if _, ok := s.(store.Sweeper); !ok {
+		t.Skip("store does not implement Sweeper")
+	}
+	if _, ok := s.(store.Deleter); !ok {
+		t.Skip("store does not implement Deleter")
+	}
+	return s
+}
+
+func testDeleteThenGet(t *testing.T, newStore Factory) {
+	s := sweepable(t, newStore(t))
+	data := []byte("condemned node")
+	h := s.Put(data)
+	keep := s.Put([]byte("survivor"))
+
+	ok, err := store.Delete(s, h)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v; want true, nil", ok, err)
+	}
+	if _, ok := s.Get(h); ok {
+		t.Fatal("Get served a deleted node")
+	}
+	if s.Has(h) {
+		t.Fatal("Has = true for a deleted node")
+	}
+	if got, ok := s.Get(keep); !ok || !bytes.Equal(got, []byte("survivor")) {
+		t.Fatalf("unrelated node disturbed by Delete: %q, %v", got, ok)
+	}
+	// Deleting an absent node is a reported no-op.
+	if ok, err := store.Delete(s, hash.Of([]byte("never stored"))); err != nil || ok {
+		t.Fatalf("Delete of absent node = %v, %v; want false, nil", ok, err)
+	}
+	// The unique footprint shrinks; raw history is preserved.
+	st := s.Stats()
+	if st.UniqueNodes != 1 || st.UniqueBytes != int64(len("survivor")) {
+		t.Fatalf("unique footprint after delete = %+v", st)
+	}
+	if st.RawNodes != 2 {
+		t.Fatalf("raw history after delete = %+v", st)
+	}
+}
+
+func testDeleteReput(t *testing.T, newStore Factory) {
+	s := sweepable(t, newStore(t))
+	data := []byte("comes back")
+	h := s.Put(data)
+	if ok, err := store.Delete(s, h); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if h2 := s.Put(data); h2 != h {
+		t.Fatalf("re-Put hash changed: %v != %v", h2, h)
+	}
+	got, ok := s.Get(h)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get after delete+re-Put = %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.UniqueNodes != 1 {
+		t.Fatalf("unique count after delete+re-Put = %+v", st)
+	}
+}
+
+func testSweepPreservesLiveSet(t *testing.T, newStore Factory) {
+	s := sweepable(t, newStore(t))
+	const n = 200
+	hs := make([]hash.Hash, n)
+	live := make(map[hash.Hash]bool)
+	var liveBytes, deadBytes int64
+	for i := 0; i < n; i++ {
+		data := blob(i)
+		hs[i] = s.Put(data)
+		if i%3 == 0 {
+			live[hs[i]] = true
+			liveBytes += int64(len(data))
+		} else {
+			deadBytes += int64(len(data))
+		}
+	}
+	st, err := store.Sweep(s, func(h hash.Hash) bool { return live[h] })
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	wantLive := int64(len(live))
+	if st.LiveNodes != wantLive || st.SweptNodes != n-wantLive {
+		t.Fatalf("sweep counts = %+v, want %d live / %d swept", st, wantLive, n-wantLive)
+	}
+	if st.LiveBytes != liveBytes || st.SweptBytes != deadBytes {
+		t.Fatalf("sweep bytes = %+v, want %d live / %d dead", st, liveBytes, deadBytes)
+	}
+	for i, h := range hs {
+		got, ok := s.Get(h)
+		if live[h] {
+			if !ok || !bytes.Equal(got, blob(i)) {
+				t.Fatalf("live node %d lost by sweep: %q, %v", i, got, ok)
+			}
+		} else if ok {
+			t.Fatalf("dead node %d survived sweep", i)
+		}
+	}
+	if ss := s.Stats(); ss.UniqueNodes != wantLive || ss.UniqueBytes != liveBytes {
+		t.Fatalf("unique footprint after sweep = %+v", ss)
+	}
+}
+
+func testSweepEverything(t *testing.T, newStore Factory) {
+	s := sweepable(t, newStore(t))
+	for i := 0; i < 50; i++ {
+		s.Put(blob(i))
+	}
+	st, err := store.Sweep(s, func(hash.Hash) bool { return false })
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if st.LiveNodes != 0 || st.SweptNodes != 50 {
+		t.Fatalf("sweep-everything counts = %+v", st)
+	}
+	if ss := s.Stats(); ss.UniqueNodes != 0 || ss.UniqueBytes != 0 {
+		t.Fatalf("unique footprint after full sweep = %+v", ss)
+	}
+	// The store is still usable: a fresh Put round-trips.
+	h := s.Put([]byte("afterlife"))
+	if got, ok := s.Get(h); !ok || !bytes.Equal(got, []byte("afterlife")) {
+		t.Fatalf("Put after full sweep = %q, %v", got, ok)
+	}
+}
+
+// testSweepKeepsConcurrentReadsSafe hammers Get on retained nodes while a
+// sweep removes the rest — the reader side of the GC contract (writers must
+// be quiesced; readers of live nodes need not be). Run under -race.
+func testSweepKeepsConcurrentReadsSafe(t *testing.T, newStore Factory) {
+	s := sweepable(t, newStore(t))
+	const n = 300
+	liveHashes := make([]hash.Hash, 0, n/2)
+	live := make(map[hash.Hash]bool)
+	for i := 0; i < n; i++ {
+		h := s.Put(blob(i))
+		if i%2 == 0 {
+			liveHashes = append(liveHashes, h)
+			live[h] = true
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 200; r++ {
+				h := liveHashes[(w*131+r)%len(liveHashes)]
+				if _, ok := s.Get(h); !ok {
+					t.Errorf("live node vanished during sweep")
+					return
+				}
+			}
+		}(w)
+	}
+	if _, err := store.Sweep(s, func(h hash.Hash) bool { return live[h] }); err != nil {
+		t.Errorf("Sweep: %v", err)
+	}
+	wg.Wait()
 }
 
 // blob generates deterministic distinct content of varied length.

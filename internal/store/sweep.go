@@ -1,0 +1,225 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hash"
+)
+
+// ErrNoSweeper reports a Delete or Sweep request against a store whose
+// backing does not support space reclamation.
+var ErrNoSweeper = errors.New("store: backend does not support delete/sweep")
+
+// Deleter is the single-node reclamation capability of the store contract.
+// Content addressing makes deletion safe only when the caller knows no live
+// version references the node — the store cannot tell, so the capability is
+// reserved for the garbage collector in internal/version, which computes
+// reachability first.
+//
+// All four built-in backends implement Deleter. For the in-memory backends a
+// delete frees the node immediately; for DiskStore it is logical — the node
+// becomes unreadable and its bytes are reclaimed by the next Sweep
+// compaction (until then, a crash or reopen resurrects the record from the
+// segment scan, which is harmless garbage, not a correctness issue).
+type Deleter interface {
+	// Delete removes the node stored under h, returning whether it was
+	// present. Deleting an absent node is a no-op. Wrapping stores
+	// (CachedStore) return ErrNoSweeper when their backing cannot delete.
+	Delete(h hash.Hash) (bool, error)
+}
+
+// LiveFunc reports whether the node stored under h must be retained.
+// Implementations must be pure and fast: Sweep calls it once per resident
+// node while holding store locks.
+type LiveFunc func(hash.Hash) bool
+
+// Sweeper is the bulk reclamation capability: one pass that keeps exactly
+// the nodes a LiveFunc marks and reclaims everything else. It is the store
+// half of mark-and-sweep garbage collection — internal/version computes the
+// live set (the union of nodes reachable from every retained commit) and
+// hands it here as the predicate.
+//
+// Safety contract: Sweep must not run concurrently with writers that are
+// mid-commit. A core.StagedWriter that has flushed nodes whose root is not
+// yet recorded in any commit would see them swept as unreachable. Callers
+// serialize GC against commits (see internal/version, which documents the
+// same contract at its level). Concurrent readers of retained nodes are
+// safe on every built-in backend.
+type Sweeper interface {
+	// Sweep removes every resident node h for which live(h) is false and
+	// returns the reclamation accounting. DiskStore additionally compacts
+	// segment files whose live fraction fell below the configured
+	// threshold, rewriting them crash-safely (write-new-then-swap).
+	Sweep(live LiveFunc) (SweepStats, error)
+}
+
+// SweepStats is the accounting of one Sweep pass.
+type SweepStats struct {
+	LiveNodes  int64 // nodes retained
+	LiveBytes  int64 // bytes of retained nodes
+	SweptNodes int64 // nodes reclaimed
+	SweptBytes int64 // bytes of reclaimed nodes
+	// SegmentsCompacted counts segment files rewritten by DiskStore; zero
+	// for the in-memory backends.
+	SegmentsCompacted int
+}
+
+// String renders the counters in a compact single line for logs.
+func (s SweepStats) String() string {
+	return fmt.Sprintf("live=%d nodes/%d B swept=%d nodes/%d B compacted=%d segs",
+		s.LiveNodes, s.LiveBytes, s.SweptNodes, s.SweptBytes, s.SegmentsCompacted)
+}
+
+// Delete removes h from s through its Deleter capability, reporting
+// ErrNoSweeper for stores that lack it.
+func Delete(s Store, h hash.Hash) (bool, error) {
+	if d, ok := s.(Deleter); ok {
+		return d.Delete(h)
+	}
+	return false, fmt.Errorf("%w: %T", ErrNoSweeper, s)
+}
+
+// Sweep runs a mark-complement sweep on s through its Sweeper capability,
+// reporting ErrNoSweeper for stores that lack it.
+func Sweep(s Store, live LiveFunc) (SweepStats, error) {
+	if sw, ok := s.(Sweeper); ok {
+		return sw.Sweep(live)
+	}
+	return SweepStats{}, fmt.Errorf("%w: %T", ErrNoSweeper, s)
+}
+
+// Compile-time checks: every built-in backend supports reclamation.
+var (
+	_ Deleter = (*MemStore)(nil)
+	_ Deleter = (*ShardedStore)(nil)
+	_ Deleter = (*DiskStore)(nil)
+	_ Deleter = (*CachedStore)(nil)
+	_ Sweeper = (*MemStore)(nil)
+	_ Sweeper = (*ShardedStore)(nil)
+	_ Sweeper = (*DiskStore)(nil)
+	_ Sweeper = (*CachedStore)(nil)
+)
+
+// Delete implements Deleter: the node is removed from the map and the
+// unique-footprint counters shrink accordingly (raw counters keep their
+// history).
+func (m *MemStore) Delete(h hash.Hash) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.nodes[h]
+	if !ok {
+		return false, nil
+	}
+	delete(m.nodes, h)
+	m.stats.UniqueNodes--
+	m.stats.UniqueBytes -= int64(len(data))
+	return true, nil
+}
+
+// Sweep implements Sweeper with one pass over the map under the write lock.
+func (m *MemStore) Sweep(live LiveFunc) (SweepStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var st SweepStats
+	for h, data := range m.nodes {
+		if live(h) {
+			st.LiveNodes++
+			st.LiveBytes += int64(len(data))
+			continue
+		}
+		delete(m.nodes, h)
+		st.SweptNodes++
+		st.SweptBytes += int64(len(data))
+	}
+	m.stats.UniqueNodes -= st.SweptNodes
+	m.stats.UniqueBytes -= st.SweptBytes
+	return st, nil
+}
+
+// Delete implements Deleter on the owning shard.
+func (s *ShardedStore) Delete(h hash.Hash) (bool, error) {
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	data, ok := sh.nodes[h]
+	if ok {
+		delete(sh.nodes, h)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	s.ctr.uniqueNodes.Add(-1)
+	s.ctr.uniqueBytes.Add(-int64(len(data)))
+	return true, nil
+}
+
+// Sweep implements Sweeper shard by shard; each shard lock is held only for
+// its own pass, so concurrent readers of other shards proceed.
+func (s *ShardedStore) Sweep(live LiveFunc) (SweepStats, error) {
+	var st SweepStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for h, data := range sh.nodes {
+			if live(h) {
+				st.LiveNodes++
+				st.LiveBytes += int64(len(data))
+				continue
+			}
+			delete(sh.nodes, h)
+			st.SweptNodes++
+			st.SweptBytes += int64(len(data))
+		}
+		sh.mu.Unlock()
+	}
+	s.ctr.uniqueNodes.Add(-st.SweptNodes)
+	s.ctr.uniqueBytes.Add(-st.SweptBytes)
+	return st, nil
+}
+
+// Delete implements Deleter: the entry is evicted locally and the delete is
+// forwarded to the backing store.
+func (c *CachedStore) Delete(h hash.Hash) (bool, error) {
+	d, ok := c.backing.(Deleter)
+	if !ok {
+		return false, fmt.Errorf("%w: backing %T", ErrNoSweeper, c.backing)
+	}
+	c.mu.Lock()
+	c.evict(h)
+	c.mu.Unlock()
+	return d.Delete(h)
+}
+
+// Sweep implements Sweeper: the backing store sweeps, then dead entries are
+// evicted from the LRU so the cache can never resurrect a reclaimed node.
+func (c *CachedStore) Sweep(live LiveFunc) (SweepStats, error) {
+	sw, ok := c.backing.(Sweeper)
+	if !ok {
+		return SweepStats{}, fmt.Errorf("%w: backing %T", ErrNoSweeper, c.backing)
+	}
+	st, err := sw.Sweep(live)
+	if err != nil {
+		return st, err
+	}
+	c.mu.Lock()
+	for h := range c.entries {
+		if !live(h) {
+			c.evict(h)
+		}
+	}
+	c.mu.Unlock()
+	return st, nil
+}
+
+// evict removes h from the LRU if present. Caller holds c.mu.
+func (c *CachedStore) evict(h hash.Hash) {
+	el, ok := c.entries[h]
+	if !ok {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.entries, h)
+	c.bytes -= int64(len(ent.data))
+}

@@ -1,0 +1,138 @@
+package version
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// Commit is one recorded index version. Commits are immutable and
+// content-addressed: ID is the SHA-256 digest of the canonical encoding of
+// every other field, and the encoding is stored as a node in the same store
+// as the index pages it refers to.
+type Commit struct {
+	// ID is the digest of the commit's canonical encoding (assigned by
+	// Repo.Commit / ReadCommit, never set by callers).
+	ID hash.Hash
+	// Root is the committed index version's Merkle root.
+	Root hash.Hash
+	// Parents are the IDs of the commits this one descends from: one for a
+	// plain head advance, zero for a history's first commit. (The slice is
+	// shared, not copied; treat it as immutable.)
+	Parents []hash.Hash
+	// Class names the index structure that produced Root (core.Index.Name,
+	// e.g. "MPT"), keying the Loader used to check the version out.
+	Class string
+	// Height is the index tree height at commit time; POS-Tree, Prolly
+	// Tree and the MVMB+-Tree need it to Load a root. Zero for classes
+	// that derive their depth from the data (MPT, MBT).
+	Height int
+	// Time is the commit wall-clock time in Unix nanoseconds. Metadata
+	// only — nothing orders commits by it.
+	Time int64
+	// Message is the human-readable commit description.
+	Message string
+}
+
+// When returns the commit time as a time.Time.
+func (c Commit) When() time.Time { return time.Unix(0, c.Time) }
+
+// String renders the commit for logs: short ID, class and message.
+func (c Commit) String() string {
+	return fmt.Sprintf("%x %s %q", c.ID[:6], c.Class, c.Message)
+}
+
+// commitTag is the node-kind byte of a commit encoding. It cannot collide
+// with index node encodings in practice — content addressing means a
+// collision would require identical bytes, not just an identical tag.
+const commitTag = 0xC0
+
+// encodeCommit produces the canonical encoding hashed into the commit ID.
+func encodeCommit(c Commit) []byte {
+	w := codec.NewWriter(64 + len(c.Message) + 32*len(c.Parents))
+	w.Byte(commitTag)
+	w.Bytes32(c.Root[:])
+	w.LenBytes([]byte(c.Class))
+	w.Uvarint(uint64(c.Height))
+	w.Uvarint(uint64(c.Time))
+	w.LenBytes([]byte(c.Message))
+	w.Uvarint(uint64(len(c.Parents)))
+	for _, p := range c.Parents {
+		w.Bytes32(p[:])
+	}
+	return w.Bytes()
+}
+
+// decodeCommit parses a canonical commit encoding (without assigning ID).
+func decodeCommit(data []byte) (Commit, error) {
+	r := codec.NewReader(data)
+	tag, err := r.Byte()
+	if err != nil || tag != commitTag {
+		return Commit{}, fmt.Errorf("version: not a commit encoding (tag %#x, err %v)", tag, err)
+	}
+	var c Commit
+	rootB, err := r.Bytes32()
+	if err != nil {
+		return Commit{}, fmt.Errorf("version: decode commit root: %w", err)
+	}
+	copy(c.Root[:], rootB)
+	classB, err := r.LenBytes()
+	if err != nil {
+		return Commit{}, fmt.Errorf("version: decode commit class: %w", err)
+	}
+	c.Class = string(classB)
+	height, err := r.Uvarint()
+	if err != nil {
+		return Commit{}, fmt.Errorf("version: decode commit height: %w", err)
+	}
+	c.Height = int(height)
+	t, err := r.Uvarint()
+	if err != nil {
+		return Commit{}, fmt.Errorf("version: decode commit time: %w", err)
+	}
+	c.Time = int64(t)
+	msgB, err := r.LenBytes()
+	if err != nil {
+		return Commit{}, fmt.Errorf("version: decode commit message: %w", err)
+	}
+	c.Message = string(msgB)
+	np, err := r.Uvarint()
+	if err != nil {
+		return Commit{}, fmt.Errorf("version: decode commit parents: %w", err)
+	}
+	if np > uint64(r.Remaining())/hash.Size {
+		return Commit{}, fmt.Errorf("version: commit parent count %d exceeds encoding", np)
+	}
+	c.Parents = make([]hash.Hash, np)
+	for i := range c.Parents {
+		pb, err := r.Bytes32()
+		if err != nil {
+			return Commit{}, fmt.Errorf("version: decode commit parent %d: %w", i, err)
+		}
+		copy(c.Parents[i][:], pb)
+	}
+	if err := r.Done(); err != nil {
+		return Commit{}, fmt.Errorf("version: commit encoding: %w", err)
+	}
+	return c, nil
+}
+
+// ReadCommit fetches and decodes the commit stored under id — the entry
+// point for resuming a history from a reopened store, where only the head
+// ID is known externally.
+func ReadCommit(s store.Store, id hash.Hash) (Commit, error) {
+	data, ok := s.Get(id)
+	if !ok {
+		return Commit{}, fmt.Errorf("%w: commit %v", core.ErrMissingNode, id)
+	}
+	c, err := decodeCommit(data)
+	if err != nil {
+		return Commit{}, err
+	}
+	c.ID = id
+	return c, nil
+}

@@ -1,0 +1,59 @@
+// Package version adds version management on top of the immutable indexes:
+// a commit log, named branches, and retention-driven garbage collection.
+//
+// The paper's central storage claim (§4.2, §5.4.2) is that immutable
+// indexes make retaining many versions cheap, because versions share
+// unmodified pages through the content-addressed store. This package closes
+// the lifecycle loop on that claim: it names versions (commits), organizes
+// them into histories (branches), and — the part the paper leaves to
+// systems like Forkbase — bounds space by deleting the pages only
+// unretained versions reach.
+//
+// # Commits
+//
+// A Commit records one index version: the Merkle root, the parent commit
+// IDs, the index class that produced the root (so the version can be
+// re-opened later), the tree height at commit time (POS-Tree and the
+// MVMB+-Tree need it to Load), and metadata (message, wall-clock time).
+// Commits are themselves content-addressed: the canonical encoding of the
+// commit is stored as a node in the same store as the index pages, and its
+// SHA-256 digest is the commit ID. A commit therefore survives anything the
+// index pages survive — including a DiskStore close and reopen — and
+// ResumeBranch can rebuild a Repo's log from a head ID alone.
+//
+// # Branches
+//
+// A branch is a named mutable head over the immutable commit graph.
+// Repo.Commit advances the named branch (creating it on first use);
+// Branch creates or moves a branch to any known commit; Checkout
+// reconstructs a read view of any commit through the Loader registered for
+// its index class.
+//
+// # Garbage collection
+//
+// GC(retain...) is mark-and-sweep over the content-addressed store. Mark:
+// the union of every retained commit's reachable node set (via
+// core.Reachable) plus the retained commit blobs themselves. Sweep: every
+// other node in the store is deleted through the store's Sweeper capability
+// — map deletes for the in-memory backends, live-set segment compaction for
+// DiskStore. Commits outside the retained set are dropped from the log;
+// retained commits keep their Parents fields, so history becomes shallow at
+// the retention boundary, exactly like a shallow git clone.
+//
+// # Safety contract
+//
+// GC must not run concurrently with index mutations. Specifically:
+//
+//   - Never run GC while a core.StagedWriter commit is in flight anywhere
+//     on the same store: a batch that has flushed its nodes but whose root
+//     has not yet been recorded in a commit is unreachable from every
+//     retained commit, and the sweep would delete it mid-commit.
+//   - Never run GC while another goroutine calls Repo.Commit, Put or
+//     PutBatch on an index over the same store.
+//
+// Readers are safe: concurrent Get/Iterate/Range/Prove on *retained*
+// versions may overlap a GC on every built-in backend. Callers that hold
+// pre-GC index values for unretained versions must drop them — their nodes
+// are gone (reads fail with core.ErrMissingNode; decoded-node caches may
+// serve stale subsets, which is harmless but not useful).
+package version

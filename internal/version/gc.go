@@ -1,0 +1,116 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// GCStats is the accounting of one GC pass: the marked live set and the
+// store's sweep result.
+type GCStats struct {
+	// RetainedCommits is how many distinct commits were kept.
+	RetainedCommits int
+	// DroppedCommits is how many commits left the log.
+	DroppedCommits int
+	// LiveNodes and LiveBytes measure the marked set: the union of every
+	// retained version's reachable pages plus the commit blobs — the
+	// deduplicated footprint byte(P1 ∪ … ∪ Pk) of §4.2, now enforced as
+	// the store's entire contents.
+	LiveNodes int
+	LiveBytes int64
+	// Store is the sweep accounting from the store backend, including
+	// DiskStore segment compactions.
+	Store store.SweepStats
+}
+
+// String renders the stats in a compact single line for logs.
+func (g GCStats) String() string {
+	return fmt.Sprintf("retained=%d commits dropped=%d live=%d nodes/%d B store{%s}",
+		g.RetainedCommits, g.DroppedCommits, g.LiveNodes, g.LiveBytes, g.Store)
+}
+
+// GC reclaims every store node unreachable from the retained commits:
+// mark computes the union of the retained versions' reachable node sets
+// (plus the retained commit blobs), sweep hands the complement to the
+// store's Sweeper capability. Commits outside the retained set are dropped
+// from the log; every branch head must be among the retained commits
+// (delete the branch first if its history should go).
+//
+// Safety: GC must not run concurrently with Repo.Commit or any index
+// mutation (including an in-flight core.StagedWriter commit) over the same
+// store — see the package documentation. Concurrent readers of retained
+// versions are safe.
+func (r *Repo) GC(retain ...Commit) (GCStats, error) {
+	var st GCStats
+	if len(retain) == 0 {
+		return st, errors.New("version: GC requires at least one retained commit")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	keep := make(map[hash.Hash]bool, len(retain))
+	for _, c := range retain {
+		if _, ok := r.commits[c.ID]; !ok {
+			return st, fmt.Errorf("%w: retained %v", ErrUnknownCommit, c.ID)
+		}
+		keep[c.ID] = true
+	}
+	for name, head := range r.branches {
+		if !keep[head] {
+			return st, fmt.Errorf("version: branch %q head %x not in the retained set (delete the branch or retain its head)", name, head[:6])
+		}
+	}
+
+	// Mark. live maps node digest → encoded size, exactly the accumulator
+	// core.Reachable fills; passing one map across versions unions the
+	// page sets, so shared pages are walked once.
+	live := make(map[hash.Hash]int)
+	for id := range keep {
+		c := r.commits[id]
+		if data, ok := r.s.Get(id); ok {
+			live[id] = len(data)
+		}
+		if c.Root.IsNull() {
+			continue // empty version: only the commit blob is live
+		}
+		idx, err := r.checkoutLocked(c)
+		if err != nil {
+			return st, fmt.Errorf("version: GC mark %s: %w", c, err)
+		}
+		w, ok := idx.(core.NodeWalker)
+		if !ok {
+			return st, fmt.Errorf("version: GC mark %s: %s exposes no node refs", c, c.Class)
+		}
+		if _, err := core.Reachable(idx, w, c.Root, live); err != nil {
+			return st, fmt.Errorf("version: GC mark %s: %w", c, err)
+		}
+	}
+	st.LiveNodes = len(live)
+	for _, sz := range live {
+		st.LiveBytes += int64(sz)
+	}
+
+	// Sweep.
+	sw, err := store.Sweep(r.s, func(h hash.Hash) bool {
+		_, ok := live[h]
+		return ok
+	})
+	st.Store = sw
+	if err != nil {
+		return st, fmt.Errorf("version: GC sweep: %w", err)
+	}
+
+	// Prune the log to the survivors.
+	for id := range r.commits {
+		if !keep[id] {
+			delete(r.commits, id)
+			st.DroppedCommits++
+		}
+	}
+	st.RetainedCommits = len(keep)
+	return st, nil
+}

@@ -1,0 +1,256 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// Loader reconstructs a read view of an index class from a committed root.
+// Each class registers one as a closure over its structural configuration,
+// mirroring forkbase.Loader, e.g.
+//
+//	repo.RegisterLoader("MPT", func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+//	    return mpt.Load(s, root), nil
+//	})
+type Loader func(s store.Store, root hash.Hash, height int) (core.Index, error)
+
+// Common errors.
+var (
+	// ErrUnknownCommit reports an ID absent from the repo's commit log.
+	ErrUnknownCommit = errors.New("version: unknown commit")
+	// ErrUnknownBranch reports a branch name with no head.
+	ErrUnknownBranch = errors.New("version: unknown branch")
+	// ErrNoLoader reports a checkout of a class with no registered Loader.
+	ErrNoLoader = errors.New("version: no loader registered for index class")
+)
+
+// Repo is a commit log plus named branches over one content-addressed
+// store. All methods are safe for concurrent use with each other; the GC
+// method additionally requires that no index mutation over the same store
+// is in flight (see the package documentation's safety contract).
+//
+// The log is an in-memory view; the durable truth is the store itself,
+// where every commit lives as a content-addressed node. ResumeBranch
+// rebuilds the view from a head ID after a process restart.
+type Repo struct {
+	s store.Store
+
+	mu       sync.RWMutex
+	loaders  map[string]Loader
+	commits  map[hash.Hash]Commit
+	branches map[string]hash.Hash
+	now      func() time.Time
+}
+
+// NewRepo returns an empty repo over s. Register a Loader per index class
+// before calling Checkout or GC on commits of that class.
+func NewRepo(s store.Store) *Repo {
+	return &Repo{
+		s:        s,
+		loaders:  make(map[string]Loader),
+		commits:  make(map[hash.Hash]Commit),
+		branches: make(map[string]hash.Hash),
+		now:      time.Now,
+	}
+}
+
+// Store returns the content-addressed store the repo records commits in.
+func (r *Repo) Store() store.Store { return r.s }
+
+// RegisterLoader installs the checkout constructor for one index class
+// (keyed by core.Index.Name). Registering a class twice replaces the loader.
+func (r *Repo) RegisterLoader(class string, l Loader) {
+	r.mu.Lock()
+	r.loaders[class] = l
+	r.mu.Unlock()
+}
+
+// Commit records idx's current version as a new commit on branch, advancing
+// (or creating) the branch head, and returns the stored commit. The commit's
+// parent is the previous head, its class is idx.Name(), and its height is
+// taken from the index when the class exposes one (POS-Tree, MVMB+-Tree).
+func (r *Repo) Commit(branch string, idx core.Index, message string) (Commit, error) {
+	if branch == "" {
+		return Commit{}, errors.New("version: empty branch name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := Commit{
+		Root:    idx.RootHash(),
+		Class:   idx.Name(),
+		Message: message,
+		Time:    r.now().UnixNano(),
+	}
+	if h, ok := idx.(interface{ Height() int }); ok {
+		c.Height = h.Height()
+	}
+	if head, ok := r.branches[branch]; ok {
+		c.Parents = []hash.Hash{head}
+	}
+	c.ID = r.s.Put(encodeCommit(c))
+	r.commits[c.ID] = c
+	r.branches[branch] = c.ID
+	return c, nil
+}
+
+// Head returns the commit a branch points at.
+func (r *Repo) Head(branch string) (Commit, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.branches[branch]
+	if !ok {
+		return Commit{}, false
+	}
+	c, ok := r.commits[id]
+	return c, ok
+}
+
+// Branch creates branch name at the known commit id, or moves it there if
+// it already exists — checkout-and-fork in one step, since a later
+// Repo.Commit on the new branch descends from id.
+func (r *Repo) Branch(name string, id hash.Hash) error {
+	if name == "" {
+		return errors.New("version: empty branch name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.commits[id]; !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownCommit, id)
+	}
+	r.branches[name] = id
+	return nil
+}
+
+// DeleteBranch removes a branch head. The commits it pointed at remain in
+// the log until a GC drops them.
+func (r *Repo) DeleteBranch(name string) {
+	r.mu.Lock()
+	delete(r.branches, name)
+	r.mu.Unlock()
+}
+
+// Branches lists the branch names in sorted order.
+func (r *Repo) Branches() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.branches))
+	for name := range r.branches {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the commit stored under id, if the log knows it.
+func (r *Repo) Lookup(id hash.Hash) (Commit, bool) {
+	r.mu.RLock()
+	c, ok := r.commits[id]
+	r.mu.RUnlock()
+	return c, ok
+}
+
+// Checkout reconstructs a read view of the commit's index version through
+// the Loader registered for its class.
+func (r *Repo) Checkout(id hash.Hash) (core.Index, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.commits[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownCommit, id)
+	}
+	return r.checkoutLocked(c)
+}
+
+// CheckoutBranch checks out the head of a branch.
+func (r *Repo) CheckoutBranch(name string) (core.Index, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.branches[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBranch, name)
+	}
+	return r.checkoutLocked(r.commits[id])
+}
+
+// checkoutLocked loads c's index view. Caller holds r.mu (read or write).
+func (r *Repo) checkoutLocked(c Commit) (core.Index, error) {
+	l, ok := r.loaders[c.Class]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoLoader, c.Class)
+	}
+	idx, err := l(r.s, c.Root, c.Height)
+	if err != nil {
+		return nil, fmt.Errorf("version: checkout %s: %w", c, err)
+	}
+	return idx, nil
+}
+
+// Log returns a branch's history, newest first, following first parents.
+// The walk stops at a history's first commit or at the retention boundary a
+// past GC left (a parent ID no longer in the log).
+func (r *Repo) Log(branch string) ([]Commit, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.branches[branch]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBranch, branch)
+	}
+	var out []Commit
+	for {
+		c, ok := r.commits[id]
+		if !ok {
+			return out, nil // shallow boundary
+		}
+		out = append(out, c)
+		if len(c.Parents) == 0 {
+			return out, nil
+		}
+		id = c.Parents[0]
+	}
+}
+
+// ResumeBranch rebuilds the log for one branch from a head commit ID by
+// reading the commit chain (all parents, breadth-first) out of the store,
+// then points branch name at it. It is how a process reattaches to a
+// DiskStore-backed history after a restart: persist the head ID anywhere,
+// reopen the store, resume. Ancestors whose blobs a GC already swept are
+// skipped, leaving the same shallow boundary the GC left.
+func (r *Repo) ResumeBranch(name string, head hash.Hash) error {
+	if name == "" {
+		return errors.New("version: empty branch name")
+	}
+	first, err := ReadCommit(r.s, head)
+	if err != nil {
+		return fmt.Errorf("version: resume %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	queue := []Commit{first}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if _, seen := r.commits[c.ID]; seen {
+			continue
+		}
+		r.commits[c.ID] = c
+		for _, p := range c.Parents {
+			if _, seen := r.commits[p]; seen {
+				continue
+			}
+			pc, err := ReadCommit(r.s, p)
+			if err != nil {
+				continue // swept ancestor: shallow boundary
+			}
+			queue = append(queue, pc)
+		}
+	}
+	r.branches[name] = head
+	return nil
+}

@@ -1,0 +1,345 @@
+package version_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/mbt"
+	"repro/internal/mpt"
+	"repro/internal/mvmbt"
+	"repro/internal/postree"
+	"repro/internal/prolly"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+// indexClass bundles one index structure's constructor and checkout loader
+// for the version tests, with small structural parameters so 50-version
+// histories stay fast under -race.
+type indexClass struct {
+	name   string
+	new    func(s store.Store) (core.Index, error)
+	loader version.Loader
+}
+
+func classes() []indexClass {
+	posCfg := postree.ConfigForNodeSize(512)
+	prollyCfg := prolly.ConfigForNodeSize(512)
+	mbtCfg := mbt.Config{Capacity: 32, Fanout: 8}
+	mvCfg := mvmbt.ConfigForNodeSize(512)
+	return []indexClass{
+		{
+			name: "MPT",
+			new:  func(s store.Store) (core.Index, error) { return mpt.New(s), nil },
+			loader: func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+				return mpt.Load(s, root), nil
+			},
+		},
+		{
+			name: "MBT",
+			new:  func(s store.Store) (core.Index, error) { return mbt.New(s, mbtCfg) },
+			loader: func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+				return mbt.Load(s, mbtCfg, root)
+			},
+		},
+		{
+			name: "POS-Tree",
+			new:  func(s store.Store) (core.Index, error) { return postree.New(s, posCfg), nil },
+			loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+				return postree.Load(s, posCfg, root, height), nil
+			},
+		},
+		{
+			name: "Prolly-Tree",
+			new:  func(s store.Store) (core.Index, error) { return prolly.New(s, prollyCfg), nil },
+			loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+				return prolly.Load(s, prollyCfg, root, height), nil
+			},
+		},
+		{
+			name: "MVMB+-Tree",
+			new:  func(s store.Store) (core.Index, error) { return mvmbt.New(s, mvCfg), nil },
+			loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+				return mvmbt.Load(s, mvCfg, root, height), nil
+			},
+		},
+	}
+}
+
+func classByName(t *testing.T, name string) indexClass {
+	t.Helper()
+	for _, c := range classes() {
+		if c.name == name {
+			return c
+		}
+	}
+	t.Fatalf("no test class %q", name)
+	return indexClass{}
+}
+
+// newRepo builds a repo over s with every test class's loader registered.
+func newRepo(s store.Store) *version.Repo {
+	r := version.NewRepo(s)
+	for _, c := range classes() {
+		r.RegisterLoader(c.name, c.loader)
+	}
+	return r
+}
+
+func key(i int) []byte    { return []byte(fmt.Sprintf("key-%05d", i)) }
+func val(i, v int) []byte { return []byte(fmt.Sprintf("value-%05d-gen-%04d", i, v)) }
+
+func TestCommitLogAndBranches(t *testing.T) {
+	s := store.NewMemStore()
+	repo := newRepo(s)
+	cls := classByName(t, "MPT")
+	idx, err := cls.new(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var commits []version.Commit
+	for v := 0; v < 3; v++ {
+		next, err := idx.PutBatch([]core.Entry{{Key: key(v), Value: val(v, v)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx = next
+		c, err := repo.Commit("main", idx, fmt.Sprintf("version %d", v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits = append(commits, c)
+	}
+
+	head, ok := repo.Head("main")
+	if !ok || head.ID != commits[2].ID {
+		t.Fatalf("Head = %v, %v; want %v", head, ok, commits[2])
+	}
+	log, err := repo.Log("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 {
+		t.Fatalf("Log has %d commits, want 3", len(log))
+	}
+	for i, c := range log {
+		if c.ID != commits[2-i].ID {
+			t.Fatalf("Log[%d] = %v, want %v", i, c, commits[2-i])
+		}
+	}
+	if len(log[0].Parents) != 1 || log[0].Parents[0] != commits[1].ID {
+		t.Fatalf("head parents = %v", log[0].Parents)
+	}
+	if len(log[2].Parents) != 0 {
+		t.Fatalf("first commit has parents: %v", log[2].Parents)
+	}
+
+	// Fork a branch at the middle commit and advance it independently.
+	if err := repo.Branch("dev", commits[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	devIdx, err := repo.CheckoutBranch("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := devIdx.Get(key(2)); ok {
+		t.Fatalf("dev checkout sees main-only key: %q", got)
+	}
+	if got, ok, _ := devIdx.Get(key(1)); !ok || !bytes.Equal(got, val(1, 1)) {
+		t.Fatalf("dev checkout Get = %q, %v", got, ok)
+	}
+	next, err := devIdx.Put(key(9), val(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := repo.Commit("dev", next, "dev work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Parents[0] != commits[1].ID {
+		t.Fatalf("dev commit parent = %v, want %v", dc.Parents[0], commits[1].ID)
+	}
+	devLog, err := repo.Log("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devLog) != 3 { // dev work, version 1, version 0
+		t.Fatalf("dev log = %v", devLog)
+	}
+	if names := repo.Branches(); len(names) != 2 || names[0] != "dev" || names[1] != "main" {
+		t.Fatalf("Branches = %v", names)
+	}
+}
+
+func TestCommitRoundTripsThroughStore(t *testing.T) {
+	s := store.NewMemStore()
+	repo := newRepo(s)
+	cls := classByName(t, "POS-Tree")
+	idx, err := cls.new(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err = idx.PutBatch([]core.Entry{{Key: key(1), Value: val(1, 1)}, {Key: key(2), Value: val(2, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := repo.Commit("main", idx, "with metadata ☂")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := version.ReadCommit(s, c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != c.ID || got.Root != c.Root || got.Class != c.Class ||
+		got.Height != c.Height || got.Time != c.Time || got.Message != c.Message ||
+		len(got.Parents) != len(c.Parents) {
+		t.Fatalf("ReadCommit = %+v, want %+v", got, c)
+	}
+	if _, err := version.ReadCommit(s, hash.Of([]byte("absent"))); !errors.Is(err, core.ErrMissingNode) {
+		t.Fatalf("ReadCommit of absent id: %v", err)
+	}
+}
+
+func TestResumeBranchAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := newRepo(d)
+	cls := classByName(t, "MPT")
+	idx, err := cls.new(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var head version.Commit
+	for v := 0; v < 4; v++ {
+		idx, err = idx.PutBatch([]core.Entry{{Key: key(v), Value: val(v, v)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		head, err = repo.Commit("main", idx, fmt.Sprintf("v%d", v))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	repo2 := newRepo(re)
+	if err := repo2.ResumeBranch("main", head.ID); err != nil {
+		t.Fatal(err)
+	}
+	log, err := repo2.Log("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 4 || log[0].ID != head.ID || log[0].Message != "v3" {
+		t.Fatalf("resumed log = %v", log)
+	}
+	idx2, err := repo2.CheckoutBranch("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		got, ok, err := idx2.Get(key(v))
+		if err != nil || !ok || !bytes.Equal(got, val(v, v)) {
+			t.Fatalf("resumed Get(%d) = %q, %v, %v", v, got, ok, err)
+		}
+	}
+}
+
+func TestGCErrors(t *testing.T) {
+	s := store.NewMemStore()
+	repo := newRepo(s)
+	cls := classByName(t, "MPT")
+	idx, err := cls.new(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err = idx.Put(key(1), val(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := repo.Commit("main", idx, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err = idx.Put(key(2), val(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := repo.Commit("main", idx, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := repo.GC(); err == nil {
+		t.Fatal("GC with empty retained set succeeded")
+	}
+	if _, err := repo.GC(version.Commit{ID: hash.Of([]byte("bogus"))}); !errors.Is(err, version.ErrUnknownCommit) {
+		t.Fatalf("GC with unknown commit: %v", err)
+	}
+	// Retaining only the non-head commit must fail while main points at c2.
+	if _, err := repo.GC(c1); err == nil {
+		t.Fatal("GC dropping a branch head succeeded")
+	}
+	// A class with no loader cannot be marked.
+	repo2 := version.NewRepo(s)
+	c, err := repo2.Commit("main", idx, "no loader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo2.GC(c); !errors.Is(err, version.ErrNoLoader) {
+		t.Fatalf("GC without loader: %v", err)
+	}
+	// The original repo is still intact and can GC to its head.
+	if _, err := repo.GC(c2); err != nil {
+		t.Fatalf("GC retain head: %v", err)
+	}
+	if _, ok := repo.Lookup(c1.ID); ok {
+		t.Fatal("dropped commit still in the log")
+	}
+}
+
+func TestGCUnsupportedStore(t *testing.T) {
+	// A foreign store without the Sweeper capability must fail cleanly.
+	s := noSweep{store.NewMemStore()}
+	repo := newRepo(s)
+	cls := classByName(t, "MPT")
+	idx, err := cls.new(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err = idx.Put(key(1), val(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := repo.Commit("main", idx, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.GC(c); !errors.Is(err, store.ErrNoSweeper) {
+		t.Fatalf("GC on unsweepable store: %v", err)
+	}
+}
+
+// noSweep hides the built-in capability methods behind a plain Store.
+type noSweep struct{ inner *store.MemStore }
+
+func (n noSweep) Put(data []byte) hash.Hash      { return n.inner.Put(data) }
+func (n noSweep) Get(h hash.Hash) ([]byte, bool) { return n.inner.Get(h) }
+func (n noSweep) Has(h hash.Hash) bool           { return n.inner.Has(h) }
+func (n noSweep) Stats() store.Stats             { return n.inner.Stats() }

@@ -1,0 +1,26 @@
+// Package workload generates the three datasets of the paper's evaluation
+// (§5.1): a YCSB-style synthetic key-value workload with Zipfian skew, a
+// Wikipedia-dump-shaped versioned corpus, and Ethereum-shaped blocks of
+// RLP-encoded transactions. The real datasets are not redistributable, so
+// the generators match their reported key/value length distributions and
+// versioning patterns instead (see DESIGN.md §4 for the substitution
+// rationale).
+//
+// # Generators
+//
+//   - YCSB produces the synthetic grid workloads of Figures 6, 10 and 14:
+//     a fixed record population, operation streams mixing reads and writes
+//     at a configurable ratio and skew, and (ScanOps) YCSB-E-style mixes of
+//     bounded ordered scans for the range-scan extension.
+//   - Wiki produces page histories: an initial revision per page plus
+//     versioned updates, the update pattern behind Figures 7a, 11 and 15.
+//   - Eth produces blocks of RLP-encoded transactions keyed like Ethereum
+//     state, for Figures 7b, 12 and 16.
+//   - Zipfian is the shared skew source (Gray et al.'s rejection-free
+//     method), exposed because several experiments — including the
+//     retention experiment's update stream — draw hot keys directly.
+//
+// Every generator is deterministic under a caller-supplied seed, which the
+// bench harness and conformance suites rely on for reproducible figures
+// and golden root hashes.
+package workload

@@ -1,10 +1,3 @@
-// Package workload generates the three datasets of the paper's evaluation
-// (§5.1): a YCSB-style synthetic key-value workload with Zipfian skew, a
-// Wikipedia-dump-shaped versioned corpus, and Ethereum-shaped blocks of
-// RLP-encoded transactions. The real datasets are not redistributable, so
-// the generators match their reported key/value length distributions and
-// versioning patterns instead (see DESIGN.md §4 for the substitution
-// rationale).
 package workload
 
 import (
