@@ -49,6 +49,7 @@ func Experiments() []Experiment {
 		{"fig22", "Forkbase (POS-Tree) vs Noms (Prolly Tree)", Fig22},
 		{"scan", "ordered range scans: selectivity sweep + YCSB-E mix (extension)", ScanExp},
 		{"retention", "version retention: commit K versions, GC to newest N, report reclaimed bytes (extension)", RetentionExp},
+		{"commitpath", "parallel commit pipeline: batch throughput vs hash workers, warm-Get allocs/op (extension)", CommitPath},
 	}
 	out := make([]Experiment, len(defs))
 	for i, d := range defs {

@@ -7,12 +7,36 @@
 // The format is deliberately simple — unsigned varints for lengths and
 // counts, raw bytes for payloads — so that decoding is allocation-light and
 // the canonical property is easy to audit.
+//
+// # Zero-copy aliasing contract
+//
+// Reader never copies: Raw, Bytes32 and LenBytes return subslices of the
+// buffer handed to NewReader. Decoders built on them (every index package's
+// node decoders) therefore produce values whose byte fields alias the node
+// encoding. This is safe under two rules, which every caller in this
+// repository observes:
+//
+//  1. Decoded fields are read-only. Mutating one would corrupt the encoding
+//     it aliases — and with it the content address of the node.
+//  2. The encoding must outlive the decoded value. Store backends guarantee
+//     this for fetched nodes (stored bytes are immutable for the life of the
+//     store — see store.Store.Get), and core.StagedWriter guarantees it for
+//     staged-but-unflushed nodes (staged buffers are retained, never reused,
+//     until after Flush hands them to the store).
+//
+// Decoders that retain bytes past either guarantee use LenBytesCopy instead.
+//
+// Writers are pooled: hot encode paths borrow one with GetWriter, encode,
+// hand the bytes to a copying consumer (the store and the staged writer both
+// copy on insert), and Release it — so steady-state node encoding performs
+// no buffer allocation at all.
 package codec
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Common decoding errors.
@@ -31,6 +55,30 @@ type Writer struct {
 // roughly n bytes.
 func NewWriter(n int) *Writer {
 	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// writerPool recycles Writers (and, more importantly, their grown backing
+// buffers) across encode calls. Node encoding is the second-hottest
+// operation in the repository after hashing; without pooling every encoded
+// node pays a buffer allocation plus its growth reallocations.
+var writerPool = sync.Pool{
+	New: func() any { return NewWriter(1024) },
+}
+
+// GetWriter returns an empty pooled Writer. The caller must not retain
+// w.Bytes() past the matching Release: hand the bytes to a consumer that
+// copies (store.Store.Put, core.StagedWriter, hash.Of) before releasing.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// Release returns a Writer obtained from GetWriter to the pool. The
+// writer's buffer is retained for reuse, so any slice still aliasing it
+// becomes invalid.
+func (w *Writer) Release() {
+	writerPool.Put(w)
 }
 
 // Bytes returns the accumulated encoding. The returned slice aliases the

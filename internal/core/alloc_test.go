@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// allocFixture builds one warmed index of the given class over a MemStore:
+// 400 resident entries, every key read once so the decoded-node caches hold
+// the whole structure.
+func allocFixture(t *testing.T, class string) (core.Index, [][]byte) {
+	t.Helper()
+	idx, err := indexOverFull(class, store.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]core.Entry, 400)
+	keys := make([][]byte, len(entries))
+	for i := range entries {
+		entries[i] = core.Entry{
+			Key:   []byte(fmt.Sprintf("alloc-key-%05d", i)),
+			Value: []byte(fmt.Sprintf("alloc-value-%05d", i)),
+		}
+		keys[i] = entries[i].Key
+	}
+	loaded, err := idx.PutBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if _, ok, err := loaded.Get(k); err != nil || !ok {
+			t.Fatalf("warmup Get(%q): ok=%v err=%v", k, ok, err)
+		}
+	}
+	return loaded, keys
+}
+
+// TestGetAllocsFree pins the read path's headline property: once the
+// decoded-node caches are warm, Get allocates nothing, for every index
+// class. The zero-copy decode contract (values alias stored bytes), the
+// cached decodings, and the stack nibble scratch in MPT each contribute; a
+// regression in any of them shows up here as a nonzero allocs/op.
+func TestGetAllocsFree(t *testing.T) {
+	for _, class := range parallelClasses {
+		t.Run(class, func(t *testing.T) {
+			idx, keys := allocFixture(t, class)
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				k := keys[i%len(keys)]
+				i++
+				if _, ok, err := idx.Get(k); err != nil || !ok {
+					panic("warm Get failed")
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: warm Get allocates %.2f objects/op, want 0", class, allocs)
+			}
+		})
+	}
+}
+
+// TestRangeAllocsBounded is the companion regression bound for ordered
+// scans: a warm 32-entry Range must stay within a per-class allocation
+// budget. The ordered B+-style trees (POS-Tree, MVMB+-Tree, Prolly) scan
+// with O(levels) cursor state regardless of entries visited; MPT must
+// reassemble every emitted key from nibbles and MBT merge-sorts bucket
+// runs, so their cost is inherently per-entry and their budgets reflect
+// that. The bounds are ~50% above current measurements: they catch a path
+// regressing to a new allocation class, not bookkeeping jitter.
+func TestRangeAllocsBounded(t *testing.T) {
+	budgets := map[string]float64{
+		"MPT":         170, // ~3.5 allocs per emitted key (nibble reassembly)
+		"MBT":         250, // sorted merge across hashed buckets
+		"POS-Tree":    16,
+		"MVMB+-Tree":  16,
+		"Prolly-Tree": 16,
+	}
+	for _, class := range parallelClasses {
+		t.Run(class, func(t *testing.T) {
+			budget := budgets[class]
+			idx, keys := allocFixture(t, class)
+			lo := keys[100]
+			hi := keys[132]
+			// Warm the range path itself once.
+			if err := core.RangeOf(idx, lo, hi, func(_, _ []byte) bool { return true }); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				n := 0
+				if err := core.RangeOf(idx, lo, hi, func(_, _ []byte) bool {
+					n++
+					return true
+				}); err != nil || n != 32 {
+					panic(fmt.Sprintf("warm Range visited %d entries, err=%v", n, err))
+				}
+			})
+			t.Logf("%s: warm 32-entry Range: %.1f allocs/op (budget %.0f)", class, allocs, budget)
+			if allocs > budget {
+				t.Errorf("%s: warm Range allocates %.1f objects/op, budget %.0f", class, allocs, budget)
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// commitBatchSize is the benchmark's batch: the acceptance size for the
+// parallel commit pipeline (a 10k-entry batch, ~2.5× the paper's default
+// write batch of 4000).
+const commitBatchSize = 10000
+
+// commitEntries builds the benchmark batch once per run.
+func commitEntries() []core.Entry {
+	entries := make([]core.Entry, commitBatchSize)
+	for i := range entries {
+		entries[i] = core.Entry{
+			Key:   []byte(fmt.Sprintf("user%08d", (i*2654435761)%commitBatchSize)),
+			Value: []byte(fmt.Sprintf("value-%08d-%08d", i, i)),
+		}
+	}
+	return entries
+}
+
+// BenchmarkBatchCommit compares the serial staged writer (1 hash worker)
+// against the parallel commit pipeline (8 workers) on a 10k-entry batch:
+// once per index class end to end, and once at the writer level alone
+// (encode+hash+flush of 10k ~1KB nodes through PutAll), which isolates the
+// pipeline from index-specific overlay costs. CI runs both sides through
+// benchstat; on a multi-core runner the parallel writer rows must stay well
+// ahead of their serial counterparts. The equivalence tests in this package
+// separately require the two modes to commit byte-identical roots.
+func BenchmarkBatchCommit(b *testing.B) {
+	entries := commitEntries()
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 8},
+	}
+	defer core.SetCommitWorkers(core.SetCommitWorkers(0))
+	for _, mode := range modes {
+		for _, class := range parallelClasses {
+			b.Run(mode.name+"/"+class, func(b *testing.B) {
+				core.SetCommitWorkers(mode.workers)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					idx, err := indexOverFull(class, store.NewShardedStore(0))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := idx.PutBatch(entries); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(int64(commitBatchSize))
+			})
+		}
+		b.Run(mode.name+"/writer", func(b *testing.B) {
+			core.SetCommitWorkers(mode.workers)
+			// Pre-build 10k distinct ~1KB node payloads; each iteration
+			// encodes, hashes and flushes all of them through one writer.
+			payloads := make([][]byte, commitBatchSize)
+			for i := range payloads {
+				p := make([]byte, 1024)
+				copy(p, fmt.Sprintf("node-%08d", i))
+				payloads[i] = p
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := store.NewShardedStore(0)
+				w := core.NewStagedWriterWorkers(s, mode.workers)
+				w.PutAll(len(payloads), func(j int, enc *codec.Writer) {
+					enc.Raw(payloads[j])
+				})
+				if n := w.Flush(); n != len(payloads) {
+					b.Fatalf("flushed %d nodes, want %d", n, len(payloads))
+				}
+				w.Release()
+			}
+			b.SetBytes(int64(commitBatchSize))
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import "sync"
+
+// FanOut runs fn(i) for every i in [0, n) across at most workers
+// concurrent goroutines and returns when all calls have. With workers <= 1
+// or a single item it degrades to an inline loop, so callers need no serial
+// special case. It is the index packages' helper for
+// committing independent dirty subtrees concurrently: each fn stages into a
+// (concurrency-safe) StagedWriter, and the caller combines the results
+// after the join.
+//
+// fn must be safe for concurrent invocation with distinct i; any error or
+// result plumbing happens through the closure (e.g. a pre-sized results
+// slice, one slot per i).
+func FanOut(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// One goroutine per item, bounded by a semaphore: commit fan-outs are
+	// small (a node's children), so per-item goroutines are cheaper than a
+	// work-stealing queue and keep unequal subtree sizes from idling
+	// workers.
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

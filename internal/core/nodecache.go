@@ -104,6 +104,41 @@ func (c *NodeCache[T]) Load(h hash.Hash, fetch func() ([]byte, error), decode fu
 	return v, nil
 }
 
+// CachePurger is implemented by every index family in this repository: it
+// evicts decoded-node cache entries whose digests a GC pass reclaimed.
+// version.Repo.OnGC hooks typically call it with the pass's liveness
+// predicate, so long-lived serving processes drop dead decoded state (and
+// the store buffers it aliases) as soon as the sweep finishes.
+type CachePurger interface {
+	// PurgeCache evicts cached decodings of nodes live reports dead,
+	// returning how many entries were dropped.
+	PurgeCache(live func(hash.Hash) bool) int
+}
+
+// EvictIf removes every cached node whose digest dead reports true and
+// returns how many were dropped. It is the GC integration point: content
+// addressing needs no invalidation during normal operation, but after a
+// store sweep the decoded forms of reclaimed nodes are garbage, and
+// evicting them eagerly (version.Repo.OnGC wires this up) tightens memory
+// bounds for long-lived serving processes instead of waiting for LRU churn.
+// A nil receiver reports zero evictions.
+func (c *NodeCache[T]) EvictIf(dead func(hash.Hash) bool) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for h, node := range c.entries {
+		if dead(h) {
+			c.unlink(node)
+			delete(c.entries, h)
+			n++
+		}
+	}
+	return n
+}
+
 // Len returns the number of cached nodes.
 func (c *NodeCache[T]) Len() int {
 	c.mu.Lock()

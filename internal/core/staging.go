@@ -1,9 +1,52 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
 	"repro/internal/hash"
 	"repro/internal/store"
 )
+
+// commitWorkersOverride, when positive, replaces the GOMAXPROCS default for
+// every StagedWriter created by NewStagedWriter. It exists for benchmarks
+// and the serial-vs-parallel equivalence tests; production code leaves it
+// unset.
+var commitWorkersOverride atomic.Int32
+
+// CommitWorkers returns the worker count new staged writers hash with:
+// the SetCommitWorkers override when set, GOMAXPROCS otherwise.
+func CommitWorkers() int {
+	if n := commitWorkersOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetCommitWorkers overrides the default commit worker count; n <= 0
+// restores the GOMAXPROCS default. It returns the previous override (0 when
+// none), so tests can restore it.
+func SetCommitWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(commitWorkersOverride.Swap(int32(n)))
+}
+
+// stageShards is the fan-out of the staged writer's dedup index. Content
+// digests are uniformly distributed, so the leading byte spreads concurrent
+// Put calls across independent locks; 64 shards keep collisions negligible
+// for any realistic worker count.
+const stageShards = 64
+
+// stageShard is one lock-striped slice of the dedup index, mapping a staged
+// node's digest to its position in the staging arrays.
+type stageShard struct {
+	mu  sync.Mutex
+	idx map[hash.Hash]int32
+}
 
 // StagedWriter is the commit-time write path shared by the index
 // structures: batch mutations encode their new nodes into the writer
@@ -14,13 +57,22 @@ import (
 // from the committed root are ever staged — the O(N·depth) intermediate
 // nodes a naive sequence of copy-on-write updates would persist (and
 // immediately orphan) are never encoded, hashed or written. Second, each
-// node's digest is computed exactly once, here, during bottom-up Merkle
-// hashing; Flush hands the digests to store.PutBatchHashed so the store
-// does not hash again, and the whole batch lands under one round of store
-// synchronization.
+// node's digest is computed exactly once, during staging; Flush hands the
+// digests to store.PutBatchHashed so the store does not hash again, and the
+// whole batch lands under one round of store synchronization.
 //
-// A StagedWriter is single-batch and not safe for concurrent use; create
-// one per mutation, Flush it, and drop it.
+// Hashing is the dominant commit cost, and the writer parallelizes it two
+// ways. PutAll encodes and digests a whole run of nodes (one tree level of
+// a bottom-up build) across Workers goroutines. Put is safe for concurrent
+// use, so an index can fan independent dirty subtrees out to goroutines and
+// commit them concurrently — the dedup index is lock-striped by digest
+// byte, so concurrent staging does not serialize on one map. Children must
+// still be staged before the parents that embed their digests; indexes
+// already commit bottom-up, so this is the natural order on every path.
+//
+// A StagedWriter is single-batch: create one per mutation (NewStagedWriter
+// recycles them through a pool), stage, Flush, then Release. Flush and
+// Release require all staging goroutines to have been joined first.
 //
 // GC safety: never run a store sweep (store.Sweeper, driven by
 // version.Repo.GC) while a staged commit is in flight on the same store.
@@ -30,54 +82,245 @@ import (
 // writers; see the internal/version package documentation for the full
 // contract.
 type StagedWriter struct {
-	s      store.Store
+	s       store.Store
+	workers int
+
+	// mu guards the staging arrays; shards guard the dedup index. Lock
+	// order is always shard → mu (stage holds its shard lock across the
+	// append so a digest becomes visible only after its position is valid).
+	mu     sync.Mutex
 	hashes []hash.Hash
 	encs   [][]byte
-	index  map[hash.Hash]int // staged position by digest, for dedup + Lookup
+
+	shards [stageShards]stageShard
 }
 
-// NewStagedWriter returns an empty writer staging into s.
+// stagedWriterPool recycles writers across batches so the staging arrays
+// and dedup maps keep their capacity instead of reallocating every commit.
+var stagedWriterPool = sync.Pool{
+	New: func() any { return &StagedWriter{} },
+}
+
+// NewStagedWriter returns an empty writer staging into s, hashing with the
+// default CommitWorkers worker count.
 func NewStagedWriter(s store.Store) *StagedWriter {
-	return &StagedWriter{s: s, index: make(map[hash.Hash]int)}
+	return NewStagedWriterWorkers(s, 0)
+}
+
+// NewStagedWriterWorkers returns an empty writer staging into s with an
+// explicit hash worker count; workers <= 0 selects CommitWorkers(), 1
+// commits fully serially. Writers come from a pool; pair with Release.
+func NewStagedWriterWorkers(s store.Store, workers int) *StagedWriter {
+	if workers <= 0 {
+		workers = CommitWorkers()
+	}
+	w := stagedWriterPool.Get().(*StagedWriter)
+	w.s = s
+	w.workers = workers
+	return w
+}
+
+// Workers returns the writer's hash-parallelism budget. Indexes consult it
+// to decide whether fanning a commit across goroutines can pay off.
+func (w *StagedWriter) Workers() int { return w.workers }
+
+// Release resets the writer and returns it to the pool. Call it after the
+// commit's final Flush (an abandoned, unflushed writer may also be
+// released; its staged nodes are dropped). The writer must not be used
+// afterwards.
+func (w *StagedWriter) Release() {
+	w.drop()
+	w.s = nil
+	stagedWriterPool.Put(w)
+}
+
+// drop clears staged state while keeping slice and map capacity.
+func (w *StagedWriter) drop() {
+	w.hashes = w.hashes[:0]
+	for i := range w.encs {
+		w.encs[i] = nil // release the buffers; only the spine is reused
+	}
+	w.encs = w.encs[:0]
+	for i := range w.shards {
+		if w.shards[i].idx != nil {
+			clear(w.shards[i].idx)
+		}
+	}
+}
+
+// shardFor returns the dedup shard owning h.
+func (w *StagedWriter) shardFor(h hash.Hash) *stageShard {
+	return &w.shards[h[0]&(stageShards-1)]
+}
+
+// stage dedup-inserts one digest→encoding pair. Safe for concurrent use.
+func (w *StagedWriter) stage(h hash.Hash, enc []byte) {
+	w.stageLazy(h, func() []byte { return enc })
+}
+
+// stageLazy is the one dedup-insert critical section: the encoding is
+// materialized only when the digest is new, so callers staging from a
+// scratch buffer (PutFunc) copy nothing for duplicates. Lock order is
+// shard → mu; the digest becomes visible in the shard index only after its
+// staged position is valid.
+func (w *StagedWriter) stageLazy(h hash.Hash, enc func() []byte) {
+	sh := w.shardFor(h)
+	sh.mu.Lock()
+	if sh.idx == nil {
+		sh.idx = make(map[hash.Hash]int32)
+	}
+	if _, dup := sh.idx[h]; !dup {
+		buf := enc()
+		w.mu.Lock()
+		pos := int32(len(w.encs))
+		w.hashes = append(w.hashes, h)
+		w.encs = append(w.encs, buf)
+		w.mu.Unlock()
+		sh.idx[h] = pos
+	}
+	sh.mu.Unlock()
 }
 
 // Put stages one encoded node and returns its digest. The writer takes
-// ownership of enc (callers pass freshly encoded buffers). Staging the same
-// content twice is a deduplicated no-op, mirroring store semantics.
+// ownership of enc (callers pass freshly encoded buffers; enc must not be
+// mutated afterwards). Staging the same content twice is a deduplicated
+// no-op, mirroring store semantics. Put is safe for concurrent use, so
+// commit paths may stage independent subtrees from multiple goroutines.
 func (w *StagedWriter) Put(enc []byte) hash.Hash {
 	h := hash.Of(enc)
-	if _, ok := w.index[h]; ok {
-		return h
-	}
-	w.index[h] = len(w.encs)
-	w.hashes = append(w.hashes, h)
-	w.encs = append(w.encs, enc)
+	w.stage(h, enc)
 	return h
+}
+
+// PutFunc stages one node without the caller allocating its encoding:
+// encode writes the node's canonical encoding into a pooled scratch writer,
+// and the staged writer copies the bytes only when the node is not already
+// staged. It is the single-node analogue of PutAll — the allocation-free
+// hot path for incremental edits — and, like Put, is safe for concurrent
+// use. encode must not retain the scratch writer or its bytes.
+func (w *StagedWriter) PutFunc(encode func(enc *codec.Writer)) hash.Hash {
+	cw := codec.GetWriter()
+	encode(cw)
+	b := cw.Bytes()
+	h := hash.Of(b)
+	w.stageLazy(h, func() []byte {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		return cp
+	})
+	cw.Release()
+	return h
+}
+
+// putAllStride is how many nodes one PutAll worker encodes per work grab.
+const putAllStride = 8
+
+// PutAll stages n nodes at once: encode(i, enc) writes node i's canonical
+// encoding into the supplied scratch writer, and PutAll encodes and digests
+// the run across the writer's Workers goroutines, returning the digests in
+// index order. It is the level-at-a-time fast path of bottom-up builds —
+// the nodes of one tree level have no digest dependencies on each other, so
+// the whole level hashes in parallel while dedup and staging order stay
+// deterministic.
+//
+// encode must be safe for concurrent invocation with distinct i and must
+// not retain enc or its bytes; PutAll copies the encoding before staging.
+func (w *StagedWriter) PutAll(n int, encode func(i int, enc *codec.Writer)) []hash.Hash {
+	if n == 0 {
+		return nil
+	}
+	encs := make([][]byte, n)
+	encodeRange := func(start, end int) {
+		cw := codec.GetWriter()
+		for i := start; i < end; i++ {
+			cw.Reset()
+			encode(i, cw)
+			b := cw.Bytes()
+			cp := make([]byte, len(b))
+			copy(cp, b)
+			encs[i] = cp
+		}
+		cw.Release()
+	}
+	workers := w.workers
+	if max := (n + putAllStride - 1) / putAllStride; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		encodeRange(0, n)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		run := func() {
+			for {
+				start := int(next.Add(putAllStride)) - putAllStride
+				if start >= n {
+					return
+				}
+				end := start + putAllStride
+				if end > n {
+					end = n
+				}
+				encodeRange(start, end)
+			}
+		}
+		for i := 1; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		run()
+		wg.Wait()
+	}
+	// Digest the encode-finished buffers across the worker pool, then stage
+	// serially in index order so dedup positions stay deterministic.
+	hs := make([]hash.Hash, n)
+	hash.OfAllWorkers(w.workers, encs, hs)
+	for i, h := range hs {
+		w.stage(h, encs[i])
+	}
+	return hs
 }
 
 // Lookup serves reads of staged-but-unflushed nodes, so editors that walk
 // nodes they just produced (e.g. a root collapse after a rebuild) see their
-// own writes. It does not fall through to the store.
+// own writes. It does not fall through to the store. The returned slice is
+// the staged buffer: read-only, valid until the writer is Released.
 func (w *StagedWriter) Lookup(h hash.Hash) ([]byte, bool) {
-	i, ok := w.index[h]
+	sh := w.shardFor(h)
+	sh.mu.Lock()
+	pos, ok := sh.idx[h]
+	sh.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
-	return w.encs[i], true
+	w.mu.Lock()
+	enc := w.encs[pos]
+	w.mu.Unlock()
+	return enc, true
 }
 
 // Staged returns how many distinct nodes are waiting to be flushed.
-func (w *StagedWriter) Staged() int { return len(w.encs) }
+func (w *StagedWriter) Staged() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.encs)
+}
 
-// Flush persists every staged node in one batch write and resets the
-// writer. Digests computed at Put time ride along, so built-in backends
-// skip re-hashing.
-func (w *StagedWriter) Flush() {
-	if len(w.encs) == 0 {
-		return
+// Flush persists every staged node in one batch write, resets the writer
+// for the next batch (backing arrays are kept, so a reused writer stages
+// without reallocating), and returns how many nodes were flushed. Digests
+// computed at stage time ride along, so built-in backends skip re-hashing.
+// Flush must not race with in-flight Put/PutAll calls: join every staging
+// goroutine first.
+func (w *StagedWriter) Flush() int {
+	n := len(w.encs)
+	if n == 0 {
+		return 0
 	}
 	store.PutBatchHashed(w.s, w.hashes, w.encs)
-	w.hashes = nil
-	w.encs = nil
-	w.index = make(map[hash.Hash]int)
+	w.drop()
+	return n
 }

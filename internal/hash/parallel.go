@@ -1,0 +1,81 @@
+package hash
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the batch half of the package: the worker-pool digest API the
+// parallel commit pipeline fans encode-finished node buffers through. The
+// paper's write-path costs (§4) are dominated by node encode+hash work, and
+// SHA-256 of independent buffers is embarrassingly parallel, so the batch
+// API is the one place the repository turns spare cores into commit
+// throughput. Everything else (dedup, staging order, store batching) stays
+// deterministic and single-threaded around it.
+
+// ofAllSerialCutoff is the batch size below which OfAll digests inline:
+// spawning workers for a handful of nodes costs more than it saves.
+const ofAllSerialCutoff = 32
+
+// ofAllStride is how many items a worker claims per grab. Striding amortizes
+// the shared-counter atomics while keeping the tail balanced across workers.
+const ofAllStride = 16
+
+// OfAll returns Of(item) for every item, computed across GOMAXPROCS worker
+// goroutines for large batches. The result is positionally identical to a
+// serial loop of Of calls; only the wall-clock differs.
+func OfAll(items [][]byte) []Hash {
+	out := make([]Hash, len(items))
+	OfAllWorkers(0, items, out)
+	return out
+}
+
+// OfAllWorkers fills out[i] = Of(items[i]) using at most workers goroutines
+// (the caller's goroutine included). workers <= 0 selects GOMAXPROCS. Small
+// batches and single-worker calls digest inline with no goroutine traffic,
+// so callers can hand every batch here unconditionally. It panics if the two
+// slices differ in length.
+func OfAllWorkers(workers int, items [][]byte, out []Hash) {
+	if len(items) != len(out) {
+		panic("hash: OfAllWorkers with mismatched slice lengths")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (len(items) + ofAllStride - 1) / ofAllStride; workers > max {
+		workers = max
+	}
+	if workers <= 1 || len(items) < ofAllSerialCutoff {
+		for i, it := range items {
+			out[i] = Of(it)
+		}
+		return
+	}
+	var next atomic.Int64
+	digest := func() {
+		for {
+			start := int(next.Add(ofAllStride)) - ofAllStride
+			if start >= len(items) {
+				return
+			}
+			end := start + ofAllStride
+			if end > len(items) {
+				end = len(items)
+			}
+			for i := start; i < end; i++ {
+				out[i] = Of(items[i])
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			digest()
+		}()
+	}
+	digest()
+	wg.Wait()
+}

@@ -1,0 +1,71 @@
+package hash_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// TestOfAllMatchesSerial checks that the worker-pool batch digest is
+// positionally identical to a serial loop of Of calls, across batch sizes
+// on both sides of the inline cutoff and worker counts beyond GOMAXPROCS.
+func TestOfAllMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 31, 32, 33, 500, 4096} {
+		items := make([][]byte, n)
+		for i := range items {
+			items[i] = []byte(fmt.Sprintf("item-%d-%d", n, i))
+		}
+		want := make([]hash.Hash, n)
+		for i, it := range items {
+			want[i] = hash.Of(it)
+		}
+		got := hash.OfAll(items)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: OfAll[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+		for _, workers := range []int{1, 2, 8, 64} {
+			out := make([]hash.Hash, n)
+			hash.OfAllWorkers(workers, items, out)
+			for i := range want {
+				if out[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: OfAllWorkers[%d] = %v, want %v", n, workers, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOfAllWorkersLengthMismatch pins the panic on mismatched slices, which
+// would otherwise silently truncate a commit's digest set.
+func TestOfAllWorkersLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OfAllWorkers with mismatched lengths did not panic")
+		}
+	}()
+	hash.OfAllWorkers(2, make([][]byte, 3), make([]hash.Hash, 2))
+}
+
+// BenchmarkOfAll measures the batch digest path at a commit-sized batch of
+// ~1KB nodes, serial vs the worker pool — the core scaling lever of the
+// parallel commit pipeline.
+func BenchmarkOfAll(b *testing.B) {
+	items := make([][]byte, 10000)
+	for i := range items {
+		p := make([]byte, 1024)
+		copy(p, fmt.Sprintf("node-%d", i))
+		items[i] = p
+	}
+	out := make([]hash.Hash, len(items))
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(items) * 1024))
+			for i := 0; i < b.N; i++ {
+				hash.OfAllWorkers(workers, items, out)
+			}
+		})
+	}
+}

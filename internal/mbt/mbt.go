@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/store"
@@ -18,14 +19,17 @@ type Tree struct {
 	root  hash.Hash
 	// cache holds decoded internal nodes keyed by digest, shared by every
 	// version derived from the same New/Load call, so the path walk of a
-	// lookup stops re-decoding the hot upper levels.
-	cache *core.NodeCache[*internalNode]
+	// lookup stops re-decoding the hot upper levels; bcache does the same
+	// for decoded buckets, so a warm Get performs no decode allocation.
+	cache  *core.NodeCache[*internalNode]
+	bcache *core.NodeCache[*bucketNode]
 }
 
 // Compile-time interface checks.
 var (
-	_ core.Index      = (*Tree)(nil)
-	_ core.NodeWalker = (*Tree)(nil)
+	_ core.Index       = (*Tree)(nil)
+	_ core.NodeWalker  = (*Tree)(nil)
+	_ core.CachePurger = (*Tree)(nil)
 )
 
 // New builds an empty tree over s with the given parameters. Because
@@ -36,7 +40,9 @@ func New(s store.Store, cfg Config) (*Tree, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes(), cache: core.NewNodeCache[*internalNode](0)}
+	t := &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes(),
+		cache:  core.NewNodeCache[*internalNode](0),
+		bcache: core.NewNodeCache[*bucketNode](0)}
 
 	// Build the complete empty tree level by level into a staged writer —
 	// one batch flush instead of a Put per distinct node. Nodes with
@@ -66,6 +72,7 @@ func New(s store.Store, cfg Config) (*Tree, error) {
 		level = next
 	}
 	w.Flush()
+	w.Release()
 	t.root = level[0]
 	return t, nil
 }
@@ -76,7 +83,9 @@ func Load(s store.Store, cfg Config, root hash.Hash) (*Tree, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes(), root: root, cache: core.NewNodeCache[*internalNode](0)}, nil
+	return &Tree{s: s, cfg: cfg, sizes: cfg.levelSizes(), root: root,
+		cache:  core.NewNodeCache[*internalNode](0),
+		bcache: core.NewNodeCache[*bucketNode](0)}, nil
 }
 
 // Name implements core.Index.
@@ -132,17 +141,40 @@ func (t *Tree) bucketPath(b int) ([]hash.Hash, error) {
 	return path, nil
 }
 
+// bucketHash walks from the root to bucket b and returns just its digest —
+// the Get fast path, which unlike bucketPath materializes no path slice.
+func (t *Tree) bucketHash(b int) (hash.Hash, error) {
+	h := t.root
+	for l := t.topLevel(); l > 0; l-- {
+		n, err := t.loadInternal(h)
+		if err != nil {
+			return hash.Null, err
+		}
+		childIdx := t.cfg.ancestor(b, l-1)
+		slot := childIdx - t.cfg.ancestor(b, l)*t.cfg.Fanout
+		if slot < 0 || slot >= len(n.children) {
+			return hash.Null, fmt.Errorf("mbt: slot %d out of range at level %d", slot, l)
+		}
+		h = n.children[slot]
+	}
+	return h, nil
+}
+
+// loadBucketNode fetches and decodes the bucket stored under h, serving
+// repeat visits from the shared decoded-bucket cache. Cached buckets are
+// shared and read-only; the update path builds fresh entry slices
+// (applyToBucket copies) instead of mutating a loaded bucket.
+func (t *Tree) loadBucketNode(h hash.Hash) (*bucketNode, error) {
+	return t.bcache.Load(h, func() ([]byte, error) { return t.loadRaw(h) }, decodeBucket)
+}
+
 // loadBucket fetches bucket b.
 func (t *Tree) loadBucket(b int) (*bucketNode, error) {
-	path, err := t.bucketPath(b)
+	h, err := t.bucketHash(b)
 	if err != nil {
 		return nil, err
 	}
-	data, err := t.loadRaw(path[len(path)-1])
-	if err != nil {
-		return nil, err
-	}
-	return decodeBucket(data)
+	return t.loadBucketNode(h)
 }
 
 // Get implements core.Index.
@@ -231,15 +263,70 @@ func (t *Tree) PutBatch(entries []core.Entry) (core.Index, error) {
 
 // commitGroups rewrites the affected paths bottom-up through a staged
 // writer, so the whole update lands in the store as one batch flush of
-// exactly the nodes reachable from the new root.
+// exactly the nodes reachable from the new root. The root's child subtrees
+// are disjoint bucket ranges, so they rewrite concurrently across the
+// writer's workers.
 func (t *Tree) commitGroups(groups []bucketGroup) (core.Index, error) {
 	w := core.NewStagedWriter(t.s)
-	root, err := t.updateNode(w, t.root, t.topLevel(), 0, groups)
+	root, err := t.updateRoot(w, groups)
 	if err != nil {
+		w.Release()
 		return nil, err
 	}
 	w.Flush()
-	return &Tree{s: t.s, cfg: t.cfg, sizes: t.sizes, root: root, cache: t.cache}, nil
+	w.Release()
+	return &Tree{s: t.s, cfg: t.cfg, sizes: t.sizes, root: root, cache: t.cache, bcache: t.bcache}, nil
+}
+
+// updateRoot rewrites the root applying the bucket groups, fanning the
+// affected child subtrees across the staged writer's workers when it has
+// more than one. Each child covers a disjoint bucket range, so the
+// goroutines share nothing but the (concurrency-safe) caches and writer;
+// the committed root is byte-identical to the serial walk's.
+func (t *Tree) updateRoot(w *core.StagedWriter, groups []bucketGroup) (hash.Hash, error) {
+	level := t.topLevel()
+	if w.Workers() <= 1 || level == 0 || len(groups) < 2 {
+		return t.updateNode(w, t.root, level, 0, groups)
+	}
+	n, err := t.loadInternal(t.root)
+	if err != nil {
+		return hash.Null, err
+	}
+	nn := &internalNode{children: append([]hash.Hash{}, n.children...)}
+	type slotRun struct {
+		slot   int
+		groups []bucketGroup
+	}
+	var runs []slotRun
+	i := 0
+	for i < len(groups) {
+		slot := t.cfg.ancestor(groups[i].idx, level-1)
+		j := i
+		for j < len(groups) && t.cfg.ancestor(groups[j].idx, level-1) == slot {
+			j++
+		}
+		if slot < 0 || slot >= len(nn.children) {
+			return hash.Null, fmt.Errorf("mbt: update slot %d out of range at level %d", slot, level)
+		}
+		runs = append(runs, slotRun{slot: slot, groups: groups[i:j]})
+		i = j
+	}
+	errs := make([]error, len(runs))
+	core.FanOut(w.Workers(), len(runs), func(k int) {
+		r := runs[k]
+		child, err := t.updateNode(w, nn.children[r.slot], level-1, r.slot, r.groups)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		nn.children[r.slot] = child
+	})
+	for _, err := range errs {
+		if err != nil {
+			return hash.Null, err
+		}
+	}
+	return w.PutFunc(func(enc *codec.Writer) { encodeInternalTo(enc, nn.children) }), nil
 }
 
 // Delete implements core.Index.
@@ -296,17 +383,13 @@ func (t *Tree) groupByBucket(puts []core.Entry, dels [][]byte) []bucketGroup {
 // the groups are copied; the rest are shared with the previous version.
 func (t *Tree) updateNode(w *core.StagedWriter, h hash.Hash, level, pos int, groups []bucketGroup) (hash.Hash, error) {
 	if level == 0 {
-		data, err := t.loadRaw(h)
-		if err != nil {
-			return hash.Null, err
-		}
-		bucket, err := decodeBucket(data)
+		bucket, err := t.loadBucketNode(h)
 		if err != nil {
 			return hash.Null, err
 		}
 		g := groups[0] // exactly one group reaches a bucket
-		nb := &bucketNode{entries: applyToBucket(bucket.entries, g.puts, g.dels)}
-		return w.Put(encodeBucket(nb)), nil
+		entries := applyToBucket(bucket.entries, g.puts, g.dels)
+		return w.PutFunc(func(enc *codec.Writer) { encodeBucketTo(enc, entries) }), nil
 	}
 	n, err := t.loadInternal(h)
 	if err != nil {
@@ -333,7 +416,7 @@ func (t *Tree) updateNode(w *core.StagedWriter, h hash.Hash, level, pos int, gro
 		nn.children[slot] = child
 		i = j
 	}
-	return w.Put(encodeInternal(nn)), nil
+	return w.PutFunc(func(enc *codec.Writer) { encodeInternalTo(enc, nn.children) }), nil
 }
 
 // Count implements core.Index.
@@ -352,11 +435,7 @@ func (t *Tree) Iterate(fn func(key, value []byte) bool) error {
 
 func (t *Tree) iterNode(h hash.Hash, level int, fn func(key, value []byte) bool) (bool, error) {
 	if level == 0 {
-		data, err := t.loadRaw(h)
-		if err != nil {
-			return false, err
-		}
-		bucket, err := decodeBucket(data)
+		bucket, err := t.loadBucketNode(h)
 		if err != nil {
 			return false, err
 		}
@@ -389,6 +468,13 @@ func (t *Tree) PathLength(key []byte) (int, error) {
 		return 0, core.ErrEmptyKey
 	}
 	return len(t.sizes), nil
+}
+
+// PurgeCache implements core.CachePurger: it evicts decoded internal nodes
+// and buckets a GC pass swept from the family-shared caches.
+func (t *Tree) PurgeCache(live func(hash.Hash) bool) int {
+	dead := func(h hash.Hash) bool { return !live(h) }
+	return t.cache.EvictIf(dead) + t.bcache.EvictIf(dead)
 }
 
 // Refs implements core.NodeWalker.

@@ -95,24 +95,34 @@ type internalNode struct {
 	children []hash.Hash
 }
 
-func encodeBucket(b *bucketNode) []byte {
-	w := codec.NewWriter(64 + len(b.entries)*32)
+// encodeBucketTo appends a bucket node's canonical encoding.
+func encodeBucketTo(w *codec.Writer, entries []core.Entry) {
 	w.Byte(tagBucket)
-	w.Uvarint(uint64(len(b.entries)))
-	for _, e := range b.entries {
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
 		w.LenBytes(e.Key)
 		w.LenBytes(e.Value)
 	}
+}
+
+// encodeInternalTo appends an internal node's canonical encoding.
+func encodeInternalTo(w *codec.Writer, children []hash.Hash) {
+	w.Byte(tagInternal)
+	w.Uvarint(uint64(len(children)))
+	for _, c := range children {
+		w.Bytes32(c[:])
+	}
+}
+
+func encodeBucket(b *bucketNode) []byte {
+	w := codec.NewWriter(64 + len(b.entries)*32)
+	encodeBucketTo(w, b.entries)
 	return w.Bytes()
 }
 
 func encodeInternal(n *internalNode) []byte {
 	w := codec.NewWriter(8 + len(n.children)*hash.Size)
-	w.Byte(tagInternal)
-	w.Uvarint(uint64(len(n.children)))
-	for _, c := range n.children {
-		w.Bytes32(c[:])
-	}
+	encodeInternalTo(w, n.children)
 	return w.Bytes()
 }
 

@@ -168,11 +168,17 @@ func decodeNode(data []byte) (node, error) {
 // keyToNibbles splits key bytes into 4-bit nibbles, high first. This is the
 // paper's key encoding step (e.g. key "8" → 0x38 → nibbles 3, 8).
 func keyToNibbles(key []byte) []byte {
-	out := make([]byte, 0, len(key)*2)
+	return appendNibbles(make([]byte, 0, len(key)*2), key)
+}
+
+// appendNibbles is keyToNibbles into a caller-supplied buffer. Read paths
+// pass a stack array so a lookup's nibble expansion never touches the heap;
+// write paths must not, because inserted nibble paths are retained by nodes.
+func appendNibbles(dst, key []byte) []byte {
 	for _, b := range key {
-		out = append(out, b>>4, b&0x0f)
+		dst = append(dst, b>>4, b&0x0f)
 	}
-	return out
+	return dst
 }
 
 // nibblesToKey reassembles full bytes from an even-length nibble path.

@@ -3,6 +3,7 @@ package mpt
 import (
 	"fmt"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/hash"
 )
@@ -153,23 +154,62 @@ func (t *Trie) stagedInsert(r sref, path, value []byte) (sref, error) {
 // commit encodes the dirty subtree under r bottom-up — children first, so
 // every parent encoding embeds final child digests — staging each node into
 // w exactly once. Clean refs pass through untouched: their subtrees were
-// never decoded, let alone modified.
+// never decoded, let alone modified. Encodings go through the staged
+// writer's pooled scratch path, so the commit walk allocates only the
+// staged copies of genuinely new nodes.
 func (t *Trie) commit(r sref, w *core.StagedWriter) hash.Hash {
 	if r.n == nil {
 		return r.h
 	}
 	switch n := r.n.(type) {
 	case *sleaf:
-		return w.Put(encodeNode(&leafNode{path: n.path, value: n.value}))
+		ln := leafNode{path: n.path, value: n.value}
+		return w.PutFunc(func(enc *codec.Writer) { ln.encode(enc) })
 	case *sext:
-		child := t.commit(n.child, w)
-		return w.Put(encodeNode(&extensionNode{path: n.path, child: child}))
+		en := extensionNode{path: n.path, child: t.commit(n.child, w)}
+		return w.PutFunc(func(enc *codec.Writer) { en.encode(enc) })
 	case *sbranch:
-		b := &branchNode{value: n.value, hasValue: n.hasValue}
+		b := branchNode{value: n.value, hasValue: n.hasValue}
 		for i, c := range n.children {
 			b.children[i] = t.commit(c, w)
 		}
-		return w.Put(encodeNode(b))
+		return w.PutFunc(func(enc *codec.Writer) { b.encode(enc) })
 	}
 	panic(fmt.Sprintf("mpt: unreachable staged node type %T", r.n))
+}
+
+// commitRoot is commit with the top of the overlay fanned across the staged
+// writer's workers: the up-to-16 dirty subtrees under the root branch are
+// independent (no digest of one appears inside another), so each commits —
+// encode plus SHA-256 — on its own goroutine, staging concurrently into w's
+// lock-striped dedup index. The result is byte-identical to the serial
+// walk; only the staging order (and hence nothing observable through the
+// content-addressed store) differs. Extension chains above the branch are
+// followed first so a compacted root still fans out.
+func (t *Trie) commitRoot(r sref, w *core.StagedWriter) hash.Hash {
+	if w.Workers() <= 1 || r.n == nil {
+		return t.commit(r, w)
+	}
+	switch n := r.n.(type) {
+	case *sext:
+		en := extensionNode{path: n.path, child: t.commitRoot(n.child, w)}
+		return w.PutFunc(func(enc *codec.Writer) { en.encode(enc) })
+	case *sbranch:
+		b := branchNode{value: n.value, hasValue: n.hasValue}
+		dirty := make([]int, 0, branchWidth)
+		for i, c := range n.children {
+			if c.n == nil {
+				b.children[i] = c.h
+			} else {
+				dirty = append(dirty, i)
+			}
+		}
+		core.FanOut(w.Workers(), len(dirty), func(j int) {
+			i := dirty[j]
+			b.children[i] = t.commit(n.children[i], w)
+		})
+		return w.PutFunc(func(enc *codec.Writer) { b.encode(enc) })
+	default:
+		return t.commit(r, w)
+	}
 }

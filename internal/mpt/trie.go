@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/store"
@@ -22,8 +23,9 @@ type Trie struct {
 
 // Compile-time interface checks.
 var (
-	_ core.Index      = (*Trie)(nil)
-	_ core.NodeWalker = (*Trie)(nil)
+	_ core.Index       = (*Trie)(nil)
+	_ core.NodeWalker  = (*Trie)(nil)
+	_ core.CachePurger = (*Trie)(nil)
 )
 
 // New returns an empty trie over s.
@@ -63,9 +65,15 @@ func (t *Trie) load(h hash.Hash) (node, error) {
 	}, decodeNode)
 }
 
-// save encodes and stores n, returning its digest.
+// save encodes and stores n, returning its digest. The encoding is built in
+// a pooled scratch writer — the store copies on insert, so the single-Put
+// path allocates no encoding buffer either.
 func (t *Trie) save(n node) hash.Hash {
-	return t.s.Put(encodeNode(n))
+	w := codec.GetWriter()
+	n.encode(w)
+	h := t.s.Put(w.Bytes())
+	w.Release()
+	return h
 }
 
 // Get implements core.Index.
@@ -83,7 +91,16 @@ func (t *Trie) Get(key []byte) ([]byte, bool, error) {
 // lookup walks the trie for key, returning the value (nil if absent) and
 // the number of nodes visited.
 func (t *Trie) lookup(key []byte) (value []byte, visited int, err error) {
-	path := keyToNibbles(key)
+	// The nibble expansion lives on the stack for typical key lengths: the
+	// path is only compared and resliced here, never retained, so a cached
+	// lookup performs no allocation at all.
+	var nbuf [64]byte
+	var path []byte
+	if len(key)*2 <= len(nbuf) {
+		path = appendNibbles(nbuf[:0], key)
+	} else {
+		path = keyToNibbles(key)
+	}
 	h := t.root
 	for {
 		if h.IsNull() {
@@ -168,8 +185,9 @@ func (t *Trie) PutBatch(entries []core.Entry) (core.Index, error) {
 		}
 	}
 	w := core.NewStagedWriter(t.s)
-	rh := t.commit(root, w)
+	rh := t.commitRoot(root, w)
 	w.Flush()
+	w.Release()
 	return t.derive(rh), nil
 }
 
@@ -409,6 +427,12 @@ func (t *Trie) iterNode(h hash.Hash, prefix []byte, fn func(key, value []byte) b
 		return true, nil
 	}
 	return false, fmt.Errorf("mpt: unreachable node type %T", n)
+}
+
+// PurgeCache implements core.CachePurger: it evicts decoded nodes a GC pass
+// swept from the family-shared cache.
+func (t *Trie) PurgeCache(live func(hash.Hash) bool) int {
+	return t.cache.EvictIf(func(h hash.Hash) bool { return !live(h) })
 }
 
 // Refs implements core.NodeWalker.

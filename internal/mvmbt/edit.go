@@ -79,8 +79,24 @@ func (t *Tree) Delete(key []byte) (core.Index, error) {
 	return t.apply([]editOp{{key: key, del: true}})
 }
 
-// apply runs a sorted op batch through the tree.
+// apply runs a sorted op batch through the tree: the whole batch stages
+// into one writer (baseline writes used to hit the store one Put at a
+// time) and lands in a single flush at commit.
 func (t *Tree) apply(ops []editOp) (*Tree, error) {
+	st := t.withStage()
+	nt, err := st.applyStaged(ops)
+	if err != nil {
+		if st != t {
+			st.abandonStage()
+		}
+		return nil, err
+	}
+	return nt.commitStage(), nil
+}
+
+// applyStaged is the body of apply, running entirely against the
+// receiver's staged writer.
+func (t *Tree) applyStaged(ops []editOp) (*Tree, error) {
 	nt := t.derive()
 	if t.root.IsNull() {
 		var fresh []core.Entry
@@ -95,11 +111,81 @@ func (t *Tree) apply(ops []editOp) (*Tree, error) {
 		refs := nt.splitLeaf(fresh)
 		return nt.raise(refs, 1)
 	}
-	refs, err := t.applyRec(t.root, t.height, ops)
+	refs, err := t.applyRoot(ops)
 	if err != nil {
 		return nil, err
 	}
 	return nt.raise(refs, t.height)
+}
+
+// applyRoot is applyRec at the root, with the affected child subtrees
+// fanned across the staged writer's workers: the per-child op runs are
+// disjoint key ranges, each child rewrite stages independently into the
+// concurrency-safe writer, and the item run reassembles in child order, so
+// the result is identical to the serial recursion.
+func (t *Tree) applyRoot(ops []editOp) ([]ref, error) {
+	workers := 1
+	if t.stage != nil {
+		workers = t.stage.Workers()
+	}
+	if workers <= 1 || t.height <= 1 {
+		return t.applyRec(t.root, t.height, ops)
+	}
+	n, err := t.loadInternal(t.root)
+	if err != nil {
+		return nil, err
+	}
+	type childRun struct {
+		ci  int
+		ops []editOp
+	}
+	var runs []childRun
+	opIdx := 0
+	for ci, child := range n.refs {
+		last := ci == len(n.refs)-1
+		end := opIdx
+		if last {
+			end = len(ops)
+		} else {
+			for end < len(ops) && bytes.Compare(ops[end].key, child.splitKey) <= 0 {
+				end++
+			}
+		}
+		if end != opIdx {
+			runs = append(runs, childRun{ci: ci, ops: ops[opIdx:end]})
+		}
+		opIdx = end
+	}
+	if len(runs) < 2 {
+		return t.applyRec(t.root, t.height, ops)
+	}
+	repl := make([][]ref, len(n.refs))
+	for ci := range n.refs {
+		repl[ci] = n.refs[ci : ci+1] // untouched children pass through
+	}
+	errs := make([]error, len(runs))
+	core.FanOut(workers, len(runs), func(k int) {
+		run := runs[k]
+		rs, err := t.applyRec(n.refs[run.ci].h, t.height-1, run.ops)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		repl[run.ci] = rs
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var items []ref
+	for _, rs := range repl {
+		items = append(items, rs...)
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	return t.splitInternal(items), nil
 }
 
 // raise builds internal levels above refs until a single root remains, then

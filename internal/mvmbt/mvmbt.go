@@ -69,32 +69,75 @@ type Tree struct {
 	cfg    Config
 	root   hash.Hash
 	height int
+	// stage, when non-nil, is the active batch's staged writer: saves are
+	// buffered there (and loadRaw serves them back) until the mutation
+	// entry point flushes the whole batch in one store write.
+	stage *core.StagedWriter
 	// cache holds decoded internal nodes keyed by digest, shared by every
 	// version derived from the same New/Load call, so lookups and range
-	// scans resolve the hot upper levels without re-decoding.
-	cache *core.NodeCache[*internalNode]
+	// scans resolve the hot upper levels without re-decoding; lcache does
+	// the same for decoded leaves, so a warm Get allocates nothing.
+	cache  *core.NodeCache[*internalNode]
+	lcache *core.NodeCache[*leafNode]
 }
 
 // Compile-time interface checks.
 var (
-	_ core.Index      = (*Tree)(nil)
-	_ core.NodeWalker = (*Tree)(nil)
+	_ core.Index       = (*Tree)(nil)
+	_ core.NodeWalker  = (*Tree)(nil)
+	_ core.CachePurger = (*Tree)(nil)
 )
 
 // New returns an empty tree over s.
 func New(s store.Store, cfg Config) *Tree {
-	return &Tree{s: s, cfg: cfg, cache: core.NewNodeCache[*internalNode](0)}
+	return &Tree{s: s, cfg: cfg,
+		cache:  core.NewNodeCache[*internalNode](0),
+		lcache: core.NewNodeCache[*leafNode](0)}
 }
 
 // Load returns a tree view of an existing root in s.
 func Load(s store.Store, cfg Config, root hash.Hash, height int) *Tree {
-	return &Tree{s: s, cfg: cfg, root: root, height: height, cache: core.NewNodeCache[*internalNode](0)}
+	return &Tree{s: s, cfg: cfg, root: root, height: height,
+		cache:  core.NewNodeCache[*internalNode](0),
+		lcache: core.NewNodeCache[*leafNode](0)}
 }
 
-// derive returns an empty tree value sharing the receiver's store, config
-// and decoded-node cache — the base every edit builds its result on.
+// derive returns an empty tree value sharing the receiver's store, config,
+// active stage and decoded-node caches — the base every edit builds its
+// result on.
 func (t *Tree) derive() *Tree {
-	return &Tree{s: t.s, cfg: t.cfg, cache: t.cache}
+	return &Tree{s: t.s, cfg: t.cfg, stage: t.stage, cache: t.cache, lcache: t.lcache}
+}
+
+// withStage returns a copy of t with a fresh staged writer attached, so
+// every save inside the mutation is buffered for one commit-time flush.
+func (t *Tree) withStage() *Tree {
+	if t.stage != nil {
+		return t
+	}
+	cp := *t
+	cp.stage = core.NewStagedWriter(t.s)
+	return &cp
+}
+
+// commitStage flushes the staged batch to the store and detaches the
+// writer (returning it to the writer pool), making the receiver a fully
+// committed version.
+func (t *Tree) commitStage() *Tree {
+	if t.stage != nil {
+		t.stage.Flush()
+		t.stage.Release()
+		t.stage = nil
+	}
+	return t
+}
+
+// abandonStage drops an unflushed stage on an error path.
+func (t *Tree) abandonStage() {
+	if t.stage != nil {
+		t.stage.Release()
+		t.stage = nil
+	}
 }
 
 // Build bulk-loads entries by batch insertion.
@@ -121,25 +164,35 @@ func (t *Tree) Height() int { return t.height }
 
 // --- encoding ---
 
-func encodeLeaf(n *leafNode) []byte {
-	w := codec.NewWriter(64)
+// encodeLeafTo appends a leaf node's canonical encoding.
+func encodeLeafTo(w *codec.Writer, entries []core.Entry) {
 	w.Byte(tagLeaf)
-	w.Uvarint(uint64(len(n.entries)))
-	for _, e := range n.entries {
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
 		w.LenBytes(e.Key)
 		w.LenBytes(e.Value)
 	}
+}
+
+// encodeInternalTo appends an internal node's canonical encoding.
+func encodeInternalTo(w *codec.Writer, refs []ref) {
+	w.Byte(tagInternal)
+	w.Uvarint(uint64(len(refs)))
+	for _, r := range refs {
+		w.LenBytes(r.splitKey)
+		w.Bytes32(r.h[:])
+	}
+}
+
+func encodeLeaf(n *leafNode) []byte {
+	w := codec.NewWriter(64)
+	encodeLeafTo(w, n.entries)
 	return w.Bytes()
 }
 
 func encodeInternal(n *internalNode) []byte {
 	w := codec.NewWriter(16 + len(n.refs)*(hash.Size+16))
-	w.Byte(tagInternal)
-	w.Uvarint(uint64(len(n.refs)))
-	for _, r := range n.refs {
-		w.LenBytes(r.splitKey)
-		w.Bytes32(r.h[:])
-	}
+	encodeInternalTo(w, n.refs)
 	return w.Bytes()
 }
 
@@ -199,7 +252,15 @@ func decodeInternal(data []byte) (*internalNode, error) {
 	return node, nil
 }
 
+// loadRaw fetches a node encoding, serving the active batch's unflushed
+// writes first so editors can walk nodes they just produced (the raise
+// collapse does).
 func (t *Tree) loadRaw(h hash.Hash) ([]byte, error) {
+	if t.stage != nil {
+		if data, ok := t.stage.Lookup(h); ok {
+			return data, nil
+		}
+	}
 	data, ok := t.s.Get(h)
 	if !ok {
 		return nil, fmt.Errorf("%w: mvmbt node %v", core.ErrMissingNode, h)
@@ -207,12 +268,12 @@ func (t *Tree) loadRaw(h hash.Hash) ([]byte, error) {
 	return data, nil
 }
 
+// loadLeaf fetches and decodes the leaf at h, serving repeat visits from
+// the shared decoded-leaf cache. Cached leaves are shared and read-only:
+// the edit path merges into fresh slices (mergeEntries) rather than
+// touching a loaded leaf's entries.
 func (t *Tree) loadLeaf(h hash.Hash) (*leafNode, error) {
-	data, err := t.loadRaw(h)
-	if err != nil {
-		return nil, err
-	}
-	return decodeLeaf(data)
+	return t.lcache.Load(h, func() ([]byte, error) { return t.loadRaw(h) }, decodeLeaf)
 }
 
 // loadInternal fetches and decodes the internal node at h, serving repeat
@@ -223,12 +284,29 @@ func (t *Tree) loadInternal(h hash.Hash) (*internalNode, error) {
 	return t.cache.Load(h, func() ([]byte, error) { return t.loadRaw(h) }, decodeInternal)
 }
 
+// saveLeaf / saveInternal encode and store a node — into the active batch's
+// staged writer when one is attached, directly to the store otherwise.
+// Both encode into pooled scratch writers (the staged writer and every
+// store backend copy on insert), so saves allocate no encoding buffer.
 func (t *Tree) saveLeaf(n *leafNode) ref {
-	return ref{splitKey: n.entries[len(n.entries)-1].Key, h: t.s.Put(encodeLeaf(n))}
+	h := t.save(func(enc *codec.Writer) { encodeLeafTo(enc, n.entries) })
+	return ref{splitKey: n.entries[len(n.entries)-1].Key, h: h}
 }
 
 func (t *Tree) saveInternal(n *internalNode) ref {
-	return ref{splitKey: n.refs[len(n.refs)-1].splitKey, h: t.s.Put(encodeInternal(n))}
+	h := t.save(func(enc *codec.Writer) { encodeInternalTo(enc, n.refs) })
+	return ref{splitKey: n.refs[len(n.refs)-1].splitKey, h: h}
+}
+
+func (t *Tree) save(encode func(enc *codec.Writer)) hash.Hash {
+	if t.stage != nil {
+		return t.stage.PutFunc(encode)
+	}
+	w := codec.GetWriter()
+	encode(w)
+	h := t.s.Put(w.Bytes())
+	w.Release()
+	return h
 }
 
 // --- search ---
@@ -339,6 +417,13 @@ func (t *Tree) iterNode(h hash.Hash, level int, fn func(key, value []byte) bool)
 		}
 	}
 	return true, nil
+}
+
+// PurgeCache implements core.CachePurger: it evicts decoded internal nodes
+// and leaves a GC pass swept from the family-shared caches.
+func (t *Tree) PurgeCache(live func(hash.Hash) bool) int {
+	dead := func(h hash.Hash) bool { return !live(h) }
+	return t.cache.EvictIf(dead) + t.lcache.EvictIf(dead)
 }
 
 // Refs implements core.NodeWalker.

@@ -60,25 +60,39 @@ func entryBytes(e core.Entry) []byte {
 	return w.Bytes()
 }
 
-func encodeLeaf(n *leafNode) []byte {
-	w := codec.NewWriter(64)
+// encodeLeafTo appends a leaf node's canonical encoding for the given entry
+// run. Taking the run (rather than a *leafNode) lets the parallel level
+// builder encode straight from its span table with no per-node wrapper
+// allocation.
+func encodeLeafTo(w *codec.Writer, entries []core.Entry) {
 	w.Byte(tagLeaf)
-	w.Uvarint(uint64(len(n.entries)))
-	for _, e := range n.entries {
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
 		w.LenBytes(e.Key)
 		w.LenBytes(e.Value)
 	}
+}
+
+// encodeInternalTo appends an internal node's canonical encoding for the
+// given child-ref run.
+func encodeInternalTo(w *codec.Writer, refs []ref) {
+	w.Byte(tagInternal)
+	w.Uvarint(uint64(len(refs)))
+	for _, r := range refs {
+		w.LenBytes(r.splitKey)
+		w.Bytes32(r.h[:])
+	}
+}
+
+func encodeLeaf(n *leafNode) []byte {
+	w := codec.NewWriter(64)
+	encodeLeafTo(w, n.entries)
 	return w.Bytes()
 }
 
 func encodeInternal(n *internalNode) []byte {
 	w := codec.NewWriter(16 + len(n.refs)*(hash.Size+16))
-	w.Byte(tagInternal)
-	w.Uvarint(uint64(len(n.refs)))
-	for _, r := range n.refs {
-		w.LenBytes(r.splitKey)
-		w.Bytes32(r.h[:])
-	}
+	encodeInternalTo(w, n.refs)
 	return w.Bytes()
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/chunk"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/store"
@@ -67,26 +68,34 @@ type Tree struct {
 	// until the public mutation entry point flushes and clears it.
 	stage *core.StagedWriter
 	// cache holds decoded internal nodes keyed by digest, shared by every
-	// version derived from the same New/Build/Load call.
-	cache *core.NodeCache[*internalNode]
+	// version derived from the same New/Build/Load call; lcache does the
+	// same for decoded leaves, so repeated Gets of warm leaves skip the
+	// per-lookup decode allocation entirely.
+	cache  *core.NodeCache[*internalNode]
+	lcache *core.NodeCache[*leafNode]
 }
 
 // Compile-time interface checks.
 var (
-	_ core.Index      = (*Tree)(nil)
-	_ core.NodeWalker = (*Tree)(nil)
+	_ core.Index       = (*Tree)(nil)
+	_ core.NodeWalker  = (*Tree)(nil)
+	_ core.CachePurger = (*Tree)(nil)
 )
 
 // New returns an empty tree over s.
 func New(s store.Store, cfg Config) *Tree {
-	return &Tree{s: s, cfg: cfg, cache: core.NewNodeCache[*internalNode](0)}
+	return &Tree{s: s, cfg: cfg,
+		cache:  core.NewNodeCache[*internalNode](0),
+		lcache: core.NewNodeCache[*leafNode](0)}
 }
 
 // Load returns a tree view of an existing root in s. The caller must supply
 // the Config the tree was built with and the tree height recorded at build
 // time (see Height).
 func Load(s store.Store, cfg Config, root hash.Hash, height int) *Tree {
-	return &Tree{s: s, cfg: cfg, root: root, height: height, cache: core.NewNodeCache[*internalNode](0)}
+	return &Tree{s: s, cfg: cfg, root: root, height: height,
+		cache:  core.NewNodeCache[*internalNode](0),
+		lcache: core.NewNodeCache[*leafNode](0)}
 }
 
 // Build bulk-loads entries bottom-up (the paper's batched building path:
@@ -127,7 +136,7 @@ func (t *Tree) Config() Config { return t.cfg }
 // config, salt, active stage and cache — the base every edit builds its
 // result on.
 func (t *Tree) derived() *Tree {
-	return &Tree{s: t.s, cfg: t.cfg, salt: t.salt, stage: t.stage, cache: t.cache}
+	return &Tree{s: t.s, cfg: t.cfg, salt: t.salt, stage: t.stage, cache: t.cache, lcache: t.lcache}
 }
 
 // withStage returns a copy of t with a fresh staged writer attached, so
@@ -142,10 +151,12 @@ func (t *Tree) withStage() *Tree {
 }
 
 // commitStage flushes the staged batch to the store and detaches the
-// writer, making the receiver a fully committed version.
+// writer (returning it to the writer pool), making the receiver a fully
+// committed version.
 func (t *Tree) commitStage() *Tree {
 	if t.stage != nil {
 		t.stage.Flush()
+		t.stage.Release()
 		t.stage = nil
 	}
 	return t
@@ -168,33 +179,54 @@ func (t *Tree) loadRaw(h hash.Hash) ([]byte, error) {
 
 // saveLeaf / saveInternal encode, salt (ablation only) and store a node —
 // into the active batch's staged writer when one is attached, directly to
-// the store otherwise.
+// the store otherwise. Both encode into pooled scratch writers (the staged
+// writer and every store backend copy on insert), so single-node saves
+// allocate no encoding buffer.
 func (t *Tree) saveLeaf(n *leafNode) hash.Hash {
-	return t.save(t.salted(encodeLeaf(n)))
+	if t.stage != nil {
+		return t.stage.PutFunc(func(enc *codec.Writer) { t.encodeLeafInto(enc, n.entries) })
+	}
+	w := codec.GetWriter()
+	t.encodeLeafInto(w, n.entries)
+	h := t.s.Put(w.Bytes())
+	w.Release()
+	return h
 }
 
 func (t *Tree) saveInternal(n *internalNode) hash.Hash {
-	return t.save(t.salted(encodeInternal(n)))
-}
-
-func (t *Tree) save(enc []byte) hash.Hash {
 	if t.stage != nil {
-		return t.stage.Put(enc)
+		return t.stage.PutFunc(func(enc *codec.Writer) { t.encodeInternalInto(enc, n.refs) })
 	}
-	return t.s.Put(enc)
+	w := codec.GetWriter()
+	t.encodeInternalInto(w, n.refs)
+	h := t.s.Put(w.Bytes())
+	w.Release()
+	return h
 }
 
-// salted prepends the version salt under AblationNoRecursiveIdentity so that
-// every version's nodes are distinct pages; otherwise it is the identity.
-func (t *Tree) salted(enc []byte) []byte {
+// encodeLeafInto / encodeInternalInto append a node's stored form: the
+// version salt under AblationNoRecursiveIdentity, then the canonical
+// encoding.
+func (t *Tree) encodeLeafInto(w *codec.Writer, entries []core.Entry) {
+	t.saltInto(w)
+	encodeLeafTo(w, entries)
+}
+
+func (t *Tree) encodeInternalInto(w *codec.Writer, refs []ref) {
+	t.saltInto(w)
+	encodeInternalTo(w, refs)
+}
+
+// saltInto prepends the version salt under AblationNoRecursiveIdentity so
+// that every version's nodes are distinct pages; otherwise it writes
+// nothing.
+func (t *Tree) saltInto(w *codec.Writer) {
 	if t.cfg.Ablation != AblationNoRecursiveIdentity {
-		return enc
+		return
 	}
-	out := make([]byte, 8, 8+len(enc))
 	for i := 0; i < 8; i++ {
-		out[i] = byte(t.salt >> (8 * i))
+		w.Byte(byte(t.salt >> (8 * i)))
 	}
-	return append(out, enc...)
 }
 
 // unsalt strips the version salt prefix under AblationNoRecursiveIdentity.
@@ -209,11 +241,10 @@ func (t *Tree) unsalt(data []byte) ([]byte, error) {
 }
 
 func (t *Tree) loadLeaf(h hash.Hash) (*leafNode, error) {
-	data, err := t.loadRaw(h)
-	if err != nil {
-		return nil, err
-	}
-	return decodeLeaf(data)
+	// Decoded leaves are cached by digest like internal nodes; edit paths
+	// treat a loaded leaf's entries as read-only, so sharing is safe, and a
+	// Get that hits the cache performs no allocation.
+	return t.lcache.Load(h, func() ([]byte, error) { return t.loadRaw(h) }, decodeLeaf)
 }
 
 func (t *Tree) loadInternal(h hash.Hash) (*internalNode, error) {
@@ -340,6 +371,13 @@ func (t *Tree) iterNode(h hash.Hash, level int, fn func(key, value []byte) bool)
 	return true, nil
 }
 
+// PurgeCache implements core.CachePurger: it evicts decoded internal nodes
+// and leaves a GC pass swept from the family-shared caches.
+func (t *Tree) PurgeCache(live func(hash.Hash) bool) int {
+	dead := func(h hash.Hash) bool { return !live(h) }
+	return t.cache.EvictIf(dead) + t.lcache.EvictIf(dead)
+}
+
 // Refs implements core.NodeWalker.
 func (t *Tree) Refs(data []byte) ([]hash.Hash, error) {
 	data, err := t.unsalt(data)
@@ -389,23 +427,41 @@ func (t *Tree) rebuild(entries []core.Entry) (*Tree, error) {
 	return nt, nil
 }
 
-// buildLeaves chunks entries into leaf nodes and returns their refs.
+// buildLeaves chunks entries into leaf nodes and returns their refs. The
+// build is the two-phase half of the parallel commit pipeline: boundary
+// detection rolls sequentially (chunking is inherently ordered), then the
+// whole level's encode+hash work — the dominant write cost of §4 — fans
+// across the staged writer's workers in one PutAll.
 func (t *Tree) buildLeaves(entries []core.Entry) []ref {
 	if t.cfg.Ablation == AblationNoStructuralInvariance {
 		// §5.5.1: no pattern-aware partitioning — fixed-size splits.
 		return t.splitLeafFixed(entries)
 	}
-	var refs []ref
+	var spans [][]core.Entry
 	ck := chunk.NewChunker(t.cfg.Chunk)
 	start := 0
 	for i, e := range entries {
 		if ck.ItemKV(e.Key, e.Value) {
-			refs = append(refs, t.flushLeaf(entries[start:i+1]))
+			spans = append(spans, entries[start:i+1])
 			start = i + 1
 		}
 	}
 	if start < len(entries) {
-		refs = append(refs, t.flushLeaf(entries[start:]))
+		spans = append(spans, entries[start:])
+	}
+	if t.stage == nil {
+		refs := make([]ref, len(spans))
+		for i, sp := range spans {
+			refs[i] = t.flushLeaf(sp)
+		}
+		return refs
+	}
+	hs := t.stage.PutAll(len(spans), func(i int, enc *codec.Writer) {
+		t.encodeLeafInto(enc, spans[i])
+	})
+	refs := make([]ref, len(spans))
+	for i, sp := range spans {
+		refs[i] = ref{splitKey: sp[len(sp)-1].Key, h: hs[i]}
 	}
 	return refs
 }
@@ -428,42 +484,64 @@ type hashRefChunker struct{ c *chunk.InternalChunker }
 
 func (h hashRefChunker) Child(r ref) bool { return h.c.Child(r.h) }
 
-type windowRefChunker struct{ c *chunk.WindowChunker }
+type windowRefChunker struct {
+	c *chunk.WindowChunker
+	// buf is the serialization scratch, reused across children so the
+	// window re-roll costs no allocation per ref.
+	buf []byte
+}
 
-func (w windowRefChunker) Child(r ref) bool {
+func (w *windowRefChunker) Child(r ref) bool {
 	// Re-roll the serialized entry through the window: the repeated hash
 	// computation the paper credits for Noms' slower writes.
-	buf := make([]byte, 0, len(r.splitKey)+hash.Size)
-	buf = append(buf, r.splitKey...)
-	buf = append(buf, r.h[:]...)
-	return w.c.Child(buf)
+	w.buf = append(w.buf[:0], r.splitKey...)
+	w.buf = append(w.buf, r.h[:]...)
+	return w.c.Child(w.buf)
 }
 
 // newRefChunker returns the configured internal-layer chunker.
 func (t *Tree) newRefChunker() refChunker {
 	if t.cfg.WindowInternal {
-		return windowRefChunker{c: chunk.NewWindowChunker(t.cfg.Chunk)}
+		return &windowRefChunker{c: chunk.NewWindowChunker(t.cfg.Chunk)}
 	}
 	return hashRefChunker{c: chunk.NewInternalChunker(t.cfg.Chunk)}
 }
 
 // buildInternalLevel chunks child refs into internal nodes and returns the
-// new level's refs.
+// new level's refs. Like buildLeaves it splits into a sequential boundary
+// phase (for POS-Tree a cheap pattern test on the already-computed child
+// digests; for Prolly the sliding-window re-roll of §5.6.2) and a parallel
+// encode+hash phase over the finished spans — children were hashed by the
+// level below, so every span is ready at once.
 func (t *Tree) buildInternalLevel(children []ref) []ref {
 	if t.cfg.Ablation == AblationNoStructuralInvariance {
 		return t.splitInternalFixed(children)
 	}
-	var refs []ref
+	var spans [][]ref
 	ck := t.newRefChunker()
 	start := 0
 	for i, c := range children {
 		if ck.Child(c) {
-			refs = append(refs, t.flushInternal(children[start:i+1]))
+			spans = append(spans, children[start:i+1])
 			start = i + 1
 		}
 	}
 	if start < len(children) {
-		refs = append(refs, t.flushInternal(children[start:]))
+		spans = append(spans, children[start:])
+	}
+	if t.stage == nil {
+		refs := make([]ref, len(spans))
+		for i, sp := range spans {
+			refs[i] = t.flushInternal(sp)
+		}
+		return refs
+	}
+	hs := t.stage.PutAll(len(spans), func(i int, enc *codec.Writer) {
+		t.encodeInternalInto(enc, spans[i])
+	})
+	refs := make([]ref, len(spans))
+	for i, sp := range spans {
+		refs[i] = ref{splitKey: sp[len(sp)-1].splitKey, h: hs[i]}
 	}
 	return refs
 }

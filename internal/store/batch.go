@@ -1,6 +1,10 @@
 package store
 
-import "repro/internal/hash"
+import (
+	"sync"
+
+	"repro/internal/hash"
+)
 
 // Batcher is the batch write path of the store contract. A single PutBatch
 // call persists many nodes with one round of synchronization: the in-memory
@@ -59,14 +63,12 @@ func PutBatchHashed(s Store, hashes []hash.Hash, items [][]byte) {
 	}
 }
 
-// hashAll digests every item. Shared by the backends' PutBatch
-// implementations, which all reduce to PutBatchHashed after this step.
+// hashAll digests every item across the hash package's worker pool. Shared
+// by the backends' PutBatch implementations, which all reduce to
+// PutBatchHashed after this step; large batches therefore hash in parallel
+// even for callers that did not pre-compute digests.
 func hashAll(items [][]byte) []hash.Hash {
-	hs := make([]hash.Hash, len(items))
-	for i, it := range items {
-		hs[i] = hash.Of(it)
-	}
-	return hs
+	return hash.OfAll(items)
 }
 
 // Compile-time checks: every built-in backend supports both batch paths.
@@ -113,6 +115,15 @@ func (s *ShardedStore) PutBatch(items [][]byte) []hash.Hash {
 	return hs
 }
 
+// batchShardConcurrency caps the goroutines one PutBatchHashed call spawns
+// to write shard groups concurrently. Shard groups touch disjoint locks and
+// disjoint maps, so the only shared state is the atomic counters.
+var batchShardConcurrency = 8
+
+// batchConcurrencyCutoff is the batch size below which shard groups are
+// written sequentially; tiny batches don't amortize goroutine startup.
+const batchConcurrencyCutoff = 256
+
 // PutBatchHashed implements HashedBatcher.
 func (s *ShardedStore) PutBatchHashed(hashes []hash.Hash, items [][]byte) {
 	// Group item indices by owning shard so each shard lock is acquired at
@@ -122,7 +133,7 @@ func (s *ShardedStore) PutBatchHashed(hashes []hash.Hash, items [][]byte) {
 		sh := s.shardIndex(h)
 		groups[sh] = append(groups[sh], i)
 	}
-	for sh, idxs := range groups {
+	writeGroup := func(sh uint32, idxs []int) {
 		shard := &s.shards[sh]
 		var added, addedBytes, dup int64
 		var raw, rawBytes int64
@@ -149,6 +160,29 @@ func (s *ShardedStore) PutBatchHashed(hashes []hash.Hash, items [][]byte) {
 		s.ctr.uniqueNodes.Add(added)
 		s.ctr.uniqueBytes.Add(addedBytes)
 	}
+	if len(items) < batchConcurrencyCutoff || len(groups) == 1 {
+		for sh, idxs := range groups {
+			writeGroup(sh, idxs)
+		}
+		return
+	}
+	// Write shard groups concurrently: each group copies its items under
+	// its own shard lock, so a big commit's memcpy cost spreads across
+	// cores instead of running as one serial loop.
+	sem := make(chan struct{}, batchShardConcurrency)
+	var wg sync.WaitGroup
+	for sh, idxs := range groups {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(sh uint32, idxs []int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			writeGroup(sh, idxs)
+		}(sh, idxs)
+	}
+	wg.Wait()
 }
 
 // PutBatch implements Batcher: one lock acquisition turns the whole batch

@@ -90,6 +90,24 @@ func (c *CachedStore) Stats() Stats { return c.backing.Stats() }
 // backings), so Release reaches through the cache layer.
 func (c *CachedStore) Close() error { return Release(c.backing) }
 
+// Purge evicts every cached node that live reports dead. CachedStore.Sweep
+// already purges the cache it is called on, but client-side caches layered
+// over a shared backing store (the Figure 21 deployment) are not on the
+// sweep path; a post-GC hook (version.Repo.OnGC) calls Purge on them so a
+// reclaimed node cannot be resurrected from a stale client cache.
+func (c *CachedStore) Purge(live LiveFunc) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for h := range c.entries {
+		if !live(h) {
+			c.evict(h)
+			n++
+		}
+	}
+	return n
+}
+
 // CacheStats returns local cache hits and misses.
 func (c *CachedStore) CacheStats() (hits, misses int64) {
 	c.mu.Lock()

@@ -48,6 +48,11 @@ type DiskStore struct {
 
 	ctr counters
 
+	// meta mirrors the metadata file (see MetaStore); metaFileMu serializes
+	// rewrites of the file itself.
+	meta       metaMap
+	metaFileMu sync.Mutex
+
 	mu           sync.RWMutex
 	locs         map[hash.Hash]recordLoc
 	pending      map[hash.Hash][]byte
@@ -177,6 +182,10 @@ func OpenDiskStore(dir string, opts DiskOptions) (*DiskStore, error) {
 			return nil, err
 		}
 	} else if err := d.openActiveWriter(); err != nil {
+		d.closeFiles()
+		return nil, err
+	}
+	if err := d.loadMeta(); err != nil {
 		d.closeFiles()
 		return nil, err
 	}

@@ -1,0 +1,102 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// TestMetaRoundTrip checks the MetaStore capability on every backend: set,
+// overwrite, read back, and isolation from the content-addressed node
+// space.
+func TestMetaRoundTrip(t *testing.T) {
+	backends := []struct {
+		name string
+		new  func(t *testing.T) store.Store
+	}{
+		{"mem", func(t *testing.T) store.Store { return store.NewMemStore() }},
+		{"sharded", func(t *testing.T) store.Store { return store.NewShardedStore(4) }},
+		{"cached", func(t *testing.T) store.Store {
+			return store.NewCachedStore(store.NewMemStore(), 1<<16)
+		}},
+		{"disk", func(t *testing.T) store.Store {
+			d, err := store.OpenDiskStore(t.TempDir(), store.DiskOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		}},
+	}
+	for _, backend := range backends {
+		t.Run(backend.name, func(t *testing.T) {
+			s := backend.new(t)
+			if _, ok, err := store.GetMeta(s, "absent"); err != nil || ok {
+				t.Fatalf("GetMeta(absent) = ok=%v err=%v, want miss", ok, err)
+			}
+			if err := store.SetMeta(s, "heads", []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.SetMeta(s, "heads", []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.SetMeta(s, "other", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := store.GetMeta(s, "heads")
+			if err != nil || !ok || string(v) != "v2" {
+				t.Fatalf("GetMeta(heads) = %q ok=%v err=%v, want v2", v, ok, err)
+			}
+			// Metadata is outside the node space: a full sweep must not
+			// touch it.
+			s.Put([]byte("node"))
+			if _, err := store.Sweep(s, func(hash.Hash) bool { return false }); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err = store.GetMeta(s, "heads")
+			if err != nil || !ok || string(v) != "v2" {
+				t.Fatalf("GetMeta(heads) after sweep = %q ok=%v err=%v, want v2", v, ok, err)
+			}
+		})
+	}
+}
+
+// TestMetaDiskPersistence checks that DiskStore metadata survives a close
+// and reopen, and that a corrupt metadata file fails the open instead of
+// silently dropping state.
+func TestMetaDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetMeta(d, "heads", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := store.GetMeta(d2, "heads")
+	if err != nil || !ok || string(v) != "persisted" {
+		t.Fatalf("reopened meta = %q ok=%v err=%v", v, ok, err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt file: the open must fail loudly.
+	if err := os.WriteFile(filepath.Join(dir, "meta.bin"), []byte{0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.OpenDiskStore(dir, store.DiskOptions{}); err == nil {
+		t.Fatal("open with corrupt meta file succeeded, want error")
+	}
+}

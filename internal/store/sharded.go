@@ -26,6 +26,7 @@ type ShardedStore struct {
 	mask   uint32
 	shards []memShard
 	ctr    counters
+	meta   metaMap
 }
 
 type memShard struct {
@@ -93,7 +94,8 @@ func (s *ShardedStore) Put(data []byte) hash.Hash {
 	return h
 }
 
-// Get implements Store.
+// Get implements Store. The returned slice is the resident buffer, not a
+// copy (see the Store.Get no-copy contract).
 func (s *ShardedStore) Get(h hash.Hash) ([]byte, bool) {
 	s.ctr.gets.Add(1)
 	sh := s.shardFor(h)

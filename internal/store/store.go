@@ -39,6 +39,18 @@ type Store interface {
 	Put(data []byte) hash.Hash
 	// Get returns the content stored under h. The returned slice must not
 	// be modified by the caller.
+	//
+	// No-copy contract: backends serve Get without copying whenever the
+	// stored bytes are immutable for the store's lifetime — MemStore,
+	// ShardedStore and CachedStore all return the resident buffer
+	// directly (DiskStore reads flushed records into a fresh buffer by
+	// necessity). Nodes are content-addressed and never rewritten, so the
+	// returned bytes stay valid until the node is reclaimed by a sweep;
+	// the decoded-node caches in the index packages rely on this to alias
+	// key and value slices straight into the stored encoding instead of
+	// copying per decode (see the internal/codec aliasing rules). The GC
+	// purge hooks (version.Repo.OnGC) exist to drop those aliases when a
+	// sweep reclaims nodes.
 	Get(h hash.Hash) ([]byte, bool)
 	// Has reports whether h is present without fetching the content.
 	Has(h hash.Hash) bool
@@ -71,6 +83,7 @@ type MemStore struct {
 	mu    sync.RWMutex
 	nodes map[hash.Hash][]byte
 	stats Stats
+	meta  metaMap
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -98,7 +111,8 @@ func (m *MemStore) Put(data []byte) hash.Hash {
 	return h
 }
 
-// Get implements Store.
+// Get implements Store. The returned slice is the resident buffer, not a
+// copy (see the Store.Get no-copy contract).
 func (m *MemStore) Get(h hash.Hash) ([]byte, bool) {
 	m.mu.Lock()
 	m.stats.Gets++

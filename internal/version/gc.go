@@ -112,5 +112,18 @@ func (r *Repo) GC(retain ...Commit) (GCStats, error) {
 		}
 	}
 	st.RetainedCommits = len(keep)
+
+	// Eager cache purge: hand the pass's liveness predicate to every
+	// registered OnGC hook so decoded-node caches and client-side store
+	// caches evict swept digests now instead of waiting for LRU churn.
+	if len(r.gcHooks) > 0 {
+		isLive := func(h hash.Hash) bool {
+			_, ok := live[h]
+			return ok
+		}
+		for _, hook := range r.gcHooks {
+			hook(isLive)
+		}
+	}
 	return st, nil
 }

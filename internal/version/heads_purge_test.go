@@ -1,0 +1,209 @@
+package version_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/postree"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+// headsLoader registers the POS-Tree loader the heads tests check out with.
+func headsLoader(r *version.Repo) {
+	r.RegisterLoader("POS-Tree", func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+		return postree.Load(s, postree.ConfigForNodeSize(512), root, height), nil
+	})
+}
+
+// buildVersion commits n entries keyed by round onto branch and returns the
+// commit.
+func buildVersion(t *testing.T, r *version.Repo, branch string, round int) version.Commit {
+	t.Helper()
+	tree := postree.New(r.Store(), postree.ConfigForNodeSize(512))
+	var idx core.Index = tree
+	if head, ok := r.Head(branch); ok {
+		got, err := r.Checkout(head.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx = got
+	}
+	entries := make([]core.Entry, 50)
+	for i := range entries {
+		entries[i] = core.Entry{
+			Key:   []byte(fmt.Sprintf("key-%03d", i)),
+			Value: []byte(fmt.Sprintf("round-%d-value-%03d", round, i)),
+		}
+	}
+	next, err := idx.PutBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Commit(branch, next, fmt.Sprintf("%s round %d", branch, round))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBranchHeadsResumeInMemory verifies the persistent-heads satellite on
+// an in-memory store: a second Repo over the same store sees every branch
+// the first one committed, with identical heads and checkout contents, with
+// no explicit ResumeBranch call.
+func TestBranchHeadsResumeInMemory(t *testing.T) {
+	s := store.NewShardedStore(8)
+	r1 := version.NewRepo(s)
+	headsLoader(r1)
+	buildVersion(t, r1, "main", 1)
+	mainHead := buildVersion(t, r1, "main", 2)
+	devHead := buildVersion(t, r1, "dev", 1)
+
+	r2 := version.NewRepo(s)
+	headsLoader(r2)
+	if got := r2.Branches(); len(got) != 2 || got[0] != "dev" || got[1] != "main" {
+		t.Fatalf("resumed branches = %v, want [dev main]", got)
+	}
+	for branch, want := range map[string]version.Commit{"main": mainHead, "dev": devHead} {
+		head, ok := r2.Head(branch)
+		if !ok || head.ID != want.ID {
+			t.Fatalf("branch %q head = %v (ok=%v), want %v", branch, head.ID, ok, want.ID)
+		}
+		idx, err := r2.CheckoutBranch(branch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.RootHash() != want.Root {
+			t.Fatalf("branch %q checkout root %v, want %v", branch, idx.RootHash(), want.Root)
+		}
+	}
+
+	// Deleting a branch persists too.
+	if err := r2.DeleteBranch("dev"); err != nil {
+		t.Fatal(err)
+	}
+	r3 := version.NewRepo(s)
+	if got := r3.Branches(); len(got) != 1 || got[0] != "main" {
+		t.Fatalf("branches after delete+reopen = %v, want [main]", got)
+	}
+}
+
+// TestBranchHeadsResumeOnDisk is the restart scenario the satellite exists
+// for: commit on a disk-backed store, close the process's store handle,
+// reopen the directory, and find the branches again — no head IDs recorded
+// anywhere outside the store.
+func TestBranchHeadsResumeOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := version.NewRepo(s1)
+	headsLoader(r1)
+	want := buildVersion(t, r1, "main", 1)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	r2 := version.NewRepo(s2)
+	headsLoader(r2)
+	head, ok := r2.Head("main")
+	if !ok || head.ID != want.ID {
+		t.Fatalf("reopened head = %v (ok=%v), want %v", head.ID, ok, want.ID)
+	}
+	idx, err := r2.CheckoutBranch("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := idx.Get([]byte("key-007")); err != nil || !ok || string(v) != "round-1-value-007" {
+		t.Fatalf("Get after reopen = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestGCPurgesCaches verifies the GC-aware purge satellite: after a GC
+// retains only the newest version, the registered OnGC hooks evict swept
+// digests from a client-side CachedStore and from an index family's
+// decoded-node caches eagerly, and the surviving version still reads
+// correctly through the purged caches.
+func TestGCPurgesCaches(t *testing.T) {
+	backing := store.NewMemStore()
+	cached := store.NewCachedStore(backing, 1<<20)
+	r := version.NewRepo(backing)
+	headsLoader(r)
+
+	tree := postree.New(backing, postree.ConfigForNodeSize(512))
+	var idx core.Index = tree
+	var commits []version.Commit
+	for round := 0; round < 5; round++ {
+		entries := make([]core.Entry, 200)
+		for i := range entries {
+			entries[i] = core.Entry{
+				Key:   []byte(fmt.Sprintf("key-%03d", i)),
+				Value: []byte(fmt.Sprintf("round-%d-value-%03d", round, i)),
+			}
+		}
+		next, err := idx.PutBatch(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx = next
+		c, err := r.Commit("main", idx, fmt.Sprintf("round %d", round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits = append(commits, c)
+		// Populate the client-side cache with this round's root — all but
+		// the last become dead when the GC retains only the newest version.
+		if _, ok := cached.Get(c.Root); !ok {
+			t.Fatalf("round %d root missing from backing store", round)
+		}
+	}
+	// Warm the decoded-node caches with reads.
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		if _, ok, err := idx.Get(key); err != nil || !ok {
+			t.Fatalf("warm Get: ok=%v err=%v", ok, err)
+		}
+	}
+
+	purged := 0
+	clientPurged := 0
+	r.OnGC(func(live store.LiveFunc) {
+		purged += tree.PurgeCache(live)
+		clientPurged += cached.Purge(live)
+	})
+
+	stats, err := r.GC(commits[len(commits)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store.SweptNodes == 0 {
+		t.Fatal("GC swept nothing; test fixture too small")
+	}
+	if purged == 0 {
+		t.Fatal("OnGC hook evicted nothing from the decoded-node caches")
+	}
+	if clientPurged == 0 {
+		t.Fatal("OnGC hook evicted nothing from the client-side cache")
+	}
+
+	// The retained version must still read correctly through purged caches.
+	got, err := r.CheckoutBranch("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		v, ok, err := got.Get(key)
+		if err != nil || !ok || string(v) != fmt.Sprintf("round-4-value-%03d", i) {
+			t.Fatalf("post-GC Get(%q) = %q ok=%v err=%v", key, v, ok, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/store"
@@ -37,8 +38,13 @@ var (
 // is in flight (see the package documentation's safety contract).
 //
 // The log is an in-memory view; the durable truth is the store itself,
-// where every commit lives as a content-addressed node. ResumeBranch
-// rebuilds the view from a head ID after a process restart.
+// where every commit lives as a content-addressed node. Branch heads — the
+// one piece of mutable state — are additionally persisted through the
+// store's MetaStore capability on every head move, and NewRepo resumes
+// them automatically when it finds persisted heads, so reopening a
+// DiskStore-backed repo restores its branches without the caller recording
+// head IDs externally. ResumeBranch remains available for stores without
+// metadata support (and for attaching to heads recorded elsewhere).
 type Repo struct {
 	s store.Store
 
@@ -46,19 +52,33 @@ type Repo struct {
 	loaders  map[string]Loader
 	commits  map[hash.Hash]Commit
 	branches map[string]hash.Hash
+	gcHooks  []func(live store.LiveFunc)
 	now      func() time.Time
 }
 
-// NewRepo returns an empty repo over s. Register a Loader per index class
-// before calling Checkout or GC on commits of that class.
+// headsMetaKey is the well-known metadata key branch heads persist under.
+const headsMetaKey = "version/branch-heads"
+
+// NewRepo returns a repo over s. Register a Loader per index class before
+// calling Checkout or GC on commits of that class. When s persists branch
+// heads (see store.MetaStore), every branch recorded by a previous Repo
+// over the same store is resumed automatically; heads whose commit blobs
+// are gone (a GC dropped the branch's history) are skipped.
 func NewRepo(s store.Store) *Repo {
-	return &Repo{
+	r := &Repo{
 		s:        s,
 		loaders:  make(map[string]Loader),
 		commits:  make(map[hash.Hash]Commit),
 		branches: make(map[string]hash.Hash),
 		now:      time.Now,
 	}
+	for name, head := range loadHeads(s) {
+		// Resume without re-persisting: the heads just came from the
+		// store, and rewriting the record once per branch would open a
+		// crash window in which not-yet-resumed branches vanish from it.
+		_ = r.resumeBranch(name, head, false) // unreadable head: skip the branch
+	}
+	return r
 }
 
 // Store returns the content-addressed store the repo records commits in.
@@ -97,6 +117,12 @@ func (r *Repo) Commit(branch string, idx core.Index, message string) (Commit, er
 	c.ID = r.s.Put(encodeCommit(c))
 	r.commits[c.ID] = c
 	r.branches[branch] = c.ID
+	if err := r.persistHeadsLocked(); err != nil {
+		// The commit blob is stored and the in-memory head advanced, but
+		// durability of the head move failed — the caller must know, or a
+		// clean process exit silently rolls the branch back on reopen.
+		return c, fmt.Errorf("version: commit recorded but branch head not persisted: %w", err)
+	}
 	return c, nil
 }
 
@@ -125,15 +151,17 @@ func (r *Repo) Branch(name string, id hash.Hash) error {
 		return fmt.Errorf("%w: %v", ErrUnknownCommit, id)
 	}
 	r.branches[name] = id
-	return nil
+	return r.persistHeadsLocked()
 }
 
 // DeleteBranch removes a branch head. The commits it pointed at remain in
-// the log until a GC drops them.
-func (r *Repo) DeleteBranch(name string) {
+// the log until a GC drops them. A non-nil error means the in-memory
+// delete happened but the persisted head record could not be updated.
+func (r *Repo) DeleteBranch(name string) error {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	delete(r.branches, name)
-	r.mu.Unlock()
+	return r.persistHeadsLocked()
 }
 
 // Branches lists the branch names in sorted order.
@@ -223,6 +251,13 @@ func (r *Repo) Log(branch string) ([]Commit, error) {
 // reopen the store, resume. Ancestors whose blobs a GC already swept are
 // skipped, leaving the same shallow boundary the GC left.
 func (r *Repo) ResumeBranch(name string, head hash.Hash) error {
+	return r.resumeBranch(name, head, true)
+}
+
+// resumeBranch is ResumeBranch with persistence optional: NewRepo's
+// auto-resume loop reads heads out of the store and must not rewrite the
+// record per branch (a crash mid-loop would drop the rest).
+func (r *Repo) resumeBranch(name string, head hash.Hash, persist bool) error {
 	if name == "" {
 		return errors.New("version: empty branch name")
 	}
@@ -252,5 +287,80 @@ func (r *Repo) ResumeBranch(name string, head hash.Hash) error {
 		}
 	}
 	r.branches[name] = head
+	if !persist {
+		return nil
+	}
+	return r.persistHeadsLocked()
+}
+
+// OnGC registers a hook invoked after every successful GC pass with the
+// pass's liveness predicate. It is the eager-eviction integration point for
+// caches holding decoded or copied node state that a sweep cannot see: the
+// per-index decoded-node caches (core.NodeCache.EvictIf) and client-side
+// store.CachedStore layers (CachedStore.Purge). Hooks run while the repo's
+// lock is held, so they must not call back into the Repo.
+func (r *Repo) OnGC(hook func(live store.LiveFunc)) {
+	r.mu.Lock()
+	r.gcHooks = append(r.gcHooks, hook)
+	r.mu.Unlock()
+}
+
+// persistHeadsLocked writes the branch map through the store's MetaStore
+// capability, skipping stores without one (the in-memory view remains
+// authoritative for the process lifetime either way). A write failure on a
+// capable store is returned: heads are the one mutable pointer in the
+// system, and losing one silently rolls a branch back on the next reopen.
+// Caller holds r.mu.
+func (r *Repo) persistHeadsLocked() error {
+	if _, ok := r.s.(store.MetaStore); !ok {
+		return nil
+	}
+	names := make([]string, 0, len(r.branches))
+	for name := range r.branches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w := codec.NewWriter(16 + len(names)*48)
+	w.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		w.LenBytes([]byte(name))
+		id := r.branches[name]
+		w.Bytes32(id[:])
+	}
+	if err := store.SetMeta(r.s, headsMetaKey, w.Bytes()); err != nil {
+		return fmt.Errorf("version: persist branch heads: %w", err)
+	}
 	return nil
+}
+
+// loadHeads reads the persisted branch map, returning nil when the store
+// has no metadata capability, no persisted heads, or a corrupt record (a
+// bad head record must not wedge the open; affected branches can still be
+// resumed manually).
+func loadHeads(s store.Store) map[string]hash.Hash {
+	data, ok, err := store.GetMeta(s, headsMetaKey)
+	if err != nil || !ok {
+		return nil
+	}
+	rd := codec.NewReader(data)
+	n, err := rd.Uvarint()
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]hash.Hash, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := rd.LenBytes()
+		if err != nil {
+			return nil
+		}
+		hb, err := rd.Bytes32()
+		if err != nil {
+			return nil
+		}
+		out[string(name)] = hash.MustFromBytes(hb)
+	}
+	if rd.Done() != nil {
+		return nil
+	}
+	return out
 }
