@@ -50,6 +50,7 @@ func Experiments() []Experiment {
 		{"scan", "ordered range scans: selectivity sweep + YCSB-E mix (extension)", ScanExp},
 		{"retention", "version retention: commit K versions, GC to newest N, report reclaimed bytes (extension)", RetentionExp},
 		{"commitpath", "parallel commit pipeline: batch throughput vs hash workers, warm-Get allocs/op (extension)", CommitPath},
+		{"gcpause", "read/commit latency during concurrent GC vs an idle baseline (extension)", GCPause},
 	}
 	out := make([]Experiment, len(defs))
 	for i, d := range defs {

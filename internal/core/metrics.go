@@ -70,6 +70,20 @@ func Reachable(idx Index, w NodeWalker, root hash.Hash, acc map[hash.Hash]int) (
 	return visit(root)
 }
 
+// MarkReachable accumulates the node set reachable from root into acc
+// (hash → encoded size), resolving idx's NodeWalker itself. It is the GC
+// marking primitive: the collector calls it once per retained or pinned
+// version with a single shared acc, so overlapping versions are walked
+// once and acc converges on the union of their page sets.
+func MarkReachable(idx Index, root hash.Hash, acc map[hash.Hash]int) error {
+	w, ok := idx.(NodeWalker)
+	if !ok {
+		return fmt.Errorf("core: %s does not expose node refs", idx.Name())
+	}
+	_, err := Reachable(idx, w, root, acc)
+	return err
+}
+
 // ReachStats walks one version and returns its node count, byte footprint
 // and height.
 func ReachStats(idx Index) (Reach, error) {

@@ -74,13 +74,18 @@ type stageShard struct {
 // recycles them through a pool), stage, Flush, then Release. Flush and
 // Release require all staging goroutines to have been joined first.
 //
-// GC safety: never run a store sweep (store.Sweeper, driven by
-// version.Repo.GC) while a staged commit is in flight on the same store.
-// Between Flush and the moment the new root is recorded in a commit, the
-// freshly flushed nodes are unreachable from every existing commit, and a
-// concurrent sweep would reclaim them mid-commit. Serialize GC against
-// writers; see the internal/version package documentation for the full
-// contract.
+// GC safety: between Flush and the moment the new root is recorded in a
+// commit, the freshly flushed nodes are unreachable from every existing
+// commit. A concurrent version.Repo.GC pass survives this window through
+// the store write barrier: Flush lands the whole batch through
+// store.PutBatchHashed, which runs inside a barrier write window — a pass
+// arming its barrier at mark start waits for in-flight batches, so the
+// flush either completes before the mark (and a sweep that reclaims the
+// still-uncommitted version is caught by version.Repo.Commit's root
+// re-check, a retryable race) or has every digest recorded as
+// unconditionally live for the pass. Stores without the BarrierStore
+// capability keep the old rule — quiesce writers for the duration of a GC;
+// see the internal/version package documentation for the full contract.
 type StagedWriter struct {
 	s       store.Store
 	workers int

@@ -22,10 +22,12 @@
 // CachedStore layers never need invalidation because nodes are immutable
 // and content-addressed.
 //
-// Garbage collection (internal/version) currently assumes a local store:
-// running it inside the servlet between batches is safe (the servlet
-// serializes writes, satisfying the GC safety contract), but clients hold
-// no lease on the nodes they cache, so a remote GC protocol — sweeping the
-// servlet's store while clients keep reading — needs a liveness handshake
-// and is tracked as a ROADMAP open item rather than implemented here.
+// Garbage collection (internal/version) runs concurrently with the
+// servlet's local traffic — the write barrier and commit gate make a pass
+// safe against in-flight batches without pausing the servlet. The remote
+// side is the open part: clients hold no lease on the nodes they cache,
+// so a remote GC protocol — sweeping the servlet's store while clients
+// keep reading — needs a liveness handshake (the reader-pin machinery is
+// the natural local anchor for it) and is tracked as a ROADMAP open item
+// rather than implemented here.
 package forkbase

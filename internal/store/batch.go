@@ -87,8 +87,17 @@ func (m *MemStore) PutBatch(items [][]byte) []hash.Hash {
 	return hs
 }
 
-// PutBatchHashed implements HashedBatcher.
+// PutBatchHashed implements HashedBatcher. The whole batch runs inside one
+// barrier write window: an armed barrier records every digest before the
+// nodes become visible, and a barrier armed mid-batch waits for the batch
+// to finish — so a concurrent GC pass either sees the entire batch
+// resident before its mark starts (the committer's root re-check covers
+// that side) or has every node of it recorded as live.
 func (m *MemStore) PutBatchHashed(hashes []hash.Hash, items [][]byte) {
+	if b := m.bar.beginWrite(); b != nil {
+		b.recordAll(hashes)
+	}
+	defer m.bar.endWrite()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i, data := range items {
@@ -124,8 +133,14 @@ var batchShardConcurrency = 8
 // written sequentially; tiny batches don't amortize goroutine startup.
 const batchConcurrencyCutoff = 256
 
-// PutBatchHashed implements HashedBatcher.
+// PutBatchHashed implements HashedBatcher. The batch runs inside one
+// barrier write window (see MemStore.PutBatchHashed): recorded before any
+// shard insert, and never straddling a barrier arm.
 func (s *ShardedStore) PutBatchHashed(hashes []hash.Hash, items [][]byte) {
+	if b := s.bar.beginWrite(); b != nil {
+		b.recordAll(hashes)
+	}
+	defer s.bar.endWrite()
 	// Group item indices by owning shard so each shard lock is acquired at
 	// most once per batch, regardless of batch size.
 	groups := make(map[uint32][]int, 16)
@@ -194,8 +209,14 @@ func (d *DiskStore) PutBatch(items [][]byte) []hash.Hash {
 	return hs
 }
 
-// PutBatchHashed implements HashedBatcher.
+// PutBatchHashed implements HashedBatcher. The batch runs inside one
+// barrier write window (see MemStore.PutBatchHashed): recorded before the
+// appends land, and never straddling a barrier arm.
 func (d *DiskStore) PutBatchHashed(hashes []hash.Hash, items [][]byte) {
+	if b := d.bar.beginWrite(); b != nil {
+		b.recordAll(hashes)
+	}
+	defer d.bar.endWrite()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for i, data := range items {

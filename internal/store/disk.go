@@ -73,6 +73,8 @@ type DiskStore struct {
 	activeSize int64 // logical size of the active segment, buffered included
 	err        error // first write/flush error, surfaced by Sync/Close
 	closed     bool
+
+	bar barrierHolder
 }
 
 // DiskOptions tunes a DiskStore. The zero value selects the defaults noted
@@ -290,6 +292,10 @@ func (d *DiskStore) appendSegment() error {
 // Close; until then the affected nodes remain readable from memory.
 func (d *DiskStore) Put(data []byte) hash.Hash {
 	h := hash.Of(data)
+	if b := d.bar.beginWrite(); b != nil {
+		b.record(h)
+	}
+	defer d.bar.endWrite()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.putLocked(h, data)
@@ -372,12 +378,14 @@ func (d *DiskStore) fail(err error) {
 // holds d.mu.
 func (d *DiskStore) flushLocked() error {
 	if err := d.w.Flush(); err != nil {
-		d.fail(fmt.Errorf("store: disk: flush: %w", err))
+		err = fmt.Errorf("store: disk: flush: %w", err)
+		d.fail(err)
 		return err
 	}
 	if d.opts.SyncOnFlush {
 		if err := d.active.Sync(); err != nil {
-			d.fail(fmt.Errorf("store: disk: sync: %w", err))
+			err = fmt.Errorf("store: disk: sync: %w", err)
+			d.fail(err)
 			return err
 		}
 	}

@@ -70,8 +70,15 @@ func (d *DiskStore) deleteLocked(h hash.Hash) bool {
 // Sweep implements Sweeper: buffered appends are flushed, every node the
 // LiveFunc rejects is dropped from the directory, and segments whose live
 // fraction fell below DiskOptions.CompactLiveFraction are rewritten to only
-// their live records.
+// their live records. The armed barrier, if any, extends the live predicate
+// so records appended since the barrier was armed survive the pass.
+//
+// The whole pass runs under d.mu, but readers are barely affected: Get
+// serves flushed records lock-free from a reader handle captured under a
+// brief RLock, and compaction retires (never closes) the handles such
+// readers hold.
 func (d *DiskStore) Sweep(live LiveFunc) (SweepStats, error) {
+	live = d.bar.wrap(live)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var st SweepStats
@@ -79,7 +86,7 @@ func (d *DiskStore) Sweep(live LiveFunc) (SweepStats, error) {
 		return st, errors.New("store: disk: Sweep after Close")
 	}
 	if err := d.flushLocked(); err != nil {
-		return st, d.err
+		return st, err
 	}
 	for h, data := range d.resident {
 		if live(h) {
@@ -145,7 +152,7 @@ func (d *DiskStore) compactLocked() (int, error) {
 		}
 		if err := d.compactSegment(id, recs[id]); err != nil {
 			d.fail(err)
-			return compacted, d.err
+			return compacted, err
 		}
 		compacted++
 	}
@@ -229,8 +236,9 @@ func (d *DiskStore) compactSegment(id int, recs []liveRec) error {
 		// not be opened. The old handle still reads the original inode and
 		// d.locs still holds the original offsets, so the store stays
 		// consistent (serving the unlinked file) until Close.
-		d.fail(fmt.Errorf("store: disk: compact reopen %s: %w", filepath.Base(path), err))
-		return d.err
+		err = fmt.Errorf("store: disk: compact reopen %s: %w", filepath.Base(path), err)
+		d.fail(err)
+		return err
 	}
 	// Retire the old reader instead of closing it: Get reads flushed
 	// records lock-free via a handle captured under RLock, so a concurrent
@@ -261,7 +269,7 @@ func (d *DiskStore) DiskUsage() (int64, error) {
 		return 0, errors.New("store: disk: DiskUsage after Close")
 	}
 	if err := d.flushLocked(); err != nil {
-		return 0, d.err
+		return 0, err
 	}
 	var total int64
 	for _, f := range d.readers {

@@ -27,6 +27,7 @@ type ShardedStore struct {
 	shards []memShard
 	ctr    counters
 	meta   metaMap
+	bar    barrierHolder
 }
 
 type memShard struct {
@@ -76,6 +77,10 @@ func (s *ShardedStore) shardFor(h hash.Hash) *memShard {
 // buffer.
 func (s *ShardedStore) Put(data []byte) hash.Hash {
 	h := hash.Of(data)
+	if b := s.bar.beginWrite(); b != nil {
+		b.record(h)
+	}
+	defer s.bar.endWrite()
 	s.ctr.rawNodes.Add(1)
 	s.ctr.rawBytes.Add(int64(len(data)))
 	sh := s.shardFor(h)

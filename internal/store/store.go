@@ -84,6 +84,7 @@ type MemStore struct {
 	nodes map[hash.Hash][]byte
 	stats Stats
 	meta  metaMap
+	bar   barrierHolder
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -95,6 +96,10 @@ func NewMemStore() *MemStore {
 // buffer.
 func (m *MemStore) Put(data []byte) hash.Hash {
 	h := hash.Of(data)
+	if b := m.bar.beginWrite(); b != nil {
+		b.record(h)
+	}
+	defer m.bar.endWrite()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.RawNodes++

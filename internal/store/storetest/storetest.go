@@ -14,6 +14,7 @@ package storetest
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -54,6 +55,11 @@ func RunStoreTests(t *testing.T, newStore Factory) {
 		{"SweepPreservesLiveSet", testSweepPreservesLiveSet},
 		{"SweepEverything", testSweepEverything},
 		{"SweepKeepsConcurrentReadsSafe", testSweepKeepsConcurrentReadsSafe},
+		{"BarrierProtectsNewWrites", testBarrierProtectsNewWrites},
+		{"BarrierRecordsDedupHits", testBarrierRecordsDedupHits},
+		{"BarrierRecordsBatches", testBarrierRecordsBatches},
+		{"BarrierArmSemantics", testBarrierArmSemantics},
+		{"BarrierKeepsConcurrentWritesSafe", testBarrierKeepsConcurrentWritesSafe},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) { tc.fn(t, newStore) })
@@ -504,6 +510,184 @@ func testSweepKeepsConcurrentReadsSafe(t *testing.T, newStore Factory) {
 		t.Errorf("Sweep: %v", err)
 	}
 	wg.Wait()
+}
+
+// barrierStore skips the test unless s supports the write barrier (and
+// sweeping, which the barrier exists to make concurrency-safe).
+func barrierStore(t *testing.T, s store.Store) store.Store {
+	t.Helper()
+	s = sweepable(t, s)
+	if _, ok := s.(store.BarrierStore); !ok {
+		t.Skip("store does not implement BarrierStore")
+	}
+	return s
+}
+
+// testBarrierProtectsNewWrites pins the core barrier guarantee: a node
+// written after the barrier is armed survives a sweep whose predicate
+// rejects it, and is reclaimed normally once the barrier is disarmed.
+func testBarrierProtectsNewWrites(t *testing.T, newStore Factory) {
+	s := barrierStore(t, newStore(t))
+	old := s.Put([]byte("pre-barrier node"))
+	bar, err := store.ArmBarrier(s)
+	if err != nil {
+		t.Fatalf("ArmBarrier: %v", err)
+	}
+	fresh := s.Put([]byte("post-barrier node"))
+	if !bar.Has(fresh) {
+		t.Fatal("barrier did not record a Put made while armed")
+	}
+	if bar.Has(old) {
+		t.Fatal("barrier recorded a Put made before it was armed")
+	}
+	st, err := store.Sweep(s, func(hash.Hash) bool { return false })
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if st.LiveNodes != 1 || st.SweptNodes != 1 {
+		t.Fatalf("sweep counts with armed barrier = %+v, want 1 live / 1 swept", st)
+	}
+	if _, ok := s.Get(fresh); !ok {
+		t.Fatal("node written under the armed barrier was swept")
+	}
+	if _, ok := s.Get(old); ok {
+		t.Fatal("pre-barrier dead node survived the sweep")
+	}
+	store.DisarmBarrier(s)
+	if _, err := store.Sweep(s, func(hash.Hash) bool { return false }); err != nil {
+		t.Fatalf("Sweep after disarm: %v", err)
+	}
+	if _, ok := s.Get(fresh); ok {
+		t.Fatal("node survived a sweep after the barrier was disarmed")
+	}
+}
+
+// testBarrierRecordsDedupHits covers the dedup-vs-GC race: re-putting
+// content byte-identical to a doomed node must mark it live for the pass,
+// or the new writer's "stored" node vanishes under it.
+func testBarrierRecordsDedupHits(t *testing.T, newStore Factory) {
+	s := barrierStore(t, newStore(t))
+	h := s.Put([]byte("shared content"))
+	bar, err := store.ArmBarrier(s)
+	if err != nil {
+		t.Fatalf("ArmBarrier: %v", err)
+	}
+	defer store.DisarmBarrier(s)
+	if got := s.Put([]byte("shared content")); got != h {
+		t.Fatalf("dedup re-put returned %v, want %v", got, h)
+	}
+	if !bar.Has(h) {
+		t.Fatal("barrier did not record the dedup hit")
+	}
+	if _, err := store.Sweep(s, func(hash.Hash) bool { return false }); err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if _, ok := s.Get(h); !ok {
+		t.Fatal("deduplicated re-put was swept despite the armed barrier")
+	}
+}
+
+// testBarrierRecordsBatches verifies both batch write paths record while
+// armed.
+func testBarrierRecordsBatches(t *testing.T, newStore Factory) {
+	s := barrierStore(t, newStore(t))
+	bar, err := store.ArmBarrier(s)
+	if err != nil {
+		t.Fatalf("ArmBarrier: %v", err)
+	}
+	defer store.DisarmBarrier(s)
+	items := make([][]byte, 40)
+	for i := range items {
+		items[i] = blob(i)
+	}
+	hs := store.PutBatch(s, items[:20])
+	hashed := make([]hash.Hash, 20)
+	for i, it := range items[20:] {
+		hashed[i] = hash.Of(it)
+	}
+	store.PutBatchHashed(s, hashed, items[20:])
+	hs = append(hs, hashed...)
+	for i, h := range hs {
+		if !bar.Has(h) {
+			t.Fatalf("barrier missed batch item %d", i)
+		}
+	}
+	if _, err := store.Sweep(s, func(hash.Hash) bool { return false }); err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for i, h := range hs {
+		if _, ok := s.Get(h); !ok {
+			t.Fatalf("batch item %d written under the barrier was swept", i)
+		}
+	}
+}
+
+// testBarrierArmSemantics pins down the one-armed-barrier rule.
+func testBarrierArmSemantics(t *testing.T, newStore Factory) {
+	s := barrierStore(t, newStore(t))
+	if _, err := store.ArmBarrier(s); err != nil {
+		t.Fatalf("first ArmBarrier: %v", err)
+	}
+	if _, err := store.ArmBarrier(s); !errors.Is(err, store.ErrBarrierArmed) {
+		t.Fatalf("second ArmBarrier = %v, want ErrBarrierArmed", err)
+	}
+	store.DisarmBarrier(s)
+	store.DisarmBarrier(s) // disarming an unarmed store is a no-op
+	bar, err := store.ArmBarrier(s)
+	if err != nil {
+		t.Fatalf("re-ArmBarrier after disarm: %v", err)
+	}
+	if bar.Len() != 0 {
+		t.Fatalf("fresh barrier is not empty: %d digests", bar.Len())
+	}
+	store.DisarmBarrier(s)
+}
+
+// testBarrierKeepsConcurrentWritesSafe races writers against a sweep with
+// the barrier armed: every node written while armed must be readable after
+// the sweep, whichever side of the pass each write landed on. Run under
+// -race.
+func testBarrierKeepsConcurrentWritesSafe(t *testing.T, newStore Factory) {
+	s := barrierStore(t, newStore(t))
+	for i := 0; i < 200; i++ {
+		s.Put(blob(i)) // dead weight for the sweep to chew through
+	}
+	if _, err := store.ArmBarrier(s); err != nil {
+		t.Fatalf("ArmBarrier: %v", err)
+	}
+	defer store.DisarmBarrier(s)
+	const writers, perWriter = 4, 100
+	written := make([][]hash.Hash, writers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				data := []byte(fmt.Sprintf("writer-%d-item-%04d", w, i))
+				if i%10 == 0 {
+					hs := store.PutBatch(s, [][]byte{data})
+					written[w] = append(written[w], hs[0])
+					continue
+				}
+				written[w] = append(written[w], s.Put(data))
+			}
+		}(w)
+	}
+	close(start)
+	if _, err := store.Sweep(s, func(hash.Hash) bool { return false }); err != nil {
+		t.Errorf("Sweep: %v", err)
+	}
+	wg.Wait()
+	for w := range written {
+		for i, h := range written[w] {
+			if _, ok := s.Get(h); !ok {
+				t.Fatalf("writer %d item %d vanished during the armed sweep", w, i)
+			}
+		}
+	}
 }
 
 // blob generates deterministic distinct content of varied length.

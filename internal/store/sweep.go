@@ -40,12 +40,16 @@ type LiveFunc func(hash.Hash) bool
 // live set (the union of nodes reachable from every retained commit) and
 // hands it here as the predicate.
 //
-// Safety contract: Sweep must not run concurrently with writers that are
-// mid-commit. A core.StagedWriter that has flushed nodes whose root is not
-// yet recorded in any commit would see them swept as unreachable. Callers
-// serialize GC against commits (see internal/version, which documents the
-// same contract at its level). Concurrent readers of retained nodes are
-// safe on every built-in backend.
+// Safety contract: concurrent readers of retained nodes are safe on every
+// built-in backend, and Sweep may overlap writers when a write barrier is
+// armed (BarrierStore): every built-in Sweep unions the armed barrier into
+// the live predicate, so nodes flushed since the barrier was armed — an
+// in-flight core.StagedWriter commit, for example — survive the pass even
+// though no retained version reaches them yet. Without an armed barrier
+// the old rule applies: callers must quiesce writers for the duration of
+// the sweep, or freshly flushed not-yet-committed nodes are reclaimed as
+// unreachable. internal/version.Repo.GC arms the barrier for every pass on
+// a capable store.
 type Sweeper interface {
 	// Sweep removes every resident node h for which live(h) is false and
 	// returns the reclamation accounting. DiskStore additionally compacts
@@ -117,23 +121,55 @@ func (m *MemStore) Delete(h hash.Hash) (bool, error) {
 	return true, nil
 }
 
-// Sweep implements Sweeper with one pass over the map under the write lock.
+// memSweepChunk bounds how many deletions one write-lock acquisition of a
+// MemStore sweep performs, so concurrent reads and writes interleave with
+// the sweep instead of stalling for the whole pass.
+const memSweepChunk = 1024
+
+// Sweep implements Sweeper in two phases to keep pauses short: the doomed
+// set is collected under the read lock (concurrent Get/Has proceed), then
+// deleted in chunks under short write-lock acquisitions. Each doomed node
+// is re-checked against the (barrier-extended) predicate at delete time,
+// so content re-put between the phases survives.
 func (m *MemStore) Sweep(live LiveFunc) (SweepStats, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	live = m.bar.wrap(live)
 	var st SweepStats
+	m.mu.RLock()
+	doomed := make([]hash.Hash, 0, 64)
 	for h, data := range m.nodes {
 		if live(h) {
 			st.LiveNodes++
 			st.LiveBytes += int64(len(data))
 			continue
 		}
-		delete(m.nodes, h)
-		st.SweptNodes++
-		st.SweptBytes += int64(len(data))
+		doomed = append(doomed, h)
 	}
-	m.stats.UniqueNodes -= st.SweptNodes
-	m.stats.UniqueBytes -= st.SweptBytes
+	m.mu.RUnlock()
+	for start := 0; start < len(doomed); start += memSweepChunk {
+		end := start + memSweepChunk
+		if end > len(doomed) {
+			end = len(doomed)
+		}
+		var nodes, bytes int64
+		m.mu.Lock()
+		for _, h := range doomed[start:end] {
+			if live(h) {
+				continue // re-put since the scan: the barrier marked it live
+			}
+			data, ok := m.nodes[h]
+			if !ok {
+				continue
+			}
+			delete(m.nodes, h)
+			nodes++
+			bytes += int64(len(data))
+		}
+		m.stats.UniqueNodes -= nodes
+		m.stats.UniqueBytes -= bytes
+		m.mu.Unlock()
+		st.SweptNodes += nodes
+		st.SweptBytes += bytes
+	}
 	return st, nil
 }
 
@@ -155,8 +191,11 @@ func (s *ShardedStore) Delete(h hash.Hash) (bool, error) {
 }
 
 // Sweep implements Sweeper shard by shard; each shard lock is held only for
-// its own pass, so concurrent readers of other shards proceed.
+// its own pass, so concurrent readers and writers of other shards proceed.
+// The armed barrier, if any, extends the live predicate so writes landing
+// during the pass survive it.
 func (s *ShardedStore) Sweep(live LiveFunc) (SweepStats, error) {
+	live = s.bar.wrap(live)
 	var st SweepStats
 	for i := range s.shards {
 		sh := &s.shards[i]

@@ -40,20 +40,61 @@
 // retained commits keep their Parents fields, so history becomes shallow at
 // the retention boundary, exactly like a shallow git clone.
 //
+// A pass is concurrent, not stop-the-world. The repository lock is held
+// only for three short windows: snapshotting the retained set and arming
+// the store's write barrier at mark start, pruning the log when the mark
+// finishes, and firing OnGC hooks at the end. The mark walk and the store
+// sweep — the two phases whose cost grows with history size — run without
+// the lock, racing live commits, checkouts and reads.
+//
+// Three mechanisms make that race safe:
+//
+//   - Write barrier (store.BarrierStore): while a pass is marking, every
+//     store write records its digest in the pass's barrier, and the sweep
+//     treats barrier-recorded nodes as live. Arming the barrier
+//     synchronizes with in-flight batch writes, so a commit's flush is
+//     atomic with respect to mark start: it lands entirely before the mark
+//     (and is either reachable from a retained head or caught by the
+//     commit gate below) or has every node recorded.
+//   - Commit gate: Repo.Commit admits a new version mid-pass only when the
+//     pass can prove its nodes survive the sweep (barrier-covered, or
+//     rooted in the marked live set). A version flushed before the barrier
+//     armed that is not covered waits for the sweep and then fails with
+//     ErrCommitRaced — the caller retries from a fresh checkout. The gate
+//     also walks mid-pass commits whose versions predate the barrier, so
+//     children inheriting their pages stay safe.
+//   - Reader pins: CheckoutPinned / CheckoutBranchPinned return a Pin that
+//     keeps the commit and its whole version tree out of every sweep until
+//     Release, even when retention would drop it. Pins are refcounted;
+//     Release is idempotent.
+//
 // # Safety contract
 //
-// GC must not run concurrently with index mutations. Specifically:
+// On a store with the BarrierStore capability (all four built-in backends)
+// GC runs concurrently with everything: Commit, Put/PutBatch on checked-out
+// indexes, Checkout, and reads. Callers need only honor two rules:
 //
-//   - Never run GC while a core.StagedWriter commit is in flight anywhere
-//     on the same store: a batch that has flushed its nodes but whose root
-//     has not yet been recorded in a commit is unreachable from every
-//     retained commit, and the sweep would delete it mid-commit.
-//   - Never run GC while another goroutine calls Repo.Commit, Put or
-//     PutBatch on an index over the same store.
+//   - Retry ErrCommitRaced: a commit whose version was flushed before the
+//     pass began marking, and which nothing protects, is rejected after the
+//     sweep. Re-checkout the branch and reapply the mutation.
+//   - Pin what you read, pin what you build on. A long-lived read view of a
+//     commit that retention may drop must come from CheckoutPinned /
+//     CheckoutBranchPinned; an unpinned view of a dropped version loses its
+//     nodes mid-read (core.ErrMissingNode). Likewise a mutator that
+//     checks out a base version, edits, and commits later must pin the base
+//     unless it is guaranteed to stay retained (e.g. more commits than the
+//     retention window could land in between): the commit gate verifies the
+//     novel nodes of the new version, not pages inherited from a base that
+//     was itself collected.
 //
-// Readers are safe: concurrent Get/Iterate/Range/Prove on *retained*
-// versions may overlap a GC on every built-in backend. Callers that hold
-// pre-GC index values for unretained versions must drop them — their nodes
-// are gone (reads fail with core.ErrMissingNode; decoded-node caches may
-// serve stale subsets, which is harmless but not useful).
+// Stores without the barrier capability keep the old stop-the-world rule:
+// the pass holds the repository lock end to end, so concurrent Repo calls
+// block for the duration, and external writers (raw store.Put outside any
+// Repo-managed commit) must quiesce during a GC.
+//
+// Failure semantics: a sweep error does not wedge the repository. The log
+// prune and the OnGC hooks still happen (hooks receive the pass's live
+// predicate either way), the barrier is disarmed, and the store is left
+// merely over-retained — a later pass reclaims what the failed sweep left
+// behind. GC returns the sweep error wrapped, with the pass's stats.
 package version

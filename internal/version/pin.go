@@ -1,0 +1,122 @@
+package version
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// This file implements reader pins — the epoch half of the concurrent-GC
+// contract. A concurrent GC pass may reclaim any version outside the
+// retained set the moment the pass reaches its sweep, so a reader that
+// checked out an old commit and is still iterating it would see its pages
+// vanish mid-read. A Pin is the reader's lease: while any pin on a commit
+// is held, every GC pass marks that commit's version live and keeps the
+// commit in the log, exactly as if it had been retained. Readers of
+// retained versions (branch heads under the retention policy) never need a
+// pin; readers of anything older take one with CheckoutPinned and release
+// it when done.
+
+// pinEntry is the refcounted registry record for one pinned commit.
+type pinEntry struct {
+	c Commit
+	n int
+}
+
+// Pin is a refcounted guard keeping one commit — and every store node its
+// version reaches — out of the garbage collector's hands. Obtain one from
+// Repo.Pin or Repo.CheckoutPinned; call Release exactly when the version
+// is no longer being read. A Pin is safe for concurrent use; redundant
+// Release calls are no-ops.
+type Pin struct {
+	r        *Repo
+	c        Commit
+	released atomic.Bool
+}
+
+// Commit returns the pinned commit.
+func (p *Pin) Commit() Commit { return p.c }
+
+// Release drops the pin. The commit stays in the log and its version stays
+// readable until a GC pass that starts after the release (and does not
+// otherwise retain the commit) reclaims it.
+func (p *Pin) Release() {
+	if p == nil || !p.released.CompareAndSwap(false, true) {
+		return
+	}
+	r := p.r
+	r.mu.Lock()
+	if e, ok := r.pins[p.c.ID]; ok {
+		e.n--
+		if e.n <= 0 {
+			delete(r.pins, p.c.ID)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Pin protects the commit stored under id from garbage collection until
+// the returned Pin is released. Pinning an unknown commit fails with
+// ErrUnknownCommit; a commit present in the log is always safely pinnable,
+// even while a GC pass is running (a pass can only drop a commit from the
+// log before its sweep begins, and pins taken before that point are
+// honored by the same pass).
+func (r *Repo) Pin(id hash.Hash) (*Pin, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.commits[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownCommit, id)
+	}
+	return r.pinLocked(c), nil
+}
+
+// pinLocked registers one more pin on c. Caller holds r.mu.
+func (r *Repo) pinLocked(c Commit) *Pin {
+	e := r.pins[c.ID]
+	if e == nil {
+		e = &pinEntry{c: c}
+		r.pins[c.ID] = e
+	}
+	e.n++
+	return &Pin{r: r, c: c}
+}
+
+// CheckoutPinned is Checkout plus a pin, taken atomically: the returned
+// view's pages cannot be reclaimed by any GC pass until the pin is
+// released. This is the required way to read a version that the retention
+// policy might drop while the read is in flight.
+func (r *Repo) CheckoutPinned(id hash.Hash) (core.Index, *Pin, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.commits[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %v", ErrUnknownCommit, id)
+	}
+	idx, err := r.checkoutLocked(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, r.pinLocked(c), nil
+}
+
+// CheckoutBranchPinned is CheckoutBranch plus a pin on the branch's head
+// commit, taken atomically — a stable read view of "the latest version"
+// that stays valid however far the branch advances or how many GC passes
+// run before the pin is released.
+func (r *Repo) CheckoutBranchPinned(name string) (core.Index, *Pin, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.branches[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownBranch, name)
+	}
+	c := r.commits[id]
+	idx, err := r.checkoutLocked(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, r.pinLocked(c), nil
+}

@@ -30,12 +30,28 @@ var (
 	ErrUnknownBranch = errors.New("version: unknown branch")
 	// ErrNoLoader reports a checkout of a class with no registered Loader.
 	ErrNoLoader = errors.New("version: no loader registered for index class")
+	// ErrHeadNotRetained reports a GC whose retained set omits a current
+	// branch head. Under concurrent writers this is often a benign race —
+	// the head advanced after the caller chose the set — so callers may
+	// recompute and retry, or use GCRetainRecent, which chooses the set
+	// atomically inside the pass.
+	ErrHeadNotRetained = errors.New("version: branch head not in the retained set")
+	// ErrCommitRaced reports a commit whose version lost nodes to a
+	// concurrent GC pass: the index was flushed before the pass's write
+	// barrier was armed, no retained version reached it, and the sweep
+	// reclaimed it. The store is consistent — the commit was not recorded
+	// — and the fix is to redo the mutation from a fresh checkout.
+	ErrCommitRaced = errors.New("version: commit raced a GC pass; redo the mutation from a fresh checkout")
 )
 
 // Repo is a commit log plus named branches over one content-addressed
-// store. All methods are safe for concurrent use with each other; the GC
-// method additionally requires that no index mutation over the same store
-// is in flight (see the package documentation's safety contract).
+// store. All methods are safe for concurrent use with each other,
+// including GC: on stores with the write-barrier capability
+// (store.BarrierStore — all four built-in backends) a GC pass runs
+// concurrently with commits, checkouts and reads, pausing them only for
+// the pass's brief bookkeeping sections. Readers of versions the
+// retention policy might drop must hold a Pin for the duration of the
+// read (CheckoutPinned); see the package documentation's safety contract.
 //
 // The log is an in-memory view; the durable truth is the store itself,
 // where every commit lives as a content-addressed node. Branch heads — the
@@ -54,6 +70,16 @@ type Repo struct {
 	branches map[string]hash.Hash
 	gcHooks  []func(live store.LiveFunc)
 	now      func() time.Time
+
+	// pins maps commit ID → refcounted reader lease (see pin.go). Guarded
+	// by mu.
+	pins map[hash.Hash]*pinEntry
+	// gcPass is non-nil while a concurrent GC pass is between its initial
+	// snapshot and its final hook-firing section; gcCond is broadcast when
+	// the pass retires. Both guarded by mu. gcMu serializes passes.
+	gcPass *gcPass
+	gcCond *sync.Cond
+	gcMu   sync.Mutex
 }
 
 // headsMetaKey is the well-known metadata key branch heads persist under.
@@ -71,7 +97,9 @@ func NewRepo(s store.Store) *Repo {
 		commits:  make(map[hash.Hash]Commit),
 		branches: make(map[string]hash.Hash),
 		now:      time.Now,
+		pins:     make(map[hash.Hash]*pinEntry),
 	}
+	r.gcCond = sync.NewCond(&r.mu)
 	for name, head := range loadHeads(s) {
 		// Resume without re-persisting: the heads just came from the
 		// store, and rewriting the record once per branch would open a
@@ -96,6 +124,13 @@ func (r *Repo) RegisterLoader(class string, l Loader) {
 // (or creating) the branch head, and returns the stored commit. The commit's
 // parent is the previous head, its class is idx.Name(), and its height is
 // taken from the index when the class exposes one (POS-Tree, MVMB+-Tree).
+//
+// A commit may overlap a GC pass. If the version was flushed before the
+// pass's write barrier was armed and nothing retained reaches it, Commit
+// waits for the pass's sweep to finish and then reports ErrCommitRaced if
+// the version's pages were reclaimed; redo the mutation from a fresh
+// checkout. Versions flushed after the barrier was armed — every mutation
+// that started after the pass did — commit without waiting.
 func (r *Repo) Commit(branch string, idx core.Index, message string) (Commit, error) {
 	if branch == "" {
 		return Commit{}, errors.New("version: empty branch name")
@@ -113,6 +148,9 @@ func (r *Repo) Commit(branch string, idx core.Index, message string) (Commit, er
 	}
 	if head, ok := r.branches[branch]; ok {
 		c.Parents = []hash.Hash{head}
+	}
+	if err := r.gcAdmitCommitLocked(c.Root); err != nil {
+		return Commit{}, err
 	}
 	c.ID = r.s.Put(encodeCommit(c))
 	r.commits[c.ID] = c
@@ -293,8 +331,9 @@ func (r *Repo) resumeBranch(name string, head hash.Hash, persist bool) error {
 	return r.persistHeadsLocked()
 }
 
-// OnGC registers a hook invoked after every successful GC pass with the
-// pass's liveness predicate. It is the eager-eviction integration point for
+// OnGC registers a hook invoked at the end of every GC pass that swept —
+// including a pass whose sweep failed partway, so caches drop whatever the
+// partial sweep did reclaim — with the pass's liveness predicate. It is the eager-eviction integration point for
 // caches holding decoded or copied node state that a sweep cannot see: the
 // per-index decoded-node caches (core.NodeCache.EvictIf) and client-side
 // store.CachedStore layers (CachedStore.Purge). Hooks run while the repo's
