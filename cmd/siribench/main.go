@@ -4,7 +4,8 @@
 // Usage:
 //
 //	siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]
-//	siribench [flags] version log|gc
+//	siribench [flags] version log|gc|verify
+//	siribench [flags] verify
 //	siribench -list
 //
 // With no experiment arguments every experiment runs in paper order. Output
@@ -20,7 +21,10 @@
 // (internal/version): `version log` builds a scale-sized commit history and
 // prints it; `version gc` additionally garbage-collects it down to the
 // newest -retain commits and reports the space reclaimed — on -store=disk
-// including the segment bytes returned by compaction.
+// including the segment bytes returned by compaction. `verify` (also
+// reachable as `version verify`) garbage-collects the history and then
+// scrubs the reachable graph end to end — every commit blob and index page
+// re-read and re-hashed — exiting non-zero if anything is damaged.
 package main
 
 import (
@@ -50,7 +54,8 @@ func main() {
 		"commits to retain in the retention experiment and the `version gc` verb (0 = scale default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "       siribench [flags] version log|gc\n\n")
+		fmt.Fprintf(os.Stderr, "       siribench [flags] version log|gc|verify\n")
+		fmt.Fprintf(os.Stderr, "       siribench [flags] verify\n\n")
 		fmt.Fprintf(os.Stderr, "flags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "\nexperiments (default: all):\n")
@@ -92,10 +97,19 @@ func main() {
 
 	if flag.NArg() > 0 && flag.Arg(0) == "version" {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: siribench [flags] version log|gc")
+			fmt.Fprintln(os.Stderr, "usage: siribench [flags] version log|gc|verify")
 			os.Exit(2)
 		}
 		if err := runVersionVerb(os.Stdout, scale, flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	// `siribench verify` is shorthand for `version verify`: build the demo
+	// history, GC it, then scrub the reachable graph end to end.
+	if flag.NArg() == 1 && flag.Arg(0) == "verify" {
+		if err := runVersionVerb(os.Stdout, scale, "verify"); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -21,9 +21,9 @@ import (
 // on-disk footprint printed before and after compaction.
 func runVersionVerb(w io.Writer, sc bench.Scale, verb string) error {
 	switch verb {
-	case "log", "gc":
+	case "log", "gc", "verify":
 	default:
-		return fmt.Errorf("unknown version subcommand %q (want log or gc)", verb)
+		return fmt.Errorf("unknown version subcommand %q (want log, gc or verify)", verb)
 	}
 	sc, release := sc.WithStoreTracking()
 	defer release()
@@ -81,6 +81,31 @@ func runVersionVerb(w io.Writer, sc bench.Scale, verb string) error {
 	}
 	printLog()
 	if verb == "log" {
+		return nil
+	}
+	if verb == "verify" {
+		// Scrub after a retention GC, so the walk also crosses the shallow
+		// boundary the pass leaves — the state a verify runs against in
+		// practice.
+		keep := sc.RetentionKeep
+		if keep < 1 {
+			keep = 1
+		}
+		if _, err := repo.GCRetainRecent(keep); err != nil {
+			return err
+		}
+		start := time.Now()
+		rep, err := repo.Verify()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nverify: %s in %v\n", rep, time.Since(start).Round(time.Microsecond))
+		for _, f := range rep.Faults {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+		if !rep.OK() {
+			return fmt.Errorf("verify found %d damaged node(s)", len(rep.Faults))
+		}
 		return nil
 	}
 

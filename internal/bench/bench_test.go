@@ -291,3 +291,16 @@ func TestTableFprintAlignment(t *testing.T) {
 		t.Fatalf("printed %d lines: %q", len(lines), buf.String())
 	}
 }
+
+func TestFaultsExperiment(t *testing.T) {
+	tables := runExperiment(t, "faults")
+	if len(tables) != 2 {
+		t.Fatalf("faults produced %d tables, want 2", len(tables))
+	}
+	// Every recovery row tore the newest segment and the reopen found it.
+	for _, r := range tables[0].Rows {
+		if r.Cells[2] == "0" || r.Cells[3] == "0" {
+			t.Fatalf("recovery row %s reports no torn tail: %v", r.X, r.Cells)
+		}
+	}
+}

@@ -51,6 +51,7 @@ func Experiments() []Experiment {
 		{"retention", "version retention: commit K versions, GC to newest N, report reclaimed bytes (extension)", RetentionExp},
 		{"commitpath", "parallel commit pipeline: batch throughput vs hash workers, warm-Get allocs/op (extension)", CommitPath},
 		{"gcpause", "read/commit latency during concurrent GC vs an idle baseline (extension)", GCPause},
+		{"faults", "crash-recovery time vs segment count + verify-on-read overhead (extension)", FaultsExp},
 	}
 	out := make([]Experiment, len(defs))
 	for i, d := range defs {

@@ -39,6 +39,7 @@ var auditedPackages = []string{
 	"internal/prolly",
 	"internal/rlp",
 	"internal/store",
+	"internal/store/faultstore",
 	"internal/store/storetest",
 	"internal/version",
 	"internal/workload",

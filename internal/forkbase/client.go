@@ -2,8 +2,10 @@ package forkbase
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hash"
@@ -18,13 +20,61 @@ import (
 //	}
 type Loader func(s store.Store, root hash.Hash, height int) core.Index
 
+// Options configures a client's fault handling. The zero value picks the
+// defaults below, so Options{} is a working configuration.
+type Options struct {
+	// Timeout bounds each round trip: the deadline is set on the
+	// connection before every request so a hung server surfaces as an
+	// error instead of a stuck client. Default 5s.
+	Timeout time.Duration
+	// Retries is how many additional attempts a round trip makes after a
+	// transient failure — a connection error (redialed) or an explicit
+	// msgErrRetry from the server. 0 means the default of 4; negative
+	// disables retries. Default 4.
+	Retries int
+	// RetryBase is the backoff before the first retry; it doubles per
+	// attempt (capped at 250ms) with up to 50% added jitter so clients
+	// that failed together do not retry in lockstep. Default 5ms.
+	RetryBase time.Duration
+	// CacheBytes bounds the client node cache (0 disables caching, the
+	// configuration used to isolate remote-access costs).
+	CacheBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 4
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	return o
+}
+
+// retryCap bounds the client's exponential backoff between attempts.
+const retryCap = 250 * time.Millisecond
+
 // Client executes reads locally over network-fetched (and cached) nodes and
 // ships writes to the servlet, mirroring Forkbase's client architecture:
 // "Forkbase caches the nodes at clients after retrieved from servers"
 // (§5.6.1).
+//
+// Every call runs under a deadline and transparently redials and retries on
+// transient errors (see Options). Retrying a PutBatch after a torn
+// connection is safe: applying the same entries to the already-advanced
+// head produces the identical version — content addressing makes the write
+// idempotent.
 type Client struct {
 	mu   sync.Mutex
-	conn net.Conn
+	conn net.Conn // nil between a transient failure and the redial
+	addr string
+	opts Options
 
 	loader Loader
 	nodes  *store.CachedStore
@@ -55,41 +105,101 @@ func (r remoteStore) Has(h hash.Hash) bool {
 	return ok
 }
 
-// Dial connects to a servlet. cacheBytes bounds the client node cache
-// (0 disables caching, the configuration used to isolate remote-access
-// costs).
+// Dial connects to a servlet with default fault handling. cacheBytes bounds
+// the client node cache (see Options.CacheBytes).
 func Dial(addr string, loader Loader, cacheBytes int64) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("forkbase: dial: %w", err)
-	}
-	c := &Client{conn: conn, loader: loader}
-	c.nodes = store.NewCachedStore(remoteStore{c: c}, cacheBytes)
+	return DialOptions(addr, loader, Options{CacheBytes: cacheBytes})
+}
+
+// DialOptions connects to a servlet. The initial root fetch already runs
+// through the retry loop, so a server that is still coming up within the
+// retry budget does not fail the dial.
+func DialOptions(addr string, loader Loader, o Options) (*Client, error) {
+	c := &Client{addr: addr, loader: loader, opts: o.withDefaults()}
+	c.nodes = store.NewCachedStore(remoteStore{c: c}, o.CacheBytes)
 	if err := c.Refresh(); err != nil {
-		conn.Close()
+		c.Close()
 		return nil, err
 	}
 	return c, nil
 }
 
 // Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
-// roundTrip sends one request and reads one response.
+// roundTrip sends one request and reads one response, retrying transient
+// failures: connection errors drop and redial the connection; msgErrRetry
+// responses keep it and just back off. msgErr is a permanent failure and
+// returns immediately.
 func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeMsg(c.conn, typ, payload); err != nil {
-		return 0, nil, err
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			c.sleepBackoff(attempt)
+		}
+		if c.conn == nil {
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn = conn
+		}
+		// The per-call deadline: nothing below can block past it.
+		_ = c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		if err := writeMsg(c.conn, typ, payload); err != nil {
+			lastErr = err
+			c.dropConnLocked()
+			continue
+		}
+		rt, rp, err := readMsg(c.conn)
+		if err != nil {
+			lastErr = err
+			c.dropConnLocked()
+			continue
+		}
+		switch rt {
+		case msgErr:
+			return 0, nil, fmt.Errorf("forkbase: server: %s", rp)
+		case msgErrRetry:
+			lastErr = fmt.Errorf("forkbase: server (transient): %s", rp)
+			continue
+		}
+		return rt, rp, nil
 	}
-	rt, rp, err := readMsg(c.conn)
-	if err != nil {
-		return 0, nil, err
+	return 0, nil, fmt.Errorf("forkbase: request %d failed after %d attempts: %w",
+		typ, c.opts.Retries+1, lastErr)
+}
+
+// dropConnLocked discards a connection a transient error poisoned; the next
+// attempt redials. Caller holds c.mu.
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
 	}
-	if rt == msgErr {
-		return 0, nil, fmt.Errorf("forkbase: server: %s", rp)
+}
+
+// sleepBackoff sleeps the capped exponential backoff for one retry attempt,
+// with jitter.
+func (c *Client) sleepBackoff(attempt int) {
+	d := c.opts.RetryBase << (attempt - 1)
+	if d > retryCap || d <= 0 {
+		d = retryCap
 	}
-	return rt, rp, nil
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	time.Sleep(d)
 }
 
 // fetchNode retrieves one node from the servlet. The request payload slices

@@ -11,6 +11,21 @@
 // carrying node fetches, batched writes, and root queries. Any core.Index
 // implementation can be served, which is how the Forkbase (POS-Tree) versus
 // Noms (Prolly Tree) comparison of §5.6.2 is run on identical plumbing.
+// Errors come in two flavors: msgErr is permanent and fails the request,
+// msgErrRetry marks a transient server-side condition (a commit raced a GC
+// pass past the server's own retry budget) the client resends after.
+//
+// # Fault handling
+//
+// Every client call runs under a per-round-trip deadline and retries
+// transient failures with capped exponential backoff and jitter — torn
+// connections are redialed, msgErrRetry responses resent (Options tunes
+// all three knobs). Resending a write batch is safe: applying the same
+// entries to the already-advanced head yields the identical version, so
+// the retry is idempotent by content addressing. A servlet built with
+// NewServletRepo commits every accepted batch to a version.Repo branch
+// through version.CommitRetry, making each network write a durable,
+// GC-race-proof commit; Close drains in-flight requests before returning.
 //
 // # Roles in the larger system
 //

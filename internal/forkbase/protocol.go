@@ -18,7 +18,8 @@ const (
 	msgPutBatch = 4 // request: entries → applied server-side
 	msgRoot     = 5 // response: root hash + height
 	msgGetRoot  = 6 // request: current root
-	msgErr      = 7 // response: error text
+	msgErr      = 7 // response: permanent error text, request failed
+	msgErrRetry = 8 // response: transient error text, safe to resend
 )
 
 // maxMessage bounds a single message (64 MiB) to fail fast on corruption.

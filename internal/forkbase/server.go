@@ -6,9 +6,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/version"
 )
 
 // heighter is implemented by tree indexes that need their height shipped to
@@ -17,19 +19,42 @@ type heighter interface{ Height() int }
 
 // Servlet owns the authoritative index version and serves node fetches and
 // write batches. One Servlet matches the paper's single-servlet setup.
+//
+// A servlet built with NewServlet holds its head in memory only. One built
+// with NewServletRepo commits every write batch to a version.Repo branch
+// through CommitRetry, so writes that race a concurrent GC pass are redone
+// server-side; if the retry budget is exhausted the client gets an explicit
+// msgErrRetry and resends.
 type Servlet struct {
 	ln net.Listener
 
-	mu  sync.Mutex
-	idx core.Index
+	mu    sync.Mutex
+	idx   core.Index
+	conns map[net.Conn]struct{}
+
+	repo   *version.Repo // nil for a memory-head servlet
+	branch string
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
-// NewServlet returns a servlet whose initial head is idx.
+// NewServlet returns a servlet whose initial head is idx, held in memory.
 func NewServlet(idx core.Index) *Servlet {
-	return &Servlet{idx: idx, closed: make(chan struct{})}
+	return &Servlet{idx: idx, conns: make(map[net.Conn]struct{}), closed: make(chan struct{})}
+}
+
+// NewServletRepo returns a servlet whose head is the given branch of repo:
+// every accepted write batch becomes a commit on that branch. The branch
+// must already exist (seed it with an initial commit first).
+func NewServletRepo(repo *version.Repo, branch string) (*Servlet, error) {
+	idx, err := repo.CheckoutBranch(branch)
+	if err != nil {
+		return nil, fmt.Errorf("forkbase: servlet branch: %w", err)
+	}
+	s := NewServlet(idx)
+	s.repo, s.branch = repo, branch
+	return s, nil
 }
 
 // Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
@@ -45,13 +70,23 @@ func (s *Servlet) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for connection handlers to finish.
+// Close drains the servlet: it stops accepting, lets every in-flight
+// request finish and its response flush, unblocks handlers parked waiting
+// for a next request, and returns when all connection handlers have exited.
 func (s *Servlet) Close() error {
 	close(s.closed)
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
+	// Expire pending reads so idle handlers notice the shutdown; handlers
+	// mid-request are past the read and finish writing their response
+	// before they check s.closed again.
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -75,10 +110,28 @@ func (s *Servlet) acceptLoop() {
 				continue
 			}
 		}
+		// Register before handling, under the same lock Close iterates, so
+		// a conn is either drained by Close or rejected here — never left
+		// parked in a read Close cannot see.
+		s.mu.Lock()
+		select {
+		case <-s.closed:
+			s.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			s.handleConn(conn)
 		}()
 	}
@@ -86,10 +139,29 @@ func (s *Servlet) acceptLoop() {
 
 func (s *Servlet) handleConn(conn net.Conn) {
 	for {
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
 		typ, payload, err := s.serveOne(conn)
 		if err != nil {
+			select {
+			case <-s.closed:
+				return // drain interrupted the read; not a protocol error
+			default:
+			}
 			if errors.Is(err, io.EOF) {
 				return
+			}
+			if errors.Is(err, version.ErrCommitRaced) {
+				// Transient by contract: the commit lost to a concurrent GC
+				// pass beyond the server-side retry budget. Tell the client
+				// to resend and keep the connection.
+				if writeMsg(conn, msgErrRetry, []byte(err.Error())) != nil {
+					return
+				}
+				continue
 			}
 			// Best effort error report, then drop the connection.
 			_ = writeMsg(conn, msgErr, []byte(err.Error()))
@@ -126,6 +198,9 @@ func (s *Servlet) serveOne(conn net.Conn) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
+		if s.repo != nil {
+			return s.commitBatch(entries)
+		}
 		s.mu.Lock()
 		next, err := s.idx.PutBatch(entries)
 		if err == nil {
@@ -147,6 +222,36 @@ func (s *Servlet) serveOne(conn net.Conn) (byte, []byte, error) {
 	default:
 		return 0, nil, fmt.Errorf("forkbase: unknown request type %d", typ)
 	}
+}
+
+// commitBatch applies one write batch as a commit on the servlet's branch.
+// CommitRetry absorbs ErrCommitRaced with backoff; if it still exhausts the
+// budget the raced error propagates and handleConn maps it to msgErrRetry.
+// The repo serializes commits itself, so s.mu is held only to publish the
+// new head for node serving.
+func (s *Servlet) commitBatch(entries []core.Entry) (byte, []byte, error) {
+	var next core.Index
+	_, err := version.CommitRetry(s.repo, s.branch,
+		fmt.Sprintf("forkbase: put %d entries", len(entries)),
+		func(idx core.Index) (core.Index, error) {
+			if idx == nil {
+				return nil, fmt.Errorf("forkbase: branch %q disappeared", s.branch)
+			}
+			n, err := idx.PutBatch(entries)
+			if err != nil {
+				return nil, err
+			}
+			next = n
+			return n, nil
+		})
+	if err != nil {
+		return 0, nil, err
+	}
+	s.mu.Lock()
+	s.idx = next
+	root, height := s.idx.RootHash(), s.headHeight()
+	s.mu.Unlock()
+	return msgRoot, encodeRoot(root, height), nil
 }
 
 // headHeight reports the head's tree height when it exposes one. Caller

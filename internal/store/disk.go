@@ -45,6 +45,7 @@ type DiskStore struct {
 	dirPath       string
 	opts          DiskOptions
 	removeOnClose bool
+	recov         RecoverySummary // fixed at open time, read-only after
 
 	ctr counters
 
@@ -96,6 +97,75 @@ type DiskOptions struct {
 	// its file size is rewritten to only its live records (default 0.5).
 	// Fully dead segments are always compacted; fully live ones never are.
 	CompactLiveFraction float64
+	// CrashHook, when set, is invoked at the named crash points of the
+	// write path (the Crash* constants) right before the step the name
+	// describes. It exists for fault injection: a test hook that panics
+	// simulates a process dying at exactly that instant, and the panic
+	// unwinds through the store's deferred unlocks, leaving the on-disk
+	// state for a reopen to recover. Never set in production.
+	CrashHook func(point string)
+}
+
+// Named crash points a DiskOptions.CrashHook observes. Each fires
+// immediately BEFORE the step it names, so a hook that panics leaves the
+// disk exactly as a crash at that instant would.
+const (
+	// CrashAppendRecord fires before a record's bytes enter the write
+	// buffer.
+	CrashAppendRecord = "disk.append-record"
+	// CrashSegmentRoll fires before the active segment rolls to a new one.
+	CrashSegmentRoll = "disk.segment-roll"
+	// CrashCompactRename fires after a compacted replacement segment is
+	// written and fsynced, before the atomic rename — crashing here leaves
+	// a *.compact orphan next to the intact original.
+	CrashCompactRename = "disk.compact.rename"
+	// CrashCompactRenamed fires after the rename installed the compacted
+	// segment, before the store reopens it.
+	CrashCompactRenamed = "disk.compact.renamed"
+	// CrashMetaRename fires after the new meta.bin.tmp is written and
+	// fsynced, before the rename — crashing here leaves a stale tmp file
+	// and the previous meta.bin intact.
+	CrashMetaRename = "disk.meta.rename"
+	// CrashMetaRenamed fires after meta.bin was atomically replaced,
+	// before the directory entry is fsynced.
+	CrashMetaRenamed = "disk.meta.renamed"
+)
+
+// CrashPoints lists every named DiskStore crash point, in write-path
+// order, for crash-consistency matrix tests that iterate them all.
+func CrashPoints() []string {
+	return []string{
+		CrashAppendRecord, CrashSegmentRoll,
+		CrashCompactRename, CrashCompactRenamed,
+		CrashMetaRename, CrashMetaRenamed,
+	}
+}
+
+// crash fires the configured crash hook, if any.
+func (d *DiskStore) crash(point string) {
+	if d.opts.CrashHook != nil {
+		d.opts.CrashHook(point)
+	}
+}
+
+// RecoverySummary reports what the rebuild-on-open scan found and repaired.
+// Every field zero (with MetaCorrupt false) means the store closed cleanly.
+type RecoverySummary struct {
+	// Segments is how many segment files the open scanned.
+	Segments int
+	// TornSegments counts segments whose tail held a torn or corrupt
+	// record (short header, implausible length, digest mismatch, short
+	// payload) that the scan truncated away.
+	TornSegments int
+	// TornBytes is the total bytes truncated from torn tails.
+	TornBytes int64
+	// CompactOrphans counts *.compact temporaries left by a crash
+	// mid-compaction and discarded (the original segments were intact).
+	CompactOrphans int
+	// MetaCorrupt reports that meta.bin failed to decode and was moved
+	// aside; the store opened with empty metadata, degrading persisted
+	// branch heads to manual log resume instead of wedging the open.
+	MetaCorrupt bool
 }
 
 // recordLoc locates one stored payload.
@@ -140,14 +210,6 @@ func OpenDiskStore(dir string, opts DiskOptions) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: disk: %w", err)
 	}
-	// A crash between writing a compacted replacement segment and renaming
-	// it over the original leaves a *.compact orphan; the original segment
-	// is still intact, so the orphan is simply discarded.
-	if tmps, err := filepath.Glob(filepath.Join(dir, "seg-*"+compactSuffix)); err == nil {
-		for _, tmp := range tmps {
-			_ = os.Remove(tmp)
-		}
-	}
 	d := &DiskStore{
 		dirPath:  dir,
 		opts:     opts,
@@ -155,6 +217,19 @@ func OpenDiskStore(dir string, opts DiskOptions) (*DiskStore, error) {
 		pending:  make(map[hash.Hash][]byte),
 		resident: make(map[hash.Hash][]byte),
 	}
+	// A crash between writing a compacted replacement segment and renaming
+	// it over the original leaves a *.compact orphan; the original segment
+	// is still intact, so the orphan is simply discarded. Likewise a crash
+	// mid meta rewrite leaves a stale meta.bin.tmp next to the intact (or
+	// absent) meta.bin.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "seg-*"+compactSuffix)); err == nil {
+		for _, tmp := range tmps {
+			if os.Remove(tmp) == nil {
+				d.recov.CompactOrphans++
+			}
+		}
+	}
+	_ = os.Remove(filepath.Join(dir, metaFileName+".tmp"))
 
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil {
@@ -173,6 +248,7 @@ func OpenDiskStore(dir string, opts DiskOptions) (*DiskStore, error) {
 		}
 		d.activeSize = size
 	}
+	d.recov.Segments = len(names)
 	// The recovered raw footprint is the unique footprint: duplicate Puts
 	// from earlier runs were never written.
 	d.ctr.rawNodes.Store(d.ctr.uniqueNodes.Load())
@@ -244,6 +320,8 @@ func (d *DiskStore) recoverSegment(id int, path string) (int64, error) {
 			f.Close()
 			return 0, fmt.Errorf("store: disk: truncating torn tail of %s: %w", filepath.Base(path), err)
 		}
+		d.recov.TornSegments++
+		d.recov.TornBytes += st.Size() - off
 	}
 	d.readers = append(d.readers, f)
 	return off, nil
@@ -336,12 +414,14 @@ func (d *DiskStore) putLocked(h hash.Hash, data []byte) {
 	}
 	rec := recordHeaderSize + int64(len(data))
 	if d.activeSize > 0 && d.activeSize+rec > d.opts.SegmentBytes {
+		d.crash(CrashSegmentRoll)
 		if err := d.flushLocked(); err == nil {
 			if err := d.appendSegment(); err != nil {
 				d.fail(err)
 			}
 		}
 	}
+	d.crash(CrashAppendRecord)
 	var hdr [recordHeaderSize]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(data)))
 	copy(hdr[4:], h[:])
@@ -411,6 +491,14 @@ func (d *DiskStore) Get(h hash.Hash) ([]byte, bool) {
 	loc, ok := d.locs[h]
 	var f *os.File
 	if ok {
+		// After Close the reader handles are gone (closeFiles nils the
+		// slice) while the directory may still name the record; degrade to
+		// a miss instead of indexing into nothing.
+		if int(loc.seg) >= len(d.readers) {
+			d.mu.RUnlock()
+			d.ctr.misses.Add(1)
+			return nil, false
+		}
 		f = d.readers[loc.seg]
 	}
 	d.mu.RUnlock()
@@ -463,6 +551,10 @@ func (d *DiskStore) SizeOf(h hash.Hash) int {
 // Dir returns the directory holding the segment files.
 func (d *DiskStore) Dir() string { return d.dirPath }
 
+// Recovery reports what the rebuild-on-open scan found and repaired. The
+// summary is fixed at open time.
+func (d *DiskStore) Recovery() RecoverySummary { return d.recov }
+
 // Segments returns how many segment files the store spans.
 func (d *DiskStore) Segments() int {
 	d.mu.RLock()
@@ -506,6 +598,24 @@ func (d *DiskStore) Close() error {
 		}
 	}
 	return d.err
+}
+
+// CrashClose abandons the store the way a process crash would: every file
+// handle is closed WITHOUT flushing the write buffer, nothing is fsynced,
+// and the segment directory is left in place even for ephemeral stores.
+// Records still sitting in the buffer are lost, exactly as they would be
+// when the process dies — which is the point: crash-consistency tests
+// CrashClose a store, reopen the directory, and assert the rebuild scan
+// recovers everything that had reached the OS. Production code has no
+// reason to call it.
+func (d *DiskStore) CrashClose() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	d.closeFiles()
 }
 
 // closeFiles closes all handles without flushing. Caller holds d.mu (or is

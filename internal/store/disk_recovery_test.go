@@ -1,0 +1,246 @@
+package store_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// This file is the store half of the crash-consistency matrix: each test
+// manufactures an on-disk state a crash can leave behind — torn tails,
+// orphaned compaction temporaries, stale meta temporaries, a buffer lost
+// with the process — reopens the directory, and asserts the rebuild scan
+// repairs it, reports it through RecoverySummary, and leaves the store
+// fully writable. The version-level matrix (internal/version) drives the
+// same states through commits and GC.
+
+// TestRecoverySummaryCleanOpen pins the baseline: a clean close leaves
+// nothing for recovery to report.
+func TestRecoverySummaryCleanOpen(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, store.DiskOptions{})
+	d.Put([]byte("clean"))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openDisk(t, dir, store.DiskOptions{})
+	defer re.Close()
+	r := re.Recovery()
+	if r.TornSegments != 0 || r.TornBytes != 0 || r.CompactOrphans != 0 || r.MetaCorrupt {
+		t.Fatalf("clean reopen reported recovery work: %+v", r)
+	}
+	if r.Segments != 1 {
+		t.Fatalf("Segments = %d, want 1", r.Segments)
+	}
+}
+
+// TestDiskStoreGarbageAppendRegression appends garbage over the segment
+// tail, reopens, and checks the full contract: the damage is measured in
+// RecoverySummary, physically truncated, and the append path continues
+// from the clean boundary — records written after recovery survive a
+// second reopen. This is the regression test for the append-offset
+// bookkeeping after a truncating rebuild.
+func TestDiskStoreGarbageAppendRegression(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, store.DiskOptions{})
+	const n = 40
+	hs := make([]hash.Hash, n)
+	for i := 0; i < n; i++ {
+		hs[i] = d.Put(diskBlob(i))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "seg-000000.seg")
+	garbage := []byte("not a record: partial header then noise \x00\xff\x13\x37")
+	appendBytes(t, seg, garbage)
+
+	re := openDisk(t, dir, store.DiskOptions{})
+	r := re.Recovery()
+	if r.TornSegments != 1 {
+		t.Fatalf("TornSegments = %d, want 1", r.TornSegments)
+	}
+	if r.TornBytes != int64(len(garbage)) {
+		t.Fatalf("TornBytes = %d, want %d", r.TornBytes, len(garbage))
+	}
+	// Continue appending from the truncated boundary, survive another
+	// close/reopen cycle with everything intact.
+	extra := re.Put([]byte("appended after truncating rebuild"))
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2 := openDisk(t, dir, store.DiskOptions{})
+	defer re2.Close()
+	if r := re2.Recovery(); r.TornSegments != 0 || r.TornBytes != 0 {
+		t.Fatalf("second reopen found damage again: %+v", r)
+	}
+	for i, h := range hs {
+		got, ok := re2.Get(h)
+		if !ok || !bytes.Equal(got, diskBlob(i)) {
+			t.Fatalf("node %d lost: %q, %v", i, got, ok)
+		}
+	}
+	if got, ok := re2.Get(extra); !ok || string(got) != "appended after truncating rebuild" {
+		t.Fatalf("post-recovery append lost across reopen: %q, %v", got, ok)
+	}
+}
+
+// TestDiskStoreCrashCloseSemantics checks CrashClose models a process
+// death: flushed records survive the reopen, buffered ones are lost, and
+// re-putting the lost record works.
+func TestDiskStoreCrashCloseSemantics(t *testing.T) {
+	dir := t.TempDir()
+	// Large FlushBytes so the second Put stays in the write buffer.
+	d := openDisk(t, dir, store.DiskOptions{FlushBytes: 1 << 20})
+	flushed := d.Put([]byte("reached the OS"))
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buffered := d.Put([]byte("still in the buffer"))
+	d.CrashClose()
+
+	re := openDisk(t, dir, store.DiskOptions{})
+	defer re.Close()
+	if got, ok := re.Get(flushed); !ok || string(got) != "reached the OS" {
+		t.Fatalf("flushed record lost to crash: %q, %v", got, ok)
+	}
+	if _, ok := re.Get(buffered); ok {
+		t.Fatal("buffered record survived a process crash")
+	}
+	if re.Has(buffered) {
+		t.Fatal("Has reports the lost record")
+	}
+	// The caller's retry path: re-put and it is durable again.
+	if h := re.Put([]byte("still in the buffer")); h != buffered {
+		t.Fatalf("re-put digest changed: %v != %v", h, buffered)
+	}
+	if _, ok := re.Get(buffered); !ok {
+		t.Fatal("re-put record unreadable")
+	}
+}
+
+// TestDiskStoreCompactCrashStates drives the two compaction crash points
+// via CrashHook and checks each leaves a state the next open repairs: a
+// crash before the rename leaves an orphan .compact (counted, discarded,
+// original intact); a crash after the rename leaves the compacted file as
+// the segment (fewer bytes, same live records).
+func TestDiskStoreCompactCrashStates(t *testing.T) {
+	for _, point := range []string{store.CrashCompactRename, store.CrashCompactRenamed} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			crash := ""
+			d, err := store.OpenDiskStore(dir, store.DiskOptions{
+				CrashHook: func(p string) {
+					if p == crash {
+						panic("crash:" + p)
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 30
+			hs := make([]hash.Hash, n)
+			for i := 0; i < n; i++ {
+				hs[i] = d.Put(diskBlob(i))
+			}
+			crash = point
+			func() {
+				defer func() {
+					if r := recover(); r != "crash:"+point {
+						t.Fatalf("recover = %v", r)
+					}
+				}()
+				// Nearly everything dies: the segment crosses the compaction
+				// threshold and the crash point is reached mid-sweep.
+				d.Sweep(func(h hash.Hash) bool { return h == hs[0] })
+			}()
+			d.CrashClose()
+
+			re := openDisk(t, dir, store.DiskOptions{})
+			defer re.Close()
+			r := re.Recovery()
+			wantOrphans := 0
+			if point == store.CrashCompactRename {
+				wantOrphans = 1 // temp written, never swapped in
+			}
+			if r.CompactOrphans != wantOrphans {
+				t.Fatalf("CompactOrphans = %d, want %d (%+v)", r.CompactOrphans, wantOrphans, r)
+			}
+			if _, err := os.Stat(filepath.Join(dir, "seg-000000.seg.compact")); !os.IsNotExist(err) {
+				t.Fatalf("orphan .compact not discarded: %v", err)
+			}
+			// The survivor reads back either way. The condemned records may
+			// be resurrected (crash before the swap) or gone (after) — both
+			// are valid recovery states; what must never happen is a missing
+			// survivor or an unreadable segment.
+			if got, ok := re.Get(hs[0]); !ok || !bytes.Equal(got, diskBlob(0)) {
+				t.Fatalf("survivor lost across compaction crash: %q, %v", got, ok)
+			}
+			h := re.Put([]byte("write after compaction crash"))
+			if _, ok := re.Get(h); !ok {
+				t.Fatal("store not writable after compaction-crash recovery")
+			}
+		})
+	}
+}
+
+// TestDiskStoreMetaCrashStates drives the meta-rename crash points and
+// checks the stale temp file is cleaned and metadata lands on exactly one
+// side of the rename: the old value (crash before) or the new (after),
+// never a torn mix and never a wedged open.
+func TestDiskStoreMetaCrashStates(t *testing.T) {
+	for _, point := range []string{store.CrashMetaRename, store.CrashMetaRenamed} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			crash := ""
+			d, err := store.OpenDiskStore(dir, store.DiskOptions{
+				CrashHook: func(p string) {
+					if p == crash {
+						panic("crash:" + p)
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.SetMeta("head", []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			crash = point
+			func() {
+				defer func() {
+					if r := recover(); r != "crash:"+point {
+						t.Fatalf("recover = %v", r)
+					}
+				}()
+				d.SetMeta("head", []byte("new"))
+			}()
+			d.CrashClose()
+
+			re := openDisk(t, dir, store.DiskOptions{})
+			defer re.Close()
+			if _, err := os.Stat(filepath.Join(dir, "meta.bin.tmp")); !os.IsNotExist(err) {
+				t.Fatalf("stale meta temp not removed: %v", err)
+			}
+			v, ok, err := re.GetMeta("head")
+			if err != nil || !ok {
+				t.Fatalf("GetMeta after meta crash = ok=%v err=%v", ok, err)
+			}
+			want := "old"
+			if point == store.CrashMetaRenamed {
+				want = "new"
+			}
+			if string(v) != want {
+				t.Fatalf("meta after crash at %s = %q, want %q", point, v, want)
+			}
+			if re.Recovery().MetaCorrupt {
+				t.Fatal("atomic rename crash flagged the meta file as corrupt")
+			}
+		})
+	}
+}

@@ -215,6 +215,7 @@ func (d *DiskStore) compactSegment(id int, recs []liveRec) error {
 	// never observe a half-written segment. If the rename fails the
 	// original file is intact: reattach the writer and keep serving from
 	// the still-installed old reader.
+	d.crash(CrashCompactRename)
 	if id == d.activeID && d.active != nil {
 		if err := d.active.Close(); err != nil {
 			d.fail(err)
@@ -230,6 +231,7 @@ func (d *DiskStore) compactSegment(id int, recs []liveRec) error {
 		}
 		return fmt.Errorf("store: disk: compact swap %s: %w", filepath.Base(path), err)
 	}
+	d.crash(CrashCompactRenamed)
 	rf, err := os.Open(path)
 	if err != nil {
 		// The directory entry now names the compacted file but it could
@@ -283,8 +285,9 @@ func (d *DiskStore) DiskUsage() (int64, error) {
 }
 
 // DiskUsageOf reports the on-disk byte footprint behind s when s is a
-// DiskStore (possibly wrapped in a CachedStore); ok is false for purely
-// in-memory stores.
+// DiskStore (possibly wrapped in a CachedStore, or in any foreign wrapper
+// exposing a DiskUsage method, such as faultstore.FaultStore); ok is false
+// for purely in-memory stores.
 func DiskUsageOf(s Store) (n int64, ok bool) {
 	switch t := s.(type) {
 	case *DiskStore:
@@ -292,6 +295,10 @@ func DiskUsageOf(s Store) (n int64, ok bool) {
 		return u, err == nil
 	case *CachedStore:
 		return DiskUsageOf(t.backing)
+	}
+	if u, ok := s.(interface{ DiskUsage() (int64, error) }); ok {
+		n, err := u.DiskUsage()
+		return n, err == nil
 	}
 	return 0, false
 }

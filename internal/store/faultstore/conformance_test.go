@@ -1,0 +1,56 @@
+package faultstore_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/store/faultstore"
+	"repro/internal/store/storetest"
+)
+
+// TestConformance runs the shared store contract against FaultStore over
+// every built-in backend. The injector is configured benignly — verify-on-
+// read scrubbing plus an occasional sub-millisecond delay — so the suite's
+// exact-behavior assertions hold while every operation still crosses the
+// fault machinery. Failure schedules are separately covered by the
+// storetest error-path cases and the unit tests here.
+func TestConformance(t *testing.T) {
+	cfg := faultstore.Config{
+		Seed:        42,
+		VerifyReads: true,
+		Delay:       50 * time.Microsecond,
+		DelayJitter: 50 * time.Microsecond,
+		DelayEvery:  251,
+	}
+	backends := []struct {
+		name string
+		new  storetest.Factory
+	}{
+		{"Mem", func(t *testing.T) store.Store {
+			return faultstore.Wrap(store.NewMemStore(), cfg)
+		}},
+		{"Sharded", func(t *testing.T) store.Store {
+			return faultstore.Wrap(store.NewShardedStore(8), cfg)
+		}},
+		{"Disk", func(t *testing.T) store.Store {
+			d, err := store.OpenDiskStore(t.TempDir(), store.DiskOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return faultstore.Wrap(d, cfg)
+		}},
+		{"CachedDisk", func(t *testing.T) store.Store {
+			d, err := store.OpenDiskStore(t.TempDir(), store.DiskOptions{SegmentBytes: 4096, FlushBytes: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return faultstore.Wrap(store.NewCachedStore(d, 1<<20), cfg)
+		}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) { storetest.RunStoreTests(t, b.new) })
+	}
+}

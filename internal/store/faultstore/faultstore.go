@@ -1,0 +1,417 @@
+package faultstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// ErrInjected is the transient error every scheduled fault returns. It is
+// always wrapped with the operation name; match with errors.Is.
+var ErrInjected = errors.New("faultstore: injected transient fault")
+
+// Config selects which faults a FaultStore injects. The zero value injects
+// nothing: every operation forwards untouched. All *Every fields schedule
+// counter-based faults — every Nth call to that operation fails — so the
+// fault count for a given operation count is deterministic even under
+// concurrency; 0 disables that family.
+type Config struct {
+	// Seed feeds the latency jitter; fault scheduling itself is
+	// counter-based and seed-independent.
+	Seed int64
+
+	// GetFailEvery makes every Nth Get report a miss without consulting
+	// the wrapped store.
+	GetFailEvery int
+	// PutFailEvery makes every Nth Put (single or within a batch) drop
+	// the write: the digest is still returned, but nothing reaches the
+	// wrapped store. The caller's retry/re-check discipline must catch it.
+	PutFailEvery int
+	// DeleteFailEvery makes every Nth Delete return ErrInjected.
+	DeleteFailEvery int
+	// SweepFailEvery makes every Nth Sweep return ErrInjected before
+	// touching the wrapped store.
+	SweepFailEvery int
+	// MetaFailEvery makes every Nth SetMeta or GetMeta return ErrInjected.
+	MetaFailEvery int
+	// FlushFailEvery makes every Nth Flush return ErrInjected.
+	FlushFailEvery int
+
+	// Delay, when positive, is slept before every DelayEvery-th forwarded
+	// operation (every operation when DelayEvery <= 1), plus uniform
+	// seeded jitter in [0, DelayJitter).
+	Delay       time.Duration
+	DelayJitter time.Duration
+	DelayEvery  int
+
+	// VerifyReads re-hashes every Get payload against its content address
+	// and turns a mismatch into a miss (counted as a CorruptRead) — scrub
+	// on read.
+	VerifyReads bool
+}
+
+// Counters is a snapshot of the faults a FaultStore has injected.
+type Counters struct {
+	GetFaults    int64 // Gets turned into misses
+	PutDrops     int64 // Puts silently dropped
+	DeleteFaults int64 // Deletes failed with ErrInjected
+	SweepFaults  int64 // Sweeps failed with ErrInjected
+	MetaFaults   int64 // SetMeta/GetMeta failed with ErrInjected
+	FlushFaults  int64 // Flushes failed with ErrInjected
+	Delays       int64 // operations that slept
+	CorruptReads int64 // VerifyReads mismatches served as misses
+}
+
+// CrashPanic is the value a fired crash point panics with. Tests recover it
+// at the operation boundary (see Recovered) and then reopen or re-verify,
+// simulating a process death at exactly the armed point.
+type CrashPanic struct {
+	// Point is the crash point that fired.
+	Point string
+}
+
+// Error makes the panic value readable when it escapes a test harness.
+func (c CrashPanic) Error() string { return fmt.Sprintf("faultstore: crash at %s", c.Point) }
+
+// Recovered inspects a recover() result, returning the crash point when the
+// panic was an armed FaultStore crash. Any other panic value reports false
+// — re-panic those, they are real bugs.
+func Recovered(r any) (string, bool) {
+	if c, ok := r.(CrashPanic); ok {
+		return c.Point, true
+	}
+	return "", false
+}
+
+// Named crash points of the wrapper itself, each firing immediately before
+// the step it names. DiskStore's internal points (store.CrashPoints) can be
+// armed on the same FaultStore via Hook.
+const (
+	// CrashPut fires before a single Put forwards.
+	CrashPut = "fault.put"
+	// CrashPutBatchMid fires halfway through forwarding a batch, leaving
+	// the first half applied and the rest not — the torn-batch shape.
+	CrashPutBatchMid = "fault.putbatch-mid"
+	// CrashDelete fires before a Delete forwards.
+	CrashDelete = "fault.delete"
+	// CrashSweep fires before a Sweep forwards.
+	CrashSweep = "fault.sweep"
+	// CrashSetMeta fires before a SetMeta forwards.
+	CrashSetMeta = "fault.setmeta"
+)
+
+// CrashPoints lists the wrapper's crash points in write-path order, for
+// matrix tests that iterate them all.
+func CrashPoints() []string {
+	return []string{CrashPut, CrashPutBatchMid, CrashDelete, CrashSweep, CrashSetMeta}
+}
+
+// FaultStore wraps a store.Store and injects configured faults in front of
+// every forwarded operation. It implements the full capability surface of
+// the store contract; capabilities the wrapped store lacks report the
+// store package's usual capability errors. Safe for concurrent use.
+type FaultStore struct {
+	base store.Store
+	cfg  atomic.Pointer[Config]
+
+	// Per-operation arrival counters driving the *Every schedules.
+	getN, putN, delN, sweepN, metaN, flushN, opN atomic.Int64
+
+	ctr struct {
+		get, put, del, sweep, meta, flush, delays, corrupt atomic.Int64
+	}
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	arms map[string]int // crash point → arrivals remaining before firing
+}
+
+// Wrap returns a FaultStore injecting cfg's faults in front of base.
+func Wrap(base store.Store, cfg Config) *FaultStore {
+	f := &FaultStore{
+		base: base,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		arms: make(map[string]int),
+	}
+	f.cfg.Store(&cfg)
+	return f
+}
+
+// Unwrap returns the wrapped store.
+func (f *FaultStore) Unwrap() store.Store { return f.base }
+
+// Heal disables every transient-fault and latency schedule (armed crash
+// points stay armed). The two-phase tests use it: inject, observe the
+// failure, heal, assert the retry leaves clean state.
+func (f *FaultStore) Heal() {
+	old := f.cfg.Load()
+	f.cfg.Store(&Config{Seed: old.Seed, VerifyReads: old.VerifyReads})
+}
+
+// Counters snapshots the injected-fault accounting.
+func (f *FaultStore) Counters() Counters {
+	return Counters{
+		GetFaults:    f.ctr.get.Load(),
+		PutDrops:     f.ctr.put.Load(),
+		DeleteFaults: f.ctr.del.Load(),
+		SweepFaults:  f.ctr.sweep.Load(),
+		MetaFaults:   f.ctr.meta.Load(),
+		FlushFaults:  f.ctr.flush.Load(),
+		Delays:       f.ctr.delays.Load(),
+		CorruptReads: f.ctr.corrupt.Load(),
+	}
+}
+
+// ArmCrash makes the nth arrival (n >= 1) at the named crash point panic
+// with CrashPanic. Arming a point replaces any earlier arming; n <= 0
+// disarms it. Point names are free-form so DiskStore's internal points can
+// be armed here too and routed in via Hook.
+func (f *FaultStore) ArmCrash(point string, n int) {
+	f.mu.Lock()
+	if n <= 0 {
+		delete(f.arms, point)
+	} else {
+		f.arms[point] = n
+	}
+	f.mu.Unlock()
+}
+
+// Hook is a DiskOptions.CrashHook adapter: route a DiskStore's internal
+// crash points through this FaultStore's arming machinery, so one harness
+// arms wrapper-level and disk-internal points uniformly. Because the disk
+// store must exist before the wrapper can wrap it, capture the wrapper
+// through a pointer variable:
+//
+//	var fs *faultstore.FaultStore
+//	d, _ := store.OpenDiskStore(dir, store.DiskOptions{
+//	    CrashHook: func(p string) { fs.Hook(p) },
+//	})
+//	fs = faultstore.Wrap(d, cfg)
+func (f *FaultStore) Hook(point string) { f.hit(point) }
+
+// hit fires the crash point if armed and due.
+func (f *FaultStore) hit(point string) {
+	f.mu.Lock()
+	n, ok := f.arms[point]
+	if !ok {
+		f.mu.Unlock()
+		return
+	}
+	n--
+	if n > 0 {
+		f.arms[point] = n
+		f.mu.Unlock()
+		return
+	}
+	delete(f.arms, point)
+	f.mu.Unlock()
+	panic(CrashPanic{Point: point})
+}
+
+// due advances an arrival counter and reports whether this arrival is
+// scheduled to fault.
+func due(n *atomic.Int64, every int) bool {
+	if every <= 0 {
+		return false
+	}
+	return n.Add(1)%int64(every) == 0
+}
+
+// delay sleeps the configured latency when this operation is scheduled for
+// one.
+func (f *FaultStore) delay() {
+	cfg := f.cfg.Load()
+	d := cfg.Delay
+	if d <= 0 {
+		return
+	}
+	every := cfg.DelayEvery
+	if every <= 1 || f.opN.Add(1)%int64(every) == 0 {
+		if j := cfg.DelayJitter; j > 0 {
+			f.mu.Lock()
+			d += time.Duration(f.rng.Int63n(int64(j)))
+			f.mu.Unlock()
+		}
+		f.ctr.delays.Add(1)
+		time.Sleep(d)
+	}
+}
+
+// Put implements store.Store. A scheduled fault drops the write: the
+// digest is returned but nothing reaches the wrapped store.
+func (f *FaultStore) Put(data []byte) hash.Hash {
+	f.delay()
+	if due(&f.putN, f.cfg.Load().PutFailEvery) {
+		f.ctr.put.Add(1)
+		return hash.Of(data)
+	}
+	f.hit(CrashPut)
+	return f.base.Put(data)
+}
+
+// Get implements store.Store. A scheduled fault reports a miss; with
+// VerifyReads set, payloads failing to re-hash to their address are
+// reported as misses too.
+func (f *FaultStore) Get(h hash.Hash) ([]byte, bool) {
+	f.delay()
+	if due(&f.getN, f.cfg.Load().GetFailEvery) {
+		f.ctr.get.Add(1)
+		return nil, false
+	}
+	data, ok := f.base.Get(h)
+	if ok && f.cfg.Load().VerifyReads && hash.Of(data) != h {
+		f.ctr.corrupt.Add(1)
+		return nil, false
+	}
+	return data, ok
+}
+
+// Has implements store.Store, forwarding unconditionally: Has is the
+// commit gate's race detector, and faulting it would simulate a broken
+// algorithm, not a broken disk.
+func (f *FaultStore) Has(h hash.Hash) bool { return f.base.Has(h) }
+
+// Stats implements store.Store by forwarding.
+func (f *FaultStore) Stats() store.Stats { return f.base.Stats() }
+
+// PutBatch implements store.Batcher: items are hashed here, then follow
+// the PutBatchHashed path so per-item drop scheduling applies uniformly.
+func (f *FaultStore) PutBatch(items [][]byte) []hash.Hash {
+	hs := hash.OfAll(items)
+	f.PutBatchHashed(hs, items)
+	return hs
+}
+
+// PutBatchHashed implements store.HashedBatcher. With no put faults
+// configured the whole batch forwards as one batch (preserving the wrapped
+// store's batch atomicity under its write barrier); with put faults
+// configured, items forward one by one so each is a separate drop
+// candidate. The CrashPutBatchMid point fires between the two halves of
+// the batch either way.
+func (f *FaultStore) PutBatchHashed(hashes []hash.Hash, items [][]byte) {
+	f.delay()
+	if len(items) == 0 {
+		return
+	}
+	crashAt := -1
+	f.mu.Lock()
+	if _, ok := f.arms[CrashPutBatchMid]; ok {
+		crashAt = len(items) / 2
+	}
+	f.mu.Unlock()
+	putEvery := f.cfg.Load().PutFailEvery
+	if putEvery <= 0 && crashAt < 0 {
+		store.PutBatchHashed(f.base, hashes, items)
+		return
+	}
+	for i, data := range items {
+		if i == crashAt {
+			f.hit(CrashPutBatchMid)
+		}
+		if due(&f.putN, putEvery) {
+			f.ctr.put.Add(1)
+			continue
+		}
+		f.base.Put(data)
+	}
+}
+
+// Delete implements store.Deleter.
+func (f *FaultStore) Delete(h hash.Hash) (bool, error) {
+	f.delay()
+	if due(&f.delN, f.cfg.Load().DeleteFailEvery) {
+		f.ctr.del.Add(1)
+		return false, fmt.Errorf("delete: %w", ErrInjected)
+	}
+	f.hit(CrashDelete)
+	return store.Delete(f.base, h)
+}
+
+// Sweep implements store.Sweeper. A scheduled fault fails before the
+// wrapped store is touched, so the store's contents and accounting are
+// exactly as if the sweep had never been attempted.
+func (f *FaultStore) Sweep(live store.LiveFunc) (store.SweepStats, error) {
+	f.delay()
+	if due(&f.sweepN, f.cfg.Load().SweepFailEvery) {
+		f.ctr.sweep.Add(1)
+		return store.SweepStats{}, fmt.Errorf("sweep: %w", ErrInjected)
+	}
+	f.hit(CrashSweep)
+	return store.Sweep(f.base, live)
+}
+
+// SetMeta implements store.MetaStore.
+func (f *FaultStore) SetMeta(key string, value []byte) error {
+	f.delay()
+	if due(&f.metaN, f.cfg.Load().MetaFailEvery) {
+		f.ctr.meta.Add(1)
+		return fmt.Errorf("setmeta: %w", ErrInjected)
+	}
+	f.hit(CrashSetMeta)
+	return store.SetMeta(f.base, key, value)
+}
+
+// GetMeta implements store.MetaStore.
+func (f *FaultStore) GetMeta(key string) ([]byte, bool, error) {
+	f.delay()
+	if due(&f.metaN, f.cfg.Load().MetaFailEvery) {
+		f.ctr.meta.Add(1)
+		return nil, false, fmt.Errorf("getmeta: %w", ErrInjected)
+	}
+	return store.GetMeta(f.base, key)
+}
+
+// ArmBarrier implements store.BarrierStore by forwarding unconditionally
+// (see the package comment on why barriers are never faulted).
+func (f *FaultStore) ArmBarrier() (*store.Barrier, error) { return store.ArmBarrier(f.base) }
+
+// DisarmBarrier implements store.BarrierStore by forwarding.
+func (f *FaultStore) DisarmBarrier() { store.DisarmBarrier(f.base) }
+
+// Flush implements store.Flusher.
+func (f *FaultStore) Flush() error {
+	if due(&f.flushN, f.cfg.Load().FlushFailEvery) {
+		f.ctr.flush.Add(1)
+		return fmt.Errorf("flush: %w", ErrInjected)
+	}
+	return store.Flush(f.base)
+}
+
+// DiskUsage reports the wrapped store's on-disk footprint when it has one
+// (store.DiskUsageOf unwraps through this method), so retention and fault
+// experiments can measure disk behind the injector.
+func (f *FaultStore) DiskUsage() (int64, error) {
+	if n, ok := store.DiskUsageOf(f.base); ok {
+		return n, nil
+	}
+	return 0, fmt.Errorf("faultstore: wrapped %T has no disk usage", f.base)
+}
+
+// Close closes the wrapped store when it is closeable; repeated calls
+// forward repeatedly, relying on the wrapped store's own close-idempotence
+// (which the conformance suite checks).
+func (f *FaultStore) Close() error {
+	if c, ok := f.base.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Compile-time checks: the wrapper carries the full capability surface.
+var (
+	_ store.Store         = (*FaultStore)(nil)
+	_ store.HashedBatcher = (*FaultStore)(nil)
+	_ store.Deleter       = (*FaultStore)(nil)
+	_ store.Sweeper       = (*FaultStore)(nil)
+	_ store.MetaStore     = (*FaultStore)(nil)
+	_ store.BarrierStore  = (*FaultStore)(nil)
+	_ store.Flusher       = (*FaultStore)(nil)
+	_ io.Closer           = (*FaultStore)(nil)
+)

@@ -1,0 +1,307 @@
+package faultstore_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/hash"
+	"repro/internal/store"
+	"repro/internal/store/faultstore"
+)
+
+func blob(i int) []byte { return []byte(fmt.Sprintf("fault-node-%04d", i)) }
+
+// TestGetFaultScheduleIsDeterministic checks the counter-based schedule:
+// every Nth Get misses, independent of seed, and the same run repeats
+// identically.
+func TestGetFaultScheduleIsDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		fs := faultstore.Wrap(store.NewMemStore(), faultstore.Config{Seed: seed, GetFailEvery: 3})
+		h := fs.Put([]byte("x"))
+		pattern := make([]bool, 12)
+		for i := range pattern {
+			_, ok := fs.Get(h)
+			pattern[i] = ok
+		}
+		return pattern
+	}
+	a, b := run(1), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule depends on seed at op %d", i)
+		}
+		wantOK := (i+1)%3 != 0
+		if a[i] != wantOK {
+			t.Fatalf("op %d: ok=%v, want %v", i, a[i], wantOK)
+		}
+	}
+	fs := faultstore.Wrap(store.NewMemStore(), faultstore.Config{GetFailEvery: 3})
+	h := fs.Put([]byte("x"))
+	for i := 0; i < 12; i++ {
+		fs.Get(h)
+	}
+	if c := fs.Counters(); c.GetFaults != 4 {
+		t.Fatalf("GetFaults = %d, want 4", c.GetFaults)
+	}
+}
+
+// TestPutDropAndRetry pins the transient-write contract: a dropped Put
+// leaves no trace in the wrapped store, and the retry stores exactly one
+// record — no ghosts, no duplicates.
+func TestPutDropAndRetry(t *testing.T) {
+	base := store.NewMemStore()
+	fs := faultstore.Wrap(base, faultstore.Config{PutFailEvery: 2})
+	a := fs.Put([]byte("first"))  // forwarded (op 1)
+	b := fs.Put([]byte("second")) // dropped (op 2)
+	if b != hash.Of([]byte("second")) {
+		t.Fatalf("dropped Put returned wrong digest")
+	}
+	if _, ok := fs.Get(b); ok {
+		t.Fatal("dropped Put is readable")
+	}
+	if got := fs.Counters().PutDrops; got != 1 {
+		t.Fatalf("PutDrops = %d, want 1", got)
+	}
+	// Retry lands (op 3) and the store holds exactly the two distinct
+	// records, with accounting identical to two clean Puts.
+	if got := fs.Put([]byte("second")); got != b {
+		t.Fatalf("retry digest mismatch")
+	}
+	for _, h := range []hash.Hash{a, b} {
+		if _, ok := fs.Get(h); !ok {
+			t.Fatalf("record %v missing after retry", h)
+		}
+	}
+	st := base.Stats()
+	if st.UniqueNodes != 2 || st.RawNodes != 2 || st.DedupHits != 0 {
+		t.Fatalf("ghost records after drop+retry: %+v", st)
+	}
+}
+
+// TestBatchDropsAreIndividual checks per-item drop scheduling inside a
+// batch: one scheduled drop removes exactly one record.
+func TestBatchDropsAreIndividual(t *testing.T) {
+	base := store.NewMemStore()
+	fs := faultstore.Wrap(base, faultstore.Config{PutFailEvery: 4})
+	items := make([][]byte, 8)
+	for i := range items {
+		items[i] = blob(i)
+	}
+	hs := fs.PutBatch(items)
+	missing := 0
+	for _, h := range hs {
+		if _, ok := base.Get(h); !ok {
+			missing++
+		}
+	}
+	if missing != 2 {
+		t.Fatalf("%d records dropped from batch of 8 with PutFailEvery=4, want 2", missing)
+	}
+	if got := fs.Counters().PutDrops; got != 2 {
+		t.Fatalf("PutDrops = %d, want 2", got)
+	}
+}
+
+// TestTransientErrorsWrapErrInjected checks every error-returning path
+// reports a value matching ErrInjected and leaves the wrapped store
+// untouched.
+func TestTransientErrorsWrapErrInjected(t *testing.T) {
+	base := store.NewMemStore()
+	fs := faultstore.Wrap(base, faultstore.Config{
+		DeleteFailEvery: 1, SweepFailEvery: 1, MetaFailEvery: 1, FlushFailEvery: 1,
+	})
+	h := base.Put([]byte("victim"))
+	if _, err := fs.Delete(h); !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("Delete error = %v", err)
+	}
+	if _, ok := base.Get(h); !ok {
+		t.Fatal("injected Delete fault still deleted the node")
+	}
+	if _, err := fs.Sweep(func(hash.Hash) bool { return false }); !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("Sweep error = %v", err)
+	}
+	if _, ok := base.Get(h); !ok {
+		t.Fatal("injected Sweep fault still swept the node")
+	}
+	if err := fs.SetMeta("k", []byte("v")); !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("SetMeta error = %v", err)
+	}
+	if _, ok, _ := base.GetMeta("k"); ok {
+		t.Fatal("injected SetMeta fault still wrote metadata")
+	}
+	if err := fs.Flush(); !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("Flush error = %v", err)
+	}
+	// Heal: everything works again.
+	fs.Heal()
+	if ok, err := fs.Delete(h); err != nil || !ok {
+		t.Fatalf("Delete after Heal = %v, %v", ok, err)
+	}
+	if err := fs.SetMeta("k", []byte("v")); err != nil {
+		t.Fatalf("SetMeta after Heal: %v", err)
+	}
+}
+
+// TestCrashPointFiresOnNthArrival checks ArmCrash(point, n) semantics and
+// the Recovered helper.
+func TestCrashPointFiresOnNthArrival(t *testing.T) {
+	fs := faultstore.Wrap(store.NewMemStore(), faultstore.Config{})
+	fs.ArmCrash(faultstore.CrashPut, 3)
+	crashed := ""
+	func() {
+		defer func() {
+			if p, ok := faultstore.Recovered(recover()); ok {
+				crashed = p
+			}
+		}()
+		fs.Put([]byte("a"))
+		fs.Put([]byte("b"))
+		fs.Put([]byte("c")) // third arrival: fires before forwarding
+		t.Error("third Put did not crash")
+	}()
+	if crashed != faultstore.CrashPut {
+		t.Fatalf("recovered point = %q", crashed)
+	}
+	// The crashing Put never forwarded, earlier ones did.
+	if _, ok := fs.Get(hash.Of([]byte("c"))); ok {
+		t.Fatal("crashing Put reached the store")
+	}
+	if _, ok := fs.Get(hash.Of([]byte("b"))); !ok {
+		t.Fatal("pre-crash Put lost")
+	}
+	// The point disarmed itself: subsequent Puts proceed.
+	fs.Put([]byte("c"))
+	if _, ok := fs.Get(hash.Of([]byte("c"))); !ok {
+		t.Fatal("Put after crash recovery did not proceed")
+	}
+	if p, ok := faultstore.Recovered("unrelated"); ok {
+		t.Fatalf("Recovered accepted a foreign panic value: %q", p)
+	}
+}
+
+// TestMidBatchCrashLeavesPrefix checks CrashPutBatchMid: the first half of
+// the batch lands, the rest does not — the torn-batch disk state the
+// crash-consistency matrix reopens from.
+func TestMidBatchCrashLeavesPrefix(t *testing.T) {
+	base := store.NewMemStore()
+	fs := faultstore.Wrap(base, faultstore.Config{})
+	items := make([][]byte, 10)
+	for i := range items {
+		items[i] = blob(i)
+	}
+	fs.ArmCrash(faultstore.CrashPutBatchMid, 1)
+	func() {
+		defer func() {
+			if _, ok := faultstore.Recovered(recover()); !ok {
+				t.Error("batch did not crash")
+			}
+		}()
+		fs.PutBatch(items)
+	}()
+	for i, it := range items {
+		_, ok := base.Get(hash.Of(it))
+		if want := i < 5; ok != want {
+			t.Fatalf("item %d present=%v after mid-batch crash, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestHookRoutesDiskCrashPoints arms a DiskStore-internal crash point on
+// the wrapper and checks the panic surfaces through the store's own write
+// path, leaving on-disk state a reopen recovers.
+func TestHookRoutesDiskCrashPoints(t *testing.T) {
+	dir := t.TempDir()
+	var fs *faultstore.FaultStore
+	d, err := store.OpenDiskStore(dir, store.DiskOptions{
+		CrashHook: func(p string) { fs.Hook(p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs = faultstore.Wrap(d, faultstore.Config{})
+	fs.Put([]byte("survives"))
+	if err := fs.Flush(); err != nil { // unflushed appends die with the process
+		t.Fatal(err)
+	}
+	fs.ArmCrash(store.CrashAppendRecord, 1)
+	func() {
+		defer func() {
+			if p, ok := faultstore.Recovered(recover()); !ok || p != store.CrashAppendRecord {
+				t.Errorf("recover = %q, %v", p, ok)
+			}
+		}()
+		fs.Put([]byte("torn"))
+		t.Error("append did not crash")
+	}()
+	d.CrashClose()
+	re, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer re.Close()
+	if got, ok := re.Get(hash.Of([]byte("survives"))); !ok || !bytes.Equal(got, []byte("survives")) {
+		t.Fatal("pre-crash record lost across reopen")
+	}
+	if _, ok := re.Get(hash.Of([]byte("torn"))); ok {
+		t.Fatal("record from the crashed append resurrected")
+	}
+}
+
+// corruptibleStore serves tampered bytes for chosen digests, to exercise
+// verify-on-read (no built-in backend can be corrupted through its public
+// surface — that is the point of content addressing).
+type corruptibleStore struct {
+	*store.MemStore
+	bad map[hash.Hash]bool
+}
+
+func (c *corruptibleStore) Get(h hash.Hash) ([]byte, bool) {
+	data, ok := c.MemStore.Get(h)
+	if ok && c.bad[h] {
+		tampered := append([]byte(nil), data...)
+		tampered[0] ^= 0xff
+		return tampered, true
+	}
+	return data, ok
+}
+
+// TestVerifyReadsCatchesCorruption checks scrub-on-read: a payload that no
+// longer re-hashes to its address is served as a miss and counted.
+func TestVerifyReadsCatchesCorruption(t *testing.T) {
+	cs := &corruptibleStore{MemStore: store.NewMemStore(), bad: map[hash.Hash]bool{}}
+	fs := faultstore.Wrap(cs, faultstore.Config{VerifyReads: true})
+	good := fs.Put([]byte("intact"))
+	bad := fs.Put([]byte("rotten"))
+	cs.bad[bad] = true
+	if _, ok := fs.Get(good); !ok {
+		t.Fatal("intact node rejected")
+	}
+	if _, ok := fs.Get(bad); ok {
+		t.Fatal("corrupt node served")
+	}
+	if c := fs.Counters(); c.CorruptReads != 1 {
+		t.Fatalf("CorruptReads = %d, want 1", c.CorruptReads)
+	}
+}
+
+// TestDiskUsagePassesThroughWrapper checks store.DiskUsageOf sees through
+// the injector to the disk store underneath.
+func TestDiskUsagePassesThroughWrapper(t *testing.T) {
+	d, err := store.OpenDiskStore(t.TempDir(), store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	fs := faultstore.Wrap(d, faultstore.Config{})
+	fs.Put(bytes.Repeat([]byte("usage"), 100))
+	n, ok := store.DiskUsageOf(fs)
+	if !ok || n <= 0 {
+		t.Fatalf("DiskUsageOf through wrapper = %d, %v", n, ok)
+	}
+	mem := faultstore.Wrap(store.NewMemStore(), faultstore.Config{})
+	if _, ok := store.DiskUsageOf(mem); ok {
+		t.Fatal("DiskUsageOf claimed disk usage for a memory store")
+	}
+}

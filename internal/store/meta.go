@@ -87,6 +87,14 @@ func (mm *metaMap) get(key string) ([]byte, bool) {
 	return cp, true
 }
 
+// clear drops every entry (used when a corrupt meta file degrades to an
+// empty map at open time).
+func (mm *metaMap) clear() {
+	mm.mu.Lock()
+	mm.m = nil
+	mm.mu.Unlock()
+}
+
 // snapshot returns a copy of every entry. Caller-side serialization only.
 func (mm *metaMap) snapshot() map[string][]byte {
 	mm.mu.Lock()
@@ -170,9 +178,11 @@ func (d *DiskStore) SetMeta(key string, value []byte) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: disk: meta: %w", err)
 	}
+	d.crash(CrashMetaRename)
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("store: disk: meta: %w", err)
 	}
+	d.crash(CrashMetaRenamed)
 	// Make the rename itself durable.
 	dir, err := os.Open(d.dirPath)
 	if err != nil {
@@ -210,27 +220,43 @@ func encodeMeta(entries map[string][]byte) []byte {
 }
 
 // loadMeta reads the metadata file into the in-memory mirror at open time.
-// A missing file is an empty map; a corrupt file fails the open, matching
-// the segment scan's posture on broken state.
+// A missing file is an empty map. A corrupt file does NOT fail the open:
+// metadata holds only mutable pointers (branch heads) that can be rebuilt
+// by resuming from commit IDs, while the segment data behind them is
+// intact and content-verified — wedging the whole store over a torn
+// pointer file would make recovery impossible exactly when it is needed.
+// Instead the broken file is moved aside (metaFileName + ".corrupt", best
+// effort) and the store opens with empty metadata; Recovery().MetaCorrupt
+// reports the degradation so callers know persisted heads are gone and a
+// log resume is required.
 func (d *DiskStore) loadMeta() error {
-	data, err := os.ReadFile(filepath.Join(d.dirPath, metaFileName))
+	path := filepath.Join(d.dirPath, metaFileName)
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("store: disk: meta: %w", err)
 	}
+	degrade := func() {
+		d.recov.MetaCorrupt = true
+		d.meta.clear()
+		_ = os.Rename(path, path+".corrupt")
+	}
 	n, rest, err := metaUvarint(data)
 	if err != nil {
-		return err
+		degrade()
+		return nil
 	}
 	for i := uint64(0); i < n; i++ {
 		var k, v []byte
 		if k, rest, err = metaBytes(rest); err != nil {
-			return err
+			degrade()
+			return nil
 		}
 		if v, rest, err = metaBytes(rest); err != nil {
-			return err
+			degrade()
+			return nil
 		}
 		d.meta.set(string(k), v)
 	}

@@ -65,8 +65,9 @@ func TestMetaRoundTrip(t *testing.T) {
 }
 
 // TestMetaDiskPersistence checks that DiskStore metadata survives a close
-// and reopen, and that a corrupt metadata file fails the open instead of
-// silently dropping state.
+// and reopen, and that a corrupt metadata file degrades the open — empty
+// metadata, flagged in RecoverySummary, original preserved as a .corrupt
+// sidecar — instead of wedging the store.
 func TestMetaDiskPersistence(t *testing.T) {
 	dir := t.TempDir()
 	d, err := store.OpenDiskStore(dir, store.DiskOptions{})
@@ -92,11 +93,40 @@ func TestMetaDiskPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Corrupt file: the open must fail loudly.
+	// Corrupt file: the open degrades to empty metadata rather than
+	// failing — node data is still intact and the version layer can
+	// resume branch heads from the commit log.
 	if err := os.WriteFile(filepath.Join(dir, "meta.bin"), []byte{0xff}, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.OpenDiskStore(dir, store.DiskOptions{}); err == nil {
-		t.Fatal("open with corrupt meta file succeeded, want error")
+	d3, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatalf("open with corrupt meta file: %v", err)
+	}
+	defer d3.Close()
+	if !d3.Recovery().MetaCorrupt {
+		t.Fatal("RecoverySummary does not flag the corrupt meta file")
+	}
+	if _, ok, err := store.GetMeta(d3, "heads"); err != nil || ok {
+		t.Fatalf("GetMeta after degrade = ok=%v err=%v, want clean miss", ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "meta.bin.corrupt")); err != nil {
+		t.Fatalf("corrupt meta not preserved as sidecar: %v", err)
+	}
+	// Metadata writes work again and persist.
+	if err := store.SetMeta(d3, "heads", []byte("rebuilt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d4, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d4.Close()
+	v, ok, err = store.GetMeta(d4, "heads")
+	if err != nil || !ok || string(v) != "rebuilt" {
+		t.Fatalf("meta after degrade+rewrite = %q ok=%v err=%v", v, ok, err)
 	}
 }

@@ -16,12 +16,14 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/hash"
 	"repro/internal/store"
+	"repro/internal/store/faultstore"
 )
 
 // Factory returns a fresh empty store for one (sub)test. Implementations
@@ -60,6 +62,9 @@ func RunStoreTests(t *testing.T, newStore Factory) {
 		{"BarrierRecordsBatches", testBarrierRecordsBatches},
 		{"BarrierArmSemantics", testBarrierArmSemantics},
 		{"BarrierKeepsConcurrentWritesSafe", testBarrierKeepsConcurrentWritesSafe},
+		{"CloseStability", testCloseStability},
+		{"TransientPutRetryNoGhosts", testTransientPutRetryNoGhosts},
+		{"SweepFaultLeavesUsageConsistent", testSweepFaultLeavesUsageConsistent},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) { tc.fn(t, newStore) })
@@ -687,6 +692,135 @@ func testBarrierKeepsConcurrentWritesSafe(t *testing.T, newStore Factory) {
 				t.Fatalf("writer %d item %d vanished during the armed sweep", w, i)
 			}
 		}
+	}
+}
+
+// testCloseStability pins the after-Close contract for closeable stores:
+// no operation panics, and every operation's outcome — data or error — is
+// the same on repeated calls. A half-torn-down store that answers
+// differently each time is the failure mode this rules out; whether an op
+// errors or degrades to a miss is the backend's choice (an in-memory store
+// closes to a no-op, a disk store reports its closed state).
+func testCloseStability(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	c, ok := s.(io.Closer)
+	if !ok {
+		t.Skip("store does not implement io.Closer")
+	}
+	data := []byte("written before close")
+	h := s.Put(data)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s.Put([]byte("written after close")) // must not panic
+	got1, ok1 := s.Get(h)
+	got2, ok2 := s.Get(h)
+	if ok1 != ok2 || !bytes.Equal(got1, got2) {
+		t.Fatalf("Get after Close unstable: (%q,%v) then (%q,%v)", got1, ok1, got2, ok2)
+	}
+	if ok1 && !bytes.Equal(got1, data) {
+		t.Fatalf("Get after Close returned wrong data: %q", got1)
+	}
+	sameErr := func(op string, f func() error) {
+		e1, e2 := f(), f()
+		if (e1 == nil) != (e2 == nil) || (e1 != nil && e1.Error() != e2.Error()) {
+			t.Fatalf("%s after Close unstable: %v then %v", op, e1, e2)
+		}
+	}
+	if _, ok := s.(store.Deleter); ok {
+		sameErr("Delete", func() error { _, err := store.Delete(s, h); return err })
+	}
+	if _, ok := s.(store.Sweeper); ok {
+		sameErr("Sweep", func() error {
+			_, err := store.Sweep(s, func(hash.Hash) bool { return true })
+			return err
+		})
+	}
+	sameErr("Flush", func() error { return store.Flush(s) })
+	sameErr("Close", c.Close) // double Close is stable, not a panic
+}
+
+// testTransientPutRetryNoGhosts drives the factory's store through a fault
+// injector that drops every second Put, retries each dropped write, and
+// checks the store ends bit-for-bit and counter-for-counter as if no fault
+// had happened: every node readable, no ghost records, dedup accounting
+// intact. This is the write-side recovery contract the version layer's
+// commit retry leans on.
+func testTransientPutRetryNoGhosts(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	fs := faultstore.Wrap(s, faultstore.Config{PutFailEvery: 2})
+	const n = 40
+	hs := make([]hash.Hash, n)
+	for i := 0; i < n; i++ {
+		data := blob(i)
+		hs[i] = fs.Put(data)
+		for !fs.Has(hs[i]) { // Has is never faulted: it reports base truth
+			fs.Put(data)
+		}
+	}
+	if drops := fs.Counters().PutDrops; drops == 0 {
+		t.Fatal("injector dropped nothing; the test exercised no fault")
+	}
+	for i, h := range hs {
+		got, ok := s.Get(h)
+		if !ok || !bytes.Equal(got, blob(i)) {
+			t.Fatalf("node %d missing or corrupt after drop+retry: %q, %v", i, got, ok)
+		}
+	}
+	st := s.Stats()
+	if st.UniqueNodes != n {
+		t.Fatalf("UniqueNodes = %d after retries, want %d (ghost or lost records)", st.UniqueNodes, n)
+	}
+	if st.DedupHits != st.RawNodes-st.UniqueNodes {
+		t.Fatalf("dedup accounting broken after retries: %+v", st)
+	}
+}
+
+// testSweepFaultLeavesUsageConsistent checks a failed Sweep is a clean
+// no-op: no node half-deleted, unique accounting unchanged, disk usage (if
+// the backend reports one) unchanged — and after the fault clears, a real
+// sweep still reclaims.
+func testSweepFaultLeavesUsageConsistent(t *testing.T, newStore Factory) {
+	s := sweepable(t, newStore(t))
+	const n = 30
+	hs := make([]hash.Hash, n)
+	for i := 0; i < n; i++ {
+		hs[i] = s.Put(blob(i))
+	}
+	usage0, hasUsage := store.DiskUsageOf(s)
+	fs := faultstore.Wrap(s, faultstore.Config{SweepFailEvery: 1})
+	if _, err := store.Sweep(fs, func(hash.Hash) bool { return false }); !errors.Is(err, faultstore.ErrInjected) {
+		t.Fatalf("injected Sweep error = %v", err)
+	}
+	for i, h := range hs {
+		if got, ok := s.Get(h); !ok || !bytes.Equal(got, blob(i)) {
+			t.Fatalf("node %d disturbed by failed sweep", i)
+		}
+	}
+	if st := s.Stats(); st.UniqueNodes != n {
+		t.Fatalf("UniqueNodes = %d after failed sweep, want %d", st.UniqueNodes, n)
+	}
+	if hasUsage {
+		if usage1, _ := store.DiskUsageOf(s); usage1 != usage0 {
+			t.Fatalf("disk usage moved across a failed sweep: %d -> %d", usage0, usage1)
+		}
+	}
+	// Fault cleared: the same sweep through the healed injector reclaims.
+	fs.Heal()
+	live := map[hash.Hash]bool{hs[0]: true}
+	st, err := store.Sweep(fs, func(h hash.Hash) bool { return live[h] })
+	if err != nil {
+		t.Fatalf("Sweep after Heal: %v", err)
+	}
+	if st.LiveNodes != 1 || st.SweptNodes != n-1 {
+		t.Fatalf("sweep after heal = %+v, want 1 live / %d swept", st, n-1)
+	}
+	if _, ok := s.Get(hs[0]); !ok {
+		t.Fatal("live node lost by post-heal sweep")
+	}
+	if _, ok := s.Get(hs[1]); ok {
+		t.Fatal("dead node survived post-heal sweep")
 	}
 }
 

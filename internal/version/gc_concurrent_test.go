@@ -382,7 +382,6 @@ func TestGCConcurrentSoak(t *testing.T) {
 			var (
 				stop     atomic.Bool
 				commitN  atomic.Int64
-				racedN   atomic.Int64
 				gcN      atomic.Int64
 				sweptN   atomic.Int64
 				readN    atomic.Int64
@@ -396,34 +395,23 @@ func TestGCConcurrentSoak(t *testing.T) {
 			}
 			var wg sync.WaitGroup
 
-			// Writer: checkout head → mutate → commit; ErrCommitRaced means
-			// redo from a fresh checkout.
+			// Writer: mutate → commit through CommitRetry, which owns the
+			// redo-from-a-fresh-checkout loop for ErrCommitRaced.
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(17))
 				gen := baseline
 				for !stop.Load() {
-					idx, err := repo.CheckoutBranch("main")
-					if err != nil {
-						fail("writer checkout: %v", err)
-						return
-					}
-					batch := make([]core.Entry, updates)
-					for j := range batch {
-						k := rng.Intn(keySpace)
-						batch[j] = core.Entry{Key: key(k), Value: val(k, gen)}
-					}
-					next, err := idx.PutBatch(batch)
-					if err != nil {
-						fail("writer PutBatch: %v", err)
-						return
-					}
-					_, err = repo.Commit("main", next, fmt.Sprintf("g%d", gen))
-					if errors.Is(err, version.ErrCommitRaced) {
-						racedN.Add(1)
-						continue // redo from a fresh checkout
-					}
+					_, err := version.CommitRetry(repo, "main", fmt.Sprintf("g%d", gen),
+						func(idx core.Index) (core.Index, error) {
+							batch := make([]core.Entry, updates)
+							for j := range batch {
+								k := rng.Intn(keySpace)
+								batch[j] = core.Entry{Key: key(k), Value: val(k, gen)}
+							}
+							return idx.PutBatch(batch)
+						})
 					if err != nil {
 						fail("writer commit: %v", err)
 						return
@@ -538,8 +526,8 @@ func TestGCConcurrentSoak(t *testing.T) {
 			if sweptN.Load() == 0 {
 				t.Fatalf("soak swept nothing across %d passes", gcN.Load())
 			}
-			t.Logf("%s: %d commits (%d raced), %d reader rounds, %d GC passes, %d nodes swept",
-				be.name, commitN.Load(), racedN.Load(), readN.Load(), gcN.Load(), sweptN.Load())
+			t.Logf("%s: %d commits, %d reader rounds, %d GC passes, %d nodes swept",
+				be.name, commitN.Load(), readN.Load(), gcN.Load(), sweptN.Load())
 
 			// Quiesced: the pinned baseline is still byte-identical in full.
 			checkVersion(t, repo, probe, probeKeys)

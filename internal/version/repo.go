@@ -112,6 +112,17 @@ func NewRepo(s store.Store) *Repo {
 // Store returns the content-addressed store the repo records commits in.
 func (r *Repo) Store() store.Store { return r.s }
 
+// SetClock replaces the wall-clock source stamped into commit Time fields.
+// Commit IDs hash the timestamp, so pinning the clock makes a deterministic
+// workload produce byte-identical commit IDs across runs — what replay
+// tooling and the fault-soak convergence tests need. The default is
+// time.Now.
+func (r *Repo) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
 // RegisterLoader installs the checkout constructor for one index class
 // (keyed by core.Index.Name). Registering a class twice replaces the loader.
 func (r *Repo) RegisterLoader(class string, l Loader) {
@@ -353,6 +364,14 @@ func (r *Repo) OnGC(hook func(live store.LiveFunc)) {
 func (r *Repo) persistHeadsLocked() error {
 	if _, ok := r.s.(store.MetaStore); !ok {
 		return nil
+	}
+	// Push buffered node writes to the OS before the head record lands:
+	// otherwise a process crash between the two can persist a head whose
+	// commit blob or pages were still sitting in a write buffer — a durable
+	// pointer into nothing. With the flush ordered first, a crash loses at
+	// worst the head move, never the data under it.
+	if err := store.Flush(r.s); err != nil {
+		return fmt.Errorf("version: flush before persisting heads: %w", err)
 	}
 	names := make([]string, 0, len(r.branches))
 	for name := range r.branches {

@@ -1,0 +1,71 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// CommitRetry retry policy. The base doubles per attempt (capped) with up
+// to 50% added jitter, so racing writers that all lost to the same GC pass
+// do not reconverge on the store in lockstep.
+const (
+	commitRetryAttempts = 16
+	commitRetryBase     = 500 * time.Microsecond
+	commitRetryCap      = 50 * time.Millisecond
+)
+
+// CommitRetry runs mutate against the current head version of branch and
+// commits the result, absorbing the ErrCommitRaced contract: a commit that
+// lost its flushed pages to a concurrent GC pass is redone from a fresh
+// checkout, with exponential backoff and jitter between attempts. This is
+// the loop every writer that overlaps GC would otherwise hand-roll; the
+// forkbase servlet's put path and the GC soak tests both commit through
+// it.
+//
+// mutate receives the branch head's checked-out index — nil when the
+// branch does not exist yet, in which case mutate must build the first
+// version itself — and returns the successor version to commit. mutate may
+// run more than once and must be restartable: derive the new version only
+// from the index passed in, never from state captured outside the call.
+// Any error from mutate aborts the loop unchanged.
+func CommitRetry(r *Repo, branch, message string, mutate func(idx core.Index) (core.Index, error)) (Commit, error) {
+	var lastErr error
+	for attempt := 0; attempt < commitRetryAttempts; attempt++ {
+		if attempt > 0 {
+			sleepBackoff(attempt)
+		}
+		idx, err := r.CheckoutBranch(branch)
+		if err != nil && !errors.Is(err, ErrUnknownBranch) {
+			return Commit{}, err
+		}
+		next, err := mutate(idx)
+		if err != nil {
+			return Commit{}, err
+		}
+		c, err := r.Commit(branch, next, message)
+		if err == nil {
+			return c, nil
+		}
+		if !errors.Is(err, ErrCommitRaced) {
+			return Commit{}, err
+		}
+		lastErr = err
+	}
+	return Commit{}, fmt.Errorf("version: commit retry exhausted after %d attempts: %w",
+		commitRetryAttempts, lastErr)
+}
+
+// sleepBackoff sleeps the capped exponential backoff for one retry
+// attempt, with jitter.
+func sleepBackoff(attempt int) {
+	d := commitRetryBase << (attempt - 1)
+	if d > commitRetryCap || d <= 0 {
+		d = commitRetryCap
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	time.Sleep(d)
+}

@@ -1,0 +1,318 @@
+package version
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// VerifyFault describes one damaged node the scrub found: an address the
+// reachable graph references whose record is either gone from the store or
+// present with bytes that no longer hash to it.
+type VerifyFault struct {
+	// Node is the content address of the damaged record.
+	Node hash.Hash
+	// Corrupt is true when the record exists but its payload fails the
+	// re-hash; false means the record is missing entirely.
+	Corrupt bool
+	// Commits lists, sorted, the reachable commits the damage strands: for
+	// a damaged index page, every walked commit whose version contains the
+	// page; for a damaged commit blob, that commit itself (and everything
+	// below it is unreachable, so nothing deeper is reported through it).
+	Commits []hash.Hash
+}
+
+// String renders the fault for logs.
+func (f VerifyFault) String() string {
+	kind := "missing"
+	if f.Corrupt {
+		kind = "corrupt"
+	}
+	return fmt.Sprintf("%s %x (strands %d commits)", kind, f.Node[:6], len(f.Commits))
+}
+
+// VerifyReport is the result of one Repo.Verify scrub.
+type VerifyReport struct {
+	// Commits is how many distinct commits the walk reached from the
+	// branch heads (including ones whose blobs turned out damaged).
+	Commits int
+	// Nodes and Bytes measure the distinct intact records re-hashed:
+	// commit blobs plus every index page of every walked version.
+	Nodes int
+	Bytes int64
+	// Faults lists every damaged node, sorted by address. Empty means the
+	// entire reachable graph re-hashed clean.
+	Faults []VerifyFault
+}
+
+// OK reports whether the scrub found the reachable graph fully intact.
+func (v VerifyReport) OK() bool { return len(v.Faults) == 0 }
+
+// String renders the report in one line for logs.
+func (v VerifyReport) String() string {
+	return fmt.Sprintf("verified %d commits, %d nodes, %d B, %d faults",
+		v.Commits, v.Nodes, v.Bytes, len(v.Faults))
+}
+
+// Verify scrubs the repo end to end: it walks the commit graph from every
+// branch head and each reachable version's page tree, re-reads every node
+// from the store, and re-hashes its payload against its content address —
+// the full-repo version of the tamper-evidence check the content addresses
+// exist for. Damage is reported per node with the commits it strands; the
+// walk continues past damage so one torn record yields a complete map of
+// what it takes down, not just the first error.
+//
+// The walk stops at the shallow boundary earlier GC passes left: a parent
+// neither the commit log nor the store knows was pruned, not lost, and is
+// skipped the same way resume skips it on open.
+//
+// Verify runs while commits and checkouts proceed, but excludes concurrent
+// GC passes (a sweep mid-scrub would report dying nodes as damage). The
+// returned error covers configuration problems only — a class with no
+// registered Loader, an index that exposes no node refs; damage is never
+// an error, it is what the report is for.
+func (r *Repo) Verify() (VerifyReport, error) {
+	// A GC pass mid-scrub would sweep nodes the walk is about to read.
+	r.gcMu.Lock()
+	defer r.gcMu.Unlock()
+
+	r.mu.RLock()
+	heads := make(map[string]hash.Hash, len(r.branches))
+	for name, id := range r.branches {
+		heads[name] = id
+	}
+	loaders := make(map[string]Loader, len(r.loaders))
+	for class, l := range r.loaders {
+		loaders[class] = l
+	}
+	known := make(map[hash.Hash]bool, len(r.commits))
+	for id := range r.commits {
+		known[id] = true
+	}
+	r.mu.RUnlock()
+
+	v := &verifier{
+		s:       r.s,
+		known:   known,
+		loaders: loaders,
+		trees:   make(map[string]map[hash.Hash][]hash.Hash),
+		faults:  make(map[hash.Hash]*VerifyFault),
+		sized:   make(map[hash.Hash]bool),
+		walked:  make(map[hash.Hash]bool),
+	}
+	// Deterministic walk order: branch names sorted.
+	names := make([]string, 0, len(heads))
+	for name := range heads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := v.walkCommits(heads[name]); err != nil {
+			return VerifyReport{}, err
+		}
+	}
+	return v.report(), nil
+}
+
+// verifier carries one scrub's state. Node checks are memoized per index
+// class: trees[class][node] is the list of damaged addresses in the node's
+// subtree (nil for a clean subtree), so shared pages are read and re-hashed
+// once no matter how many versions contain them, while damage attribution
+// still reaches every stranded commit.
+type verifier struct {
+	s       store.Store
+	known   map[hash.Hash]bool // commit log snapshot: IDs the repo believes exist
+	loaders map[string]Loader
+	trees   map[string]map[hash.Hash][]hash.Hash
+	faults  map[hash.Hash]*VerifyFault
+	sized   map[hash.Hash]bool // distinct intact nodes already counted
+	walked  map[hash.Hash]bool // commit IDs already processed
+	commits int
+	nodes   int
+	bytes   int64
+}
+
+// checkNode re-reads and re-hashes one record, recording a fault on
+// damage. It returns the payload and whether it is intact.
+func (v *verifier) checkNode(h hash.Hash) ([]byte, bool) {
+	data, ok := v.s.Get(h)
+	if !ok {
+		v.fault(h, false)
+		return nil, false
+	}
+	if hash.Of(data) != h {
+		v.fault(h, true)
+		return nil, false
+	}
+	if !v.sized[h] {
+		v.sized[h] = true
+		v.nodes++
+		v.bytes += int64(len(data))
+	}
+	return data, true
+}
+
+// fault records (or re-finds) the fault entry for one damaged address.
+func (v *verifier) fault(h hash.Hash, corrupt bool) *VerifyFault {
+	f, ok := v.faults[h]
+	if !ok {
+		f = &VerifyFault{Node: h, Corrupt: corrupt}
+		v.faults[h] = f
+	}
+	return f
+}
+
+// strand attributes a damaged address to one stranded commit.
+func (v *verifier) strand(node, commit hash.Hash) {
+	f := v.faults[node]
+	for _, id := range f.Commits {
+		if id == commit {
+			return
+		}
+	}
+	f.Commits = append(f.Commits, commit)
+}
+
+// walkCommits processes the commit DAG from one head, breadth-first over
+// parents, verifying each commit blob and its version's page tree.
+func (v *verifier) walkCommits(head hash.Hash) error {
+	queue := []hash.Hash{head}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if v.walked[id] {
+			continue
+		}
+		v.walked[id] = true
+		// A parent the commit log does not know and the store does not hold
+		// is the shallow boundary a GC pass pruned — the same boundary
+		// resumeBranch skips on open — not damage. A parent the log DOES
+		// know must be present: that is a lost record.
+		if !v.known[id] && !v.s.Has(id) {
+			continue
+		}
+		v.commits++
+		data, ok := v.checkNode(id)
+		if !ok {
+			// The blob itself is the damage; parents are unknowable.
+			v.strand(id, id)
+			continue
+		}
+		c, err := decodeCommit(data)
+		if err != nil {
+			// Bytes hash to the address but do not parse as a commit: the
+			// head record points at a non-commit node. Report it as corrupt
+			// rather than failing the scrub.
+			v.fault(id, true)
+			v.strand(id, id)
+			continue
+		}
+		c.ID = id
+		if err := v.walkVersion(c); err != nil {
+			return err
+		}
+		queue = append(queue, c.Parents...)
+	}
+	return nil
+}
+
+// walkVersion re-hashes every page of one commit's version tree and
+// attributes any damage found to the commit.
+func (v *verifier) walkVersion(c Commit) error {
+	if c.Root.IsNull() {
+		return nil
+	}
+	l, ok := v.loaders[c.Class]
+	if !ok {
+		return fmt.Errorf("version: verify %s: %w: %q", c, ErrNoLoader, c.Class)
+	}
+	idx, err := l(v.s, c.Root, c.Height)
+	if err != nil {
+		// Loaders read lazily in every built-in class, so a load error is a
+		// configuration problem, not damage (damage surfaces node by node
+		// below). Surface it.
+		return fmt.Errorf("version: verify %s: %w", c, err)
+	}
+	w, ok := idx.(core.NodeWalker)
+	if !ok {
+		return fmt.Errorf("version: verify %s: %s does not expose node refs", c, c.Class)
+	}
+	memo, ok := v.trees[c.Class]
+	if !ok {
+		memo = make(map[hash.Hash][]hash.Hash)
+		v.trees[c.Class] = memo
+	}
+	for _, node := range v.checkTree(w, memo, c.Root) {
+		v.strand(node, c.ID)
+	}
+	return nil
+}
+
+// checkTree returns the damaged addresses in the subtree rooted at h,
+// memoized so shared subtrees are scrubbed once.
+func (v *verifier) checkTree(w core.NodeWalker, memo map[hash.Hash][]hash.Hash, h hash.Hash) []hash.Hash {
+	if h.IsNull() {
+		return nil
+	}
+	if damaged, ok := memo[h]; ok {
+		return damaged
+	}
+	// Mark before recursing so a (structurally impossible, but cheap to
+	// tolerate) ref cycle terminates.
+	memo[h] = nil
+	data, ok := v.checkNode(h)
+	if !ok {
+		memo[h] = []hash.Hash{h}
+		return memo[h]
+	}
+	refs, err := w.Refs(data)
+	if err != nil {
+		// The payload hashes to its address but the class cannot decode it
+		// — the reference is wrong about what it points at. Count the node
+		// as corrupt for this tree.
+		v.fault(h, true)
+		memo[h] = []hash.Hash{h}
+		return memo[h]
+	}
+	var damaged []hash.Hash
+	for _, ref := range refs {
+		damaged = append(damaged, v.checkTree(w, memo, ref)...)
+	}
+	if len(damaged) > 0 {
+		// Dedup: siblings can share a damaged descendant.
+		seen := make(map[hash.Hash]bool, len(damaged))
+		uniq := damaged[:0]
+		for _, d := range damaged {
+			if !seen[d] {
+				seen[d] = true
+				uniq = append(uniq, d)
+			}
+		}
+		damaged = uniq
+	}
+	memo[h] = damaged
+	return damaged
+}
+
+// report assembles the sorted VerifyReport.
+func (v *verifier) report() VerifyReport {
+	rep := VerifyReport{
+		Commits: v.commits,
+		Nodes:   v.nodes,
+		Bytes:   v.bytes,
+	}
+	for _, f := range v.faults {
+		sort.Slice(f.Commits, func(i, j int) bool {
+			return bytes.Compare(f.Commits[i][:], f.Commits[j][:]) < 0
+		})
+		rep.Faults = append(rep.Faults, *f)
+	}
+	sort.Slice(rep.Faults, func(i, j int) bool {
+		return bytes.Compare(rep.Faults[i].Node[:], rep.Faults[j].Node[:]) < 0
+	})
+	return rep
+}
