@@ -6,6 +6,7 @@
 //	siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]
 //	siribench [flags] version log|gc|verify
 //	siribench [flags] verify
+//	siribench [flags] ingest demo
 //	siribench -list
 //
 // With no experiment arguments every experiment runs in paper order. Output
@@ -25,6 +26,12 @@
 // reachable as `version verify`) garbage-collects the history and then
 // scrubs the reachable graph end to end — every commit blob and index page
 // re-read and re-hashed — exiting non-zero if anything is damaged.
+//
+// `ingest demo` walks the WAL-backed ingest front-end (internal/ingest)
+// end to end: stream -ingest point writes through the memtable with
+// auto-merges, close mid-stream with unmerged writes buffered, reopen to
+// demonstrate WAL replay, finish the stream, merge, and scrub. The bare
+// `ingest` argument runs the throughput/latency experiment instead.
 package main
 
 import (
@@ -52,10 +59,13 @@ func main() {
 		"forkbase client node-cache bytes for the system experiments (0 = paper default 64 MiB, negative = disabled)")
 	retain := flag.Int("retain", 0,
 		"commits to retain in the retention experiment and the `version gc` verb (0 = scale default)")
+	ingestWrites := flag.Int("ingest", 0,
+		"point writes for the ingest experiment and the `ingest demo` verb (0 = scale default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       siribench [flags] version log|gc|verify\n")
-		fmt.Fprintf(os.Stderr, "       siribench [flags] verify\n\n")
+		fmt.Fprintf(os.Stderr, "       siribench [flags] verify\n")
+		fmt.Fprintf(os.Stderr, "       siribench [flags] ingest demo\n\n")
 		fmt.Fprintf(os.Stderr, "flags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "\nexperiments (default: all):\n")
@@ -87,6 +97,9 @@ func main() {
 	if *retain > 0 {
 		scale.RetentionKeep = *retain
 	}
+	if *ingestWrites > 0 {
+		scale.IngestWrites = *ingestWrites
+	}
 	// Reject unknown backends before hours of experiments start.
 	if probe, err := scale.NewStore(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -101,6 +114,21 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runVersionVerb(os.Stdout, scale, flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	// `siribench ingest demo` walks the WAL-backed ingest front-end:
+	// stream writes with auto-merges, close mid-stream, reopen (WAL
+	// replay), finish, merge and scrub. Bare `ingest` stays the
+	// throughput/latency experiment.
+	if flag.NArg() == 2 && flag.Arg(0) == "ingest" {
+		if flag.Arg(1) != "demo" {
+			fmt.Fprintln(os.Stderr, "usage: siribench [flags] ingest demo")
+			os.Exit(2)
+		}
+		if err := runIngestVerb(os.Stdout, scale); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

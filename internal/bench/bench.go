@@ -62,6 +62,18 @@ type Scale struct {
 	RetentionUpdates  int
 	RetentionKeep     int
 
+	// Ingest parameters (the WAL-backed write-optimized front-end
+	// extension): IngestWrites point writes per path, with the direct
+	// baseline committing every IngestCommitEvery writes and the buffered
+	// path auto-merging every IngestMergeEvery. cmd/siribench's -ingest
+	// flag overrides IngestWrites. IngestMergeEvery must stay large
+	// relative to MBTBuckets: an MBT merge rewrites every touched bucket,
+	// so a merge much smaller than the bucket count forfeits the
+	// amortization the buffer exists to provide.
+	IngestWrites      int
+	IngestCommitEvery int
+	IngestMergeEvery  int
+
 	// Store selects the node-store backend every candidate builds on, so
 	// each table/figure can run against the mem/sharded/disk ×
 	// cache-size matrix. The zero value is the historical default: an
@@ -201,6 +213,7 @@ func TinyScale() Scale {
 		MBTBuckets:  64,
 		Fig1Records: 500, Fig1Updates: 50, Fig1Checkpoints: []int{2, 4},
 		RetentionVersions: 8, RetentionUpdates: 40, RetentionKeep: 3,
+		IngestWrites: 2000, IngestCommitEvery: 100, IngestMergeEvery: 1000,
 	}
 }
 
@@ -221,6 +234,7 @@ func SmallScale() Scale {
 		MBTBuckets:  512,
 		Fig1Records: 5000, Fig1Updates: 100, Fig1Checkpoints: []int{10, 20, 30, 40, 50},
 		RetentionVersions: 20, RetentionUpdates: 200, RetentionKeep: 5,
+		IngestWrites: 8000, IngestCommitEvery: 200, IngestMergeEvery: 2000,
 	}
 }
 
@@ -241,6 +255,7 @@ func MediumScale() Scale {
 		MBTBuckets:  4096,
 		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
 		RetentionVersions: 50, RetentionUpdates: 1000, RetentionKeep: 5,
+		IngestWrites: 40000, IngestCommitEvery: 500, IngestMergeEvery: 20000,
 	}
 }
 
@@ -260,6 +275,7 @@ func FullScale() Scale {
 		MBTBuckets:  4096,
 		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
 		RetentionVersions: 50, RetentionUpdates: 1000, RetentionKeep: 5,
+		IngestWrites: 200000, IngestCommitEvery: 1000, IngestMergeEvery: 20000,
 	}
 }
 

@@ -52,6 +52,7 @@ func Experiments() []Experiment {
 		{"commitpath", "parallel commit pipeline: batch throughput vs hash workers, warm-Get allocs/op (extension)", CommitPath},
 		{"gcpause", "read/commit latency during concurrent GC vs an idle baseline (extension)", GCPause},
 		{"faults", "crash-recovery time vs segment count + verify-on-read overhead (extension)", FaultsExp},
+		{"ingest", "write-optimized ingest: WAL+memtable sustained throughput vs direct per-batch commits, read-during-merge latency (extension)", IngestExp},
 	}
 	out := make([]Experiment, len(defs))
 	for i, d := range defs {

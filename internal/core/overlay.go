@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// OverlayEntry is one buffered record layered over a base index by a
+// ReadOverlay: either a pending value for Key or a tombstone masking the
+// base's value. The ingest memtable snapshots itself into a sorted slice of
+// these for every layered read.
+type OverlayEntry struct {
+	// Key is the record's key. Entries handed to NewReadOverlay must be
+	// strictly ascending by Key (no duplicates).
+	Key []byte
+	// Value is the pending value; ignored when Tombstone is set.
+	Value []byte
+	// Tombstone marks a pending delete: the overlay reports the key
+	// absent even when the base index holds it.
+	Tombstone bool
+}
+
+// ReadOverlay is the layered read view of the write-optimized ingest path:
+// a sorted in-memory overlay (the memtable snapshot) in front of a base
+// index version. Get and Range consult the overlay first — a pending value
+// wins over the base's, and a tombstone masks a base hit entirely — and
+// Range merge-iterates the two sides so callers observe one ascending key
+// sequence, exactly the Ranger contract. The base may be nil (nothing
+// merged yet), in which case the overlay alone is the view.
+//
+// A ReadOverlay is an immutable snapshot: it holds the entries slice it was
+// built with (no copy) and the base index version, both of which must not
+// change while the overlay is in use. It is safe for concurrent readers.
+type ReadOverlay struct {
+	base    Index
+	entries []OverlayEntry
+}
+
+// NewReadOverlay builds the layered view of base (which may be nil) under
+// entries. The entries must be sorted strictly ascending by key; the slice
+// is retained, not copied.
+func NewReadOverlay(base Index, entries []OverlayEntry) *ReadOverlay {
+	return &ReadOverlay{base: base, entries: entries}
+}
+
+// Base returns the underlying index version, nil when nothing has been
+// merged yet.
+func (o *ReadOverlay) Base() Index { return o.base }
+
+// OverlayLen returns the number of overlay entries (tombstones included).
+func (o *ReadOverlay) OverlayLen() int { return len(o.entries) }
+
+// Get returns the value visible under key through the layered view: the
+// overlay's pending value if one exists, absence if the overlay holds a
+// tombstone, and otherwise the base index's value.
+func (o *ReadOverlay) Get(key []byte) ([]byte, bool, error) {
+	if len(key) == 0 {
+		return nil, false, ErrEmptyKey
+	}
+	i := sort.Search(len(o.entries), func(i int) bool {
+		return bytes.Compare(o.entries[i].Key, key) >= 0
+	})
+	if i < len(o.entries) && bytes.Equal(o.entries[i].Key, key) {
+		if o.entries[i].Tombstone {
+			return nil, false, nil
+		}
+		return o.entries[i].Value, true, nil
+	}
+	if o.base == nil {
+		return nil, false, nil
+	}
+	return o.base.Get(key)
+}
+
+// Range visits every visible entry with lo ≤ key < hi in ascending key
+// order — the Ranger contract — merge-iterating the sorted overlay with the
+// base index's own Range. On keys present in both layers the overlay wins;
+// tombstoned keys are skipped without surfacing the base's value.
+// Returning false from fn stops the scan early.
+func (o *ReadOverlay) Range(lo, hi []byte, fn func(key, value []byte) bool) error {
+	if EmptyRange(lo, hi) {
+		return nil
+	}
+	// ov indexes the next overlay entry in [lo, hi).
+	ov := sort.Search(len(o.entries), func(i int) bool {
+		return lo == nil || bytes.Compare(o.entries[i].Key, lo) >= 0
+	})
+	stopped := false
+	// emitOverlayBelow drains overlay entries with key < bound (nil bound =
+	// unbounded), honoring hi and early stop.
+	emitOverlayBelow := func(bound []byte) {
+		for ov < len(o.entries) && !stopped {
+			e := o.entries[ov]
+			if !InRange(e.Key, lo, hi) || (bound != nil && bytes.Compare(e.Key, bound) >= 0) {
+				return
+			}
+			ov++
+			if e.Tombstone {
+				continue
+			}
+			if !fn(e.Key, e.Value) {
+				stopped = true
+			}
+		}
+	}
+	if o.base != nil {
+		err := RangeOf(o.base, lo, hi, func(k, v []byte) bool {
+			emitOverlayBelow(k)
+			if stopped {
+				return false
+			}
+			// An overlay entry for this exact key shadows the base's.
+			if ov < len(o.entries) && bytes.Equal(o.entries[ov].Key, k) {
+				e := o.entries[ov]
+				ov++
+				if e.Tombstone {
+					return true
+				}
+				if !fn(e.Key, e.Value) {
+					stopped = true
+					return false
+				}
+				return true
+			}
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("core: overlay range: %w", err)
+		}
+	}
+	if !stopped {
+		emitOverlayBelow(nil) // drain overlay entries past the base's last key
+	}
+	return nil
+}
+
+// Iterate visits every visible entry in ascending key order (an unbounded
+// Range). Return false from fn to stop early.
+func (o *ReadOverlay) Iterate(fn func(key, value []byte) bool) error {
+	return o.Range(nil, nil, fn)
+}
+
+// Count returns the number of visible entries: base entries not masked by a
+// tombstone or shadowed by a pending value, plus pending values for keys
+// the base lacks.
+func (o *ReadOverlay) Count() (int, error) {
+	n := 0
+	err := o.Range(nil, nil, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Compile-time check: the overlay serves the ordered-scan capability.
+var _ Ranger = (*ReadOverlay)(nil)

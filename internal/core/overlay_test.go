@@ -1,0 +1,187 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpt"
+	"repro/internal/store"
+)
+
+// buildOverlayFixture loads base entries into an MPT and layers overlay
+// entries (values and tombstones) on top, returning the overlay view plus
+// the oracle map of what should be visible.
+func buildOverlayFixture(t *testing.T, baseN int, overlay []core.OverlayEntry) (*core.ReadOverlay, map[string][]byte) {
+	t.Helper()
+	s := store.NewMemStore()
+	var idx core.Index = mpt.New(s)
+	oracle := make(map[string][]byte)
+	var batch []core.Entry
+	for i := 0; i < baseN; i++ {
+		k := fmt.Sprintf("key-%04d", i*2) // gaps for overlay-only keys
+		v := fmt.Sprintf("base-%04d", i)
+		batch = append(batch, core.Entry{Key: []byte(k), Value: []byte(v)})
+		oracle[k] = []byte(v)
+	}
+	idx, err := idx.PutBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range overlay {
+		if e.Tombstone {
+			delete(oracle, string(e.Key))
+		} else {
+			oracle[string(e.Key)] = e.Value
+		}
+	}
+	sort.Slice(overlay, func(i, j int) bool { return bytes.Compare(overlay[i].Key, overlay[j].Key) < 0 })
+	return core.NewReadOverlay(idx, overlay), oracle
+}
+
+func TestReadOverlayGet(t *testing.T) {
+	ov := []core.OverlayEntry{
+		{Key: []byte("key-0001"), Value: []byte("overlay-new")},       // overlay-only key
+		{Key: []byte("key-0004"), Value: []byte("overlay-shadow")},    // shadows base
+		{Key: []byte("key-0006"), Tombstone: true},                    // masks base
+		{Key: []byte("key-9999"), Value: []byte("overlay-past-base")}, // past base's last key
+	}
+	o, oracle := buildOverlayFixture(t, 10, ov)
+	for k, want := range oracle {
+		got, ok, err := o.Get([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%q) = %q/%v, want %q", k, got, ok, want)
+		}
+	}
+	// The tombstoned key is absent even though the base holds it.
+	if _, ok, err := o.Get([]byte("key-0006")); err != nil || ok {
+		t.Fatalf("tombstoned key visible through overlay (ok=%v err=%v)", ok, err)
+	}
+	if _, ok, _ := o.Get([]byte("absent")); ok {
+		t.Fatal("absent key reported present")
+	}
+	if _, _, err := o.Get(nil); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	// A nil base serves the overlay alone.
+	solo := core.NewReadOverlay(nil, []core.OverlayEntry{{Key: []byte("k"), Value: []byte("v")}})
+	if got, ok, _ := solo.Get([]byte("k")); !ok || string(got) != "v" {
+		t.Fatalf("nil-base Get = %q/%v", got, ok)
+	}
+	if _, ok, _ := solo.Get([]byte("other")); ok {
+		t.Fatal("nil-base overlay invented a key")
+	}
+}
+
+// TestReadOverlayRangeProperty randomizes base contents, overlay contents
+// (values and tombstones, overlapping and not) and bounds, and checks the
+// merged Range stream against a sorted oracle for every case.
+func TestReadOverlayRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		var overlay []core.OverlayEntry
+		seen := map[string]bool{}
+		for i := 0; i < rng.Intn(30); i++ {
+			k := fmt.Sprintf("key-%04d", rng.Intn(40))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			e := core.OverlayEntry{Key: []byte(k)}
+			if rng.Intn(3) == 0 {
+				e.Tombstone = true
+			} else {
+				e.Value = []byte(fmt.Sprintf("ov-%d-%d", trial, i))
+			}
+			overlay = append(overlay, e)
+		}
+		o, oracle := buildOverlayFixture(t, rng.Intn(15), overlay)
+
+		var lo, hi []byte
+		if rng.Intn(4) > 0 {
+			lo = []byte(fmt.Sprintf("key-%04d", rng.Intn(40)))
+		}
+		if rng.Intn(4) > 0 {
+			hi = []byte(fmt.Sprintf("key-%04d", rng.Intn(40)))
+		}
+
+		var wantKeys []string
+		for k := range oracle {
+			if core.InRange([]byte(k), lo, hi) {
+				wantKeys = append(wantKeys, k)
+			}
+		}
+		sort.Strings(wantKeys)
+
+		var gotKeys []string
+		err := o.Range(lo, hi, func(k, v []byte) bool {
+			gotKeys = append(gotKeys, string(k))
+			if want := oracle[string(k)]; !bytes.Equal(v, want) {
+				t.Fatalf("trial %d: Range(%q,%q) key %q = %q, want %q", trial, lo, hi, k, v, want)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("trial %d: Range(%q,%q) visited %v, want %v", trial, lo, hi, gotKeys, wantKeys)
+		}
+		for i := range gotKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Fatalf("trial %d: Range(%q,%q) visited %v, want %v", trial, lo, hi, gotKeys, wantKeys)
+			}
+		}
+	}
+}
+
+func TestReadOverlayRangeEarlyStop(t *testing.T) {
+	ov := []core.OverlayEntry{
+		{Key: []byte("key-0001"), Value: []byte("a")},
+		{Key: []byte("key-0003"), Value: []byte("b")},
+	}
+	o, _ := buildOverlayFixture(t, 8, ov)
+	for _, stopAfter := range []int{1, 2, 3, 5} {
+		n := 0
+		last := ""
+		err := o.Range(nil, nil, func(k, _ []byte) bool {
+			if last != "" && string(k) <= last {
+				t.Fatalf("keys not ascending: %q after %q", k, last)
+			}
+			last = string(k)
+			n++
+			return n < stopAfter
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != stopAfter {
+			t.Fatalf("early stop after %d visited %d", stopAfter, n)
+		}
+	}
+}
+
+func TestReadOverlayCount(t *testing.T) {
+	ov := []core.OverlayEntry{
+		{Key: []byte("key-0000"), Tombstone: true},          // -1 from base
+		{Key: []byte("key-0002"), Value: []byte("shadow")},  // +0 (shadows)
+		{Key: []byte("key-0111"), Value: []byte("overlay")}, // +1 (new)
+	}
+	o, oracle := buildOverlayFixture(t, 6, ov)
+	n, err := o.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(oracle) {
+		t.Fatalf("Count = %d, want %d", n, len(oracle))
+	}
+	if o.OverlayLen() != 3 {
+		t.Fatalf("OverlayLen = %d, want 3", o.OverlayLen())
+	}
+}

@@ -32,6 +32,8 @@ var auditedPackages = []string{
 	"internal/core/indextest",
 	"internal/forkbase",
 	"internal/hash",
+	"internal/ingest",
+	"internal/ingest/ingesttest",
 	"internal/mbt",
 	"internal/mpt",
 	"internal/mvmbt",

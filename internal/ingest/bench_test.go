@@ -1,0 +1,45 @@
+package ingest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/store"
+)
+
+// BenchmarkIngestSustained measures sustained point-write throughput
+// through the WAL-backed memtable with auto-merges folding batches into the
+// MPT as thresholds trip — the number the ingest experiment compares
+// against direct per-batch commits, tracked by the CI benchstat smoke.
+func BenchmarkIngestSustained(b *testing.B) {
+	s := store.NewMemStore()
+	repo := newIngestTestRepo(s)
+	bu, err := ingest.Open(repo, ingest.Options{
+		Dir: b.TempDir(), New: newMPT,
+		AutoMerge:  true,
+		MaxEntries: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bu.Close()
+
+	keys := make([][]byte, 1<<14)
+	vals := make([][]byte, len(keys))
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+		vals[i] = []byte(fmt.Sprintf("val-%08d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bu.Put(keys[i%len(keys)], vals[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, _, err := bu.Merge(); err != nil {
+		b.Fatal(err)
+	}
+}

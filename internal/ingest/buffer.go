@@ -1,0 +1,591 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+// ErrClosed is returned by every Buffer and WAL operation after Close.
+var ErrClosed = errors.New("ingest: buffer closed")
+
+// Options configures a Buffer. Dir and New are required; everything else
+// has a workable zero value.
+type Options struct {
+	// Dir is the WAL directory. It is created if absent and must not be
+	// shared between live buffers.
+	Dir string
+	// Branch is the repo branch merges commit to; "ingest" when empty. A
+	// branch must have at most one live Buffer feeding it.
+	Branch string
+	// SegmentBytes rolls the active WAL segment past this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// SyncOnFlush adds an fsync to every WAL flush, extending durability
+	// from process crashes to OS crashes — same trade as
+	// store.DiskOptions.SyncOnFlush, default off.
+	SyncOnFlush bool
+	// MaxEntries trips an automatic merge once the memtable holds this
+	// many distinct keys (default 4096). Only consulted when AutoMerge is
+	// set.
+	MaxEntries int
+	// MaxAge trips an automatic merge once the oldest unmerged write is
+	// older than this. Zero disables the age trigger. Only consulted when
+	// AutoMerge is set.
+	MaxAge time.Duration
+	// AutoMerge makes the writer that trips a threshold run the merge
+	// inline; otherwise merges happen only through explicit Merge calls.
+	AutoMerge bool
+	// New builds the first index version when the branch does not exist
+	// yet. The store handed in is the repo's store. Required.
+	New func(s store.Store) (core.Index, error)
+	// CrashHook, when set, is called with a crash-point name (see
+	// CrashPoints) immediately before the step it names — the fault
+	// injection seam the crash matrix drives through faultstore.Hook.
+	CrashHook func(point string)
+}
+
+// memEntry is one memtable record: the latest buffered write for a key.
+type memEntry struct {
+	value     []byte
+	seq       uint64
+	tombstone bool
+}
+
+// baseView is the refcounted checked-out base version a Buffer reads
+// through. The pin keeps the version's pages safe from concurrent GC;
+// readers that scan outside the buffer lock take a reference so a merge
+// swapping in a newer base cannot release the pin under them.
+type baseView struct {
+	idx  core.Index
+	pin  *version.Pin
+	refs atomic.Int32
+}
+
+func newBaseView(idx core.Index, pin *version.Pin) *baseView {
+	v := &baseView{idx: idx, pin: pin}
+	v.refs.Store(1) // the buffer's own reference
+	return v
+}
+
+func (v *baseView) acquire() { v.refs.Add(1) }
+
+func (v *baseView) release() {
+	if v.refs.Add(-1) == 0 {
+		v.pin.Release()
+	}
+}
+
+// BufferStats is a point-in-time snapshot of a Buffer's state, for
+// benchmarks and the siribench ingest verb.
+type BufferStats struct {
+	// MemEntries is the number of distinct keys buffered in the memtable
+	// (tombstones included).
+	MemEntries int
+	// Tombstones is how many of those are pending deletes.
+	Tombstones int
+	// AppendedSeq is the last WAL sequence number assigned.
+	AppendedSeq uint64
+	// DurableSeq is the last WAL sequence number known flushed to the OS.
+	DurableSeq uint64
+	// MergedSeq is the high-water mark: every write at or below it is in
+	// the branch head.
+	MergedSeq uint64
+	// Merges counts completed merge commits this Buffer has made.
+	Merges int64
+	// WALSegments is the number of live WAL segment files.
+	WALSegments int
+}
+
+// Buffer is the write-optimized ingest front-end: a WAL-backed memtable in
+// front of a version.Repo. Put and Delete append to the WAL and land in the
+// memtable; Get and Range serve read-your-writes through a layered view of
+// the memtable over the branch head; Merge folds the memtable into the
+// index through the repo's staged batch path and commits, recording the WAL
+// high-water mark in the commit metadata so crash replay is idempotent. See
+// the package documentation for the durability contract.
+//
+// All methods are safe for concurrent use. One Buffer per branch: two live
+// buffers feeding the same branch would each believe their own memtable is
+// the only overlay.
+type Buffer struct {
+	repo   *version.Repo
+	branch string
+	opts   Options
+	wal    *wal
+	crash  func(point string)
+
+	mu      sync.RWMutex
+	table   map[string]memEntry
+	overlay []core.OverlayEntry // sorted snapshot cache; nil = dirty
+	base    *baseView           // nil until the branch has a head
+	hwm     uint64              // merged high-water mark
+	oldest  time.Time           // arrival of the oldest unmerged write
+	closed  bool
+
+	mergeMu sync.Mutex // serializes merges
+	merges  atomic.Int64
+
+	// Replay reports what opening the WAL found; informational.
+	Replay ReplayReport
+}
+
+// Open opens (or creates) a WAL-backed ingest buffer over repo. If the WAL
+// directory holds records from a previous run, they are replayed into the
+// memtable — skipping everything at or below the high-water mark recorded
+// in the branch head's commit metadata, so writes merged before a crash are
+// not applied twice. The index class loader for the branch must already be
+// registered on repo.
+func Open(repo *version.Repo, opts Options) (*Buffer, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("ingest: Options.Dir is required")
+	}
+	if opts.New == nil {
+		return nil, errors.New("ingest: Options.New is required")
+	}
+	if opts.Branch == "" {
+		opts.Branch = "ingest"
+	}
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 4096
+	}
+	crash := opts.CrashHook
+	if crash == nil {
+		crash = func(string) {}
+	}
+
+	bu := &Buffer{
+		repo:   repo,
+		branch: opts.Branch,
+		opts:   opts,
+		crash:  crash,
+		table:  make(map[string]memEntry),
+	}
+
+	// The high-water mark lives in the branch head's commit metadata; a
+	// missing branch or a head without metadata means nothing was ever
+	// merged (hwm 0).
+	if head, ok := repo.Head(opts.Branch); ok {
+		bu.hwm = decodeHWM(head.Meta)
+		idx, pin, err := repo.CheckoutBranchPinned(opts.Branch)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: checkout %q: %w", opts.Branch, err)
+		}
+		bu.base = newBaseView(idx, pin)
+	}
+
+	w, records, report, err := openWAL(opts.Dir, opts.SegmentBytes, opts.SyncOnFlush, crash)
+	if err != nil {
+		if bu.base != nil {
+			bu.base.release()
+		}
+		return nil, err
+	}
+	bu.wal = w
+	bu.Replay = report
+
+	// Replay in sequence order: last write per key wins, exactly as the
+	// original appends applied. Records at or below the high-water mark
+	// are already in the branch head — applying them again would resurrect
+	// ghosts (e.g. a merged put shadowing a later merged delete).
+	for _, rec := range records {
+		if rec.seq <= bu.hwm {
+			continue
+		}
+		bu.applyLocked(rec.key, rec.value, rec.tombstone, rec.seq)
+		bu.Replay.Replayed++
+	}
+	if w.appendSeq < bu.hwm {
+		// The WAL was pruned past its own tail (all segments merged and
+		// removed); sequence numbering resumes above the high-water mark.
+		w.appendSeq = bu.hwm
+	}
+	return bu, nil
+}
+
+// decodeHWM extracts the WAL high-water mark from commit metadata (a
+// uvarint); absent or undecodable metadata means zero.
+func decodeHWM(meta []byte) uint64 {
+	if len(meta) == 0 {
+		return 0
+	}
+	v, n := binary.Uvarint(meta)
+	if n <= 0 {
+		return 0
+	}
+	return v
+}
+
+// encodeHWM renders the high-water mark as commit metadata.
+func encodeHWM(hwm uint64) []byte {
+	return binary.AppendUvarint(nil, hwm)
+}
+
+// applyLocked inserts one record into the memtable. Caller holds mu
+// exclusively (or is the constructor).
+func (bu *Buffer) applyLocked(key, value []byte, tombstone bool, seq uint64) {
+	k := string(key)
+	e := memEntry{seq: seq, tombstone: tombstone}
+	if !tombstone {
+		e.value = append([]byte(nil), value...)
+	}
+	if len(bu.table) == 0 {
+		bu.oldest = time.Now()
+	}
+	bu.table[k] = e
+	bu.overlay = nil // snapshot cache is stale
+}
+
+// Put buffers a write of value under key. The write is appended to the WAL
+// and visible to Get/Range immediately; it survives a process crash only
+// after a Flush (or merge) covers it. With AutoMerge set, the Put that
+// trips a threshold runs the merge before returning and surfaces its error.
+func (bu *Buffer) Put(key, value []byte) error {
+	return bu.write(key, value, false)
+}
+
+// Delete buffers a delete of key: a tombstone that masks the key in every
+// read until the merge folds the delete into the index. Deleting an absent
+// key is not an error (the tombstone simply merges into a no-op).
+func (bu *Buffer) Delete(key []byte) error {
+	return bu.write(key, nil, true)
+}
+
+func (bu *Buffer) write(key, value []byte, tombstone bool) error {
+	if len(key) == 0 {
+		return core.ErrEmptyKey
+	}
+	bu.mu.Lock()
+	if bu.closed {
+		bu.mu.Unlock()
+		return ErrClosed
+	}
+	seq, err := bu.wal.append(key, value, tombstone)
+	if err != nil {
+		bu.mu.Unlock()
+		return err
+	}
+	bu.applyLocked(key, value, tombstone, seq)
+	due := bu.opts.AutoMerge && bu.dueLocked()
+	bu.mu.Unlock()
+
+	if due {
+		if _, _, err := bu.mergeIfDue(); err != nil {
+			return fmt.Errorf("ingest: auto-merge: %w", err)
+		}
+	}
+	return nil
+}
+
+// dueLocked reports whether a threshold has tripped. Caller holds mu.
+func (bu *Buffer) dueLocked() bool {
+	if len(bu.table) == 0 {
+		return false
+	}
+	if len(bu.table) >= bu.opts.MaxEntries {
+		return true
+	}
+	return bu.opts.MaxAge > 0 && time.Since(bu.oldest) >= bu.opts.MaxAge
+}
+
+// Get returns the value visible under key through the layered view: the
+// memtable's buffered write if one exists (a tombstone reads as absent),
+// otherwise the branch head's value.
+func (bu *Buffer) Get(key []byte) ([]byte, bool, error) {
+	if len(key) == 0 {
+		return nil, false, core.ErrEmptyKey
+	}
+	bu.mu.RLock()
+	if bu.closed {
+		bu.mu.RUnlock()
+		return nil, false, ErrClosed
+	}
+	if e, ok := bu.table[string(key)]; ok {
+		bu.mu.RUnlock()
+		if e.tombstone {
+			return nil, false, nil
+		}
+		return e.value, true, nil
+	}
+	view := bu.base
+	if view != nil {
+		view.acquire()
+	}
+	bu.mu.RUnlock()
+	if view == nil {
+		return nil, false, nil
+	}
+	defer view.release()
+	return view.idx.Get(key)
+}
+
+// Range visits every visible entry with lo ≤ key < hi in ascending key
+// order (the core.Ranger contract), merge-iterating the memtable snapshot
+// over the branch head. Returning false from fn stops the scan. The scan
+// reads a consistent snapshot: writes and merges that land after the call
+// starts are not observed.
+func (bu *Buffer) Range(lo, hi []byte, fn func(key, value []byte) bool) error {
+	overlay, view, err := bu.snapshot()
+	if err != nil {
+		return err
+	}
+	if view != nil {
+		defer view.release()
+	}
+	var base core.Index
+	if view != nil {
+		base = view.idx
+	}
+	return core.NewReadOverlay(base, overlay).Range(lo, hi, fn)
+}
+
+// Iterate visits every visible entry in ascending key order — an unbounded
+// Range.
+func (bu *Buffer) Iterate(fn func(key, value []byte) bool) error {
+	return bu.Range(nil, nil, fn)
+}
+
+// Count returns the number of visible entries through the layered view.
+func (bu *Buffer) Count() (int, error) {
+	n := 0
+	err := bu.Range(nil, nil, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// snapshot captures the sorted overlay entries plus an acquired base view.
+// The caller must release the view (when non-nil) after its scan.
+func (bu *Buffer) snapshot() ([]core.OverlayEntry, *baseView, error) {
+	bu.mu.Lock()
+	defer bu.mu.Unlock()
+	if bu.closed {
+		return nil, nil, ErrClosed
+	}
+	if bu.overlay == nil {
+		bu.overlay = buildOverlay(bu.table)
+	}
+	view := bu.base
+	if view != nil {
+		view.acquire()
+	}
+	return bu.overlay, view, nil
+}
+
+// buildOverlay renders the memtable as a sorted overlay-entry slice. The
+// slice and its byte fields are never mutated after building (writers
+// replace, not update), so snapshot holders can read it without locks.
+func buildOverlay(table map[string]memEntry) []core.OverlayEntry {
+	entries := make([]core.OverlayEntry, 0, len(table))
+	for k, e := range table {
+		entries = append(entries, core.OverlayEntry{Key: []byte(k), Value: e.value, Tombstone: e.tombstone})
+	}
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].Key, entries[j].Key) < 0 })
+	return entries
+}
+
+// Flush group-commits the WAL: every write buffered before the call is
+// pushed to the OS and survives a process crash from here on. Concurrent
+// flushes coalesce into one physical write.
+func (bu *Buffer) Flush() error {
+	return bu.wal.flush()
+}
+
+// Merge folds the memtable into the branch head index through the staged
+// batch path and commits the result, with the WAL high-water mark in the
+// commit metadata. After the commit the merged entries leave the memtable,
+// reads retarget the new head, and WAL segments fully below the mark are
+// pruned. Returns the merge commit; merged is false when the memtable was
+// empty and there was nothing to do.
+//
+// Merges serialize among themselves but run concurrently with writers and
+// readers: writes that land after the merge's snapshot stay buffered for
+// the next one.
+func (bu *Buffer) Merge() (c version.Commit, merged bool, err error) {
+	bu.mergeMu.Lock()
+	defer bu.mergeMu.Unlock()
+	return bu.mergeLocked()
+}
+
+// mergeIfDue is the auto-merge entry: it re-checks the thresholds under the
+// merge lock so racing writers that all tripped the same threshold run one
+// merge, not one each.
+func (bu *Buffer) mergeIfDue() (version.Commit, bool, error) {
+	bu.mergeMu.Lock()
+	defer bu.mergeMu.Unlock()
+	bu.mu.RLock()
+	due := bu.dueLocked()
+	bu.mu.RUnlock()
+	if !due {
+		return version.Commit{}, false, nil
+	}
+	return bu.mergeLocked()
+}
+
+// mergeLocked does the merge. Caller holds mergeMu.
+func (bu *Buffer) mergeLocked() (version.Commit, bool, error) {
+	// Snapshot the memtable and the sequence boundary. Writes appended
+	// after this point carry higher seqs and survive the post-commit
+	// pruning untouched.
+	bu.mu.RLock()
+	if bu.closed {
+		bu.mu.RUnlock()
+		return version.Commit{}, false, ErrClosed
+	}
+	boundary := uint64(0)
+	puts := make([]core.Entry, 0, len(bu.table))
+	var dels [][]byte
+	for k, e := range bu.table {
+		if e.seq > boundary {
+			boundary = e.seq
+		}
+		if e.tombstone {
+			dels = append(dels, []byte(k))
+		} else {
+			puts = append(puts, core.Entry{Key: []byte(k), Value: e.value})
+		}
+	}
+	bu.mu.RUnlock()
+	if len(puts) == 0 && len(dels) == 0 {
+		return version.Commit{}, false, nil
+	}
+	// Deterministic order keeps CommitRetry's restarted mutate runs
+	// byte-identical, and PutBatch's staged path wants sorted input anyway.
+	puts = core.SortEntries(puts)
+	sort.Slice(dels, func(i, j int) bool { return bytes.Compare(dels[i], dels[j]) < 0 })
+
+	bu.crash(CrashMergeCommit)
+	msg := fmt.Sprintf("ingest merge: %d puts, %d deletes", len(puts), len(dels))
+	c, err := version.CommitRetryMeta(bu.repo, bu.branch, msg, encodeHWM(boundary),
+		func(idx core.Index) (core.Index, error) {
+			if idx == nil {
+				var err error
+				if idx, err = bu.opts.New(bu.repo.Store()); err != nil {
+					return nil, err
+				}
+			}
+			if len(puts) > 0 {
+				var err error
+				if idx, err = idx.PutBatch(puts); err != nil {
+					return nil, err
+				}
+			}
+			// Deleting an absent key returns the index unchanged, so a
+			// tombstone for a key the branch never held merges as a no-op.
+			for _, k := range dels {
+				next, err := idx.Delete(k)
+				if err != nil {
+					return nil, err
+				}
+				idx = next
+			}
+			return idx, nil
+		})
+	if err != nil {
+		return version.Commit{}, false, fmt.Errorf("ingest: merge commit: %w", err)
+	}
+	bu.crash(CrashMergePrune)
+
+	// Retarget reads at the new head and drop merged memtable entries.
+	// Writes with seq > boundary arrived mid-merge and stay buffered.
+	idx, pin, err := bu.repo.CheckoutBranchPinned(bu.branch)
+	if err != nil {
+		return version.Commit{}, false, fmt.Errorf("ingest: re-pin after merge: %w", err)
+	}
+	bu.mu.Lock()
+	old := bu.base
+	bu.base = newBaseView(idx, pin)
+	bu.hwm = boundary
+	for k, e := range bu.table {
+		if e.seq <= boundary {
+			delete(bu.table, k)
+		}
+	}
+	bu.overlay = nil
+	if len(bu.table) > 0 {
+		bu.oldest = time.Now()
+	}
+	bu.mu.Unlock()
+	if old != nil {
+		old.release()
+	}
+	bu.merges.Add(1)
+
+	// Retire WAL segments the commit covers. Failures here are not data
+	// loss — replay skips everything at or below the recorded mark — so
+	// they surface as errors without undoing the merge.
+	if err := bu.wal.rotate(); err != nil {
+		return c, true, err
+	}
+	if err := bu.wal.prune(boundary); err != nil {
+		return c, true, err
+	}
+	return c, true, nil
+}
+
+// Stats returns a point-in-time snapshot of the buffer's state.
+func (bu *Buffer) Stats() BufferStats {
+	bu.mu.RLock()
+	st := BufferStats{
+		MemEntries: len(bu.table),
+		MergedSeq:  bu.hwm,
+	}
+	for _, e := range bu.table {
+		if e.tombstone {
+			st.Tombstones++
+		}
+	}
+	bu.mu.RUnlock()
+	st.AppendedSeq, st.DurableSeq = bu.wal.seqs()
+	st.Merges = bu.merges.Load()
+	st.WALSegments = bu.wal.segments()
+	return st
+}
+
+// Close flushes and closes the WAL and releases the base pin. Buffered
+// writes are NOT merged: they stay in the WAL, and the next Open replays
+// them into a fresh memtable. Close never merges so that shutdown cost is
+// bounded by a flush, not an index build.
+func (bu *Buffer) Close() error {
+	bu.mu.Lock()
+	if bu.closed {
+		bu.mu.Unlock()
+		return nil
+	}
+	bu.closed = true
+	base := bu.base
+	bu.base = nil
+	bu.mu.Unlock()
+	if base != nil {
+		base.release()
+	}
+	return bu.wal.close()
+}
+
+// CrashClose closes the buffer WITHOUT flushing the WAL's write buffer —
+// the crash-test hook modeling a process death, the ingest sibling of
+// DiskStore.CrashClose. Buffered-but-unflushed records are lost exactly as
+// a kill would lose them; flushed records survive for the next Open's
+// replay.
+func (bu *Buffer) CrashClose() {
+	bu.mu.Lock()
+	if bu.closed {
+		bu.mu.Unlock()
+		return
+	}
+	bu.closed = true
+	base := bu.base
+	bu.base = nil
+	bu.mu.Unlock()
+	if base != nil {
+		base.release()
+	}
+	bu.wal.crashClose()
+}

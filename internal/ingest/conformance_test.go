@@ -1,0 +1,82 @@
+package ingest_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/ingest/ingesttest"
+	"repro/internal/mbt"
+	"repro/internal/mpt"
+	"repro/internal/mvmbt"
+	"repro/internal/postree"
+	"repro/internal/prolly"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+// The ingest battery crosses every index class with every store backend —
+// the same 5×4 grid the version and indextest suites certify, now with a
+// WAL-backed memtable in front.
+
+type indexClass struct {
+	name   string
+	new    func(s store.Store) (core.Index, error)
+	loader version.Loader
+}
+
+func classes() []indexClass {
+	posCfg := postree.ConfigForNodeSize(512)
+	prollyCfg := prolly.ConfigForNodeSize(512)
+	mbtCfg := mbt.Config{Capacity: 32, Fanout: 8}
+	mvCfg := mvmbt.ConfigForNodeSize(512)
+	return []indexClass{
+		{
+			name: "MPT",
+			new:  func(s store.Store) (core.Index, error) { return mpt.New(s), nil },
+			loader: func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+				return mpt.Load(s, root), nil
+			},
+		},
+		{
+			name: "MBT",
+			new:  func(s store.Store) (core.Index, error) { return mbt.New(s, mbtCfg) },
+			loader: func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+				return mbt.Load(s, mbtCfg, root)
+			},
+		},
+		{
+			name: "POS-Tree",
+			new:  func(s store.Store) (core.Index, error) { return postree.New(s, posCfg), nil },
+			loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+				return postree.Load(s, posCfg, root, height), nil
+			},
+		},
+		{
+			name: "Prolly-Tree",
+			new:  func(s store.Store) (core.Index, error) { return prolly.New(s, prollyCfg), nil },
+			loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+				return prolly.Load(s, prollyCfg, root, height), nil
+			},
+		},
+		{
+			name: "MVMB+-Tree",
+			new:  func(s store.Store) (core.Index, error) { return mvmbt.New(s, mvCfg), nil },
+			loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+				return mvmbt.Load(s, mvCfg, root, height), nil
+			},
+		},
+	}
+}
+
+func TestIngestConformance(t *testing.T) {
+	for _, c := range classes() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			ingesttest.RunIngestTests(t, c.name, ingesttest.Options{
+				New:    c.new,
+				Loader: c.loader,
+			})
+		})
+	}
+}

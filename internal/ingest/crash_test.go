@@ -1,0 +1,312 @@
+package ingest_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/store"
+	"repro/internal/store/faultstore"
+	"repro/internal/version"
+)
+
+// The WAL crash matrix: every ingest crash point (mid-append, mid-rotate,
+// and both sides of a merge) fired against in-memory and disk-backed
+// stores, then reopen, replay and verify. The invariants are the ingest
+// extension of the store/version crash matrix:
+//
+//   - no acknowledged write is lost: every write covered by a successful
+//     Flush or Merge is visible after recovery (unless a later surviving
+//     write superseded it);
+//   - no ghost writes: a recovered key's value is one its history actually
+//     produced at or after its acknowledged point — double-applying merged
+//     WAL records would fail this;
+//   - the repo scrubs clean (Repo.Verify) and keeps working.
+
+// opRecord is one write in a key's history.
+type opRecord struct {
+	value     []byte
+	tombstone bool
+}
+
+// crashOracle tracks per-key write histories and the acknowledged position
+// in each — the position from which recovery may legally serve state.
+type crashOracle struct {
+	ops   map[string][]opRecord
+	acked map[string]int // index of first op a recovery may still surface
+}
+
+func newCrashOracle() *crashOracle {
+	return &crashOracle{ops: make(map[string][]opRecord), acked: make(map[string]int)}
+}
+
+func (o *crashOracle) put(key, value []byte) {
+	o.ops[string(key)] = append(o.ops[string(key)], opRecord{value: value})
+}
+
+func (o *crashOracle) del(key []byte) {
+	o.ops[string(key)] = append(o.ops[string(key)], opRecord{tombstone: true})
+}
+
+// ack marks every write issued so far as acknowledged: recovery must not
+// serve anything older than each key's latest write.
+func (o *crashOracle) ack() {
+	for k, ops := range o.ops {
+		o.acked[k] = len(ops) - 1
+	}
+}
+
+// check verifies the recovered buffer state against the histories — for
+// every key the visible value (or absence) must match some op at or after
+// the acknowledged position — and then reconciles each history to the op
+// that actually survived, so un-acked writes the crash legally dropped are
+// forgotten rather than resurrected by a later ack.
+func (o *crashOracle) check(t *testing.T, bu *ingest.Buffer) {
+	t.Helper()
+	for k, ops := range o.ops {
+		got, ok, err := bu.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("recovered Get(%q): %v", k, err)
+		}
+		ackedPos, everAcked := o.acked[k]
+		match := -1
+		for i := ackedPos; i < len(ops); i++ {
+			if ops[i].tombstone {
+				if !ok {
+					match = i
+					break
+				}
+			} else if ok && bytes.Equal(got, ops[i].value) {
+				match = i
+				break
+			}
+		}
+		if match >= 0 {
+			o.ops[k] = ops[:match+1]
+			o.acked[k] = match
+			continue
+		}
+		// A key none of whose writes were ever acknowledged may also have
+		// lost all of them (nothing flushed before the crash).
+		if !everAcked && !ok {
+			delete(o.ops, k)
+			delete(o.acked, k)
+			continue
+		}
+		t.Fatalf("recovered Get(%q) = %q/%v is not any acked-or-later state (acked pos %d of %d ops)",
+			k, got, ok, ackedPos, len(ops))
+	}
+}
+
+// newIngestTestRepo builds a repo with every index class loader registered
+// (the conformance grid's classes).
+func newIngestTestRepo(s store.Store) *version.Repo {
+	r := version.NewRepo(s)
+	for _, c := range classes() {
+		r.RegisterLoader(c.name, c.loader)
+	}
+	return r
+}
+
+// newMPT builds the matrix's index class.
+func newMPT(s store.Store) (core.Index, error) {
+	for _, c := range classes() {
+		if c.name == "MPT" {
+			return c.new(s)
+		}
+	}
+	panic("MPT class missing")
+}
+
+// ingestCrashBackend is one store configuration of the matrix. reopen
+// models the process restart: disk stores crash-close and reopen from the
+// directory; in-memory stores survive as the same object (a panic unwound,
+// not a machine wiped).
+type ingestCrashBackend struct {
+	name string
+	open func(t *testing.T) (s store.Store, reopen func(t *testing.T) store.Store)
+}
+
+func ingestCrashBackends() []ingestCrashBackend {
+	return []ingestCrashBackend{
+		{"mem", func(t *testing.T) (store.Store, func(t *testing.T) store.Store) {
+			s := store.NewMemStore()
+			return s, func(*testing.T) store.Store { return s }
+		}},
+		{"disk", func(t *testing.T) (store.Store, func(t *testing.T) store.Store) {
+			dir := t.TempDir()
+			d, err := store.OpenDiskStore(dir, store.DiskOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d, func(t *testing.T) store.Store {
+				d.CrashClose()
+				re, err := store.OpenDiskStore(dir, store.DiskOptions{})
+				if err != nil {
+					t.Fatalf("reopen after crash: %v", err)
+				}
+				t.Cleanup(func() { re.Close() })
+				return re
+			}
+		}},
+	}
+}
+
+// TestWALCrashMatrix runs the full grid: arm one ingest crash point, drive
+// writes/flushes/merges until it fires, abandon the dead buffer (a crashed
+// process releases no locks and flushes nothing), reopen, and check the
+// acked-write and ghost-write invariants plus a clean scrub and a working
+// post-recovery ingest path.
+func TestWALCrashMatrix(t *testing.T) {
+	for _, be := range ingestCrashBackends() {
+		be := be
+		for _, point := range ingest.CrashPoints() {
+			point := point
+			t.Run(be.name+"/"+point, func(t *testing.T) {
+				base, reopenStore := be.open(t)
+				fs := faultstore.Wrap(base, faultstore.Config{})
+				repo := newIngestTestRepo(fs)
+				dir := t.TempDir()
+
+				bu, err := ingest.Open(repo, ingest.Options{
+					Dir: dir, New: newMPT,
+					SegmentBytes: 512, // tiny: rotations fire within the workload
+					CrashHook:    func(p string) { fs.Hook(p) },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle := newCrashOracle()
+
+				// Seed an acknowledged prefix before arming: writes, a
+				// flush, a merge, more writes, another flush.
+				for i := 0; i < 20; i++ {
+					put(t, bu, oracle, i, 0)
+				}
+				mustFlushAck(t, bu, oracle)
+				if _, _, err := bu.Merge(); err != nil {
+					t.Fatal(err)
+				}
+				oracle.ack()
+				for i := 10; i < 25; i++ {
+					put(t, bu, oracle, i, 1)
+				}
+				del(t, bu, oracle, 3)
+				mustFlushAck(t, bu, oracle)
+
+				// Arm and run the workload until the point fires.
+				fs.ArmCrash(point, 1)
+				crashed := false
+				for gen := 2; gen < 50 && !crashed; gen++ {
+					crashed = crashStep(t, bu, oracle, gen, point)
+				}
+				if !crashed {
+					t.Fatalf("crash point %s never fired", point)
+				}
+				// The dead buffer is abandoned: no Close, no Flush — its
+				// locks died with the process.
+
+				after := reopenStore(t)
+				repo2 := repo
+				if after != fs.Unwrap() {
+					repo2 = newIngestTestRepo(after)
+				}
+				bu2, err := ingest.Open(repo2, ingest.Options{Dir: dir, New: newMPT})
+				if err != nil {
+					t.Fatalf("reopen after crash at %s: %v", point, err)
+				}
+				defer bu2.Close()
+
+				oracle.check(t, bu2)
+				rep, err := repo2.Verify()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					t.Fatalf("scrub after crash at %s found damage: %v", point, rep.Faults)
+				}
+
+				// The survivor keeps ingesting: write, merge, re-check.
+				put(t, bu2, oracle, 999, 9)
+				if err := bu2.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				oracle.ack()
+				if _, merged, err := bu2.Merge(); err != nil || !merged {
+					t.Fatalf("post-crash merge = %v/%v", merged, err)
+				}
+				oracle.check(t, bu2)
+				rep, err = repo2.Verify()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					t.Fatalf("post-recovery scrub found damage: %v", rep.Faults)
+				}
+			})
+		}
+	}
+}
+
+// crashStep runs one workload generation, reporting whether the armed point
+// fired. Writes that panic mid-call are recorded in the oracle anyway —
+// they are exactly the un-acked writes recovery may or may not surface.
+func crashStep(t *testing.T, bu *ingest.Buffer, oracle *crashOracle, gen int, point string) (crashed bool) {
+	t.Helper()
+	defer func() {
+		if p, ok := faultstore.Recovered(recover()); ok {
+			if p != point {
+				t.Fatalf("crashed at %q, armed %q", p, point)
+			}
+			crashed = true
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		k := gen*3 + i
+		if k%7 == 3 {
+			del(t, bu, oracle, k%30)
+		} else {
+			put(t, bu, oracle, k%30, gen)
+		}
+	}
+	if gen%2 == 0 {
+		mustFlushAck(t, bu, oracle)
+	}
+	if gen%4 == 3 {
+		if _, _, err := bu.Merge(); err != nil {
+			t.Fatalf("workload merge: %v", err)
+		}
+		oracle.ack()
+	}
+	return false
+}
+
+func put(t *testing.T, bu *ingest.Buffer, oracle *crashOracle, i, gen int) {
+	t.Helper()
+	key := []byte(fmt.Sprintf("key-%05d", i))
+	val := []byte(fmt.Sprintf("val-%05d-gen%d", i, gen))
+	oracle.put(key, val) // record first: a panic mid-Put is an un-acked write
+	if err := bu.Put(key, val); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+}
+
+func del(t *testing.T, bu *ingest.Buffer, oracle *crashOracle, i int) {
+	t.Helper()
+	key := []byte(fmt.Sprintf("key-%05d", i))
+	oracle.del(key)
+	if err := bu.Delete(key); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+}
+
+func mustFlushAck(t *testing.T, bu *ingest.Buffer, oracle *crashOracle) {
+	t.Helper()
+	if err := bu.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	oracle.ack()
+}

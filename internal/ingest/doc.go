@@ -1,0 +1,49 @@
+// Package ingest is the write-optimized front-end ahead of the Merkle
+// indexes: a WAL-backed memtable (Buffer) that absorbs Put/Delete point
+// writes at log-append cost and folds them into a core index — producing an
+// ordinary version.Repo commit — only when size or age thresholds trip.
+// Point writes against the immutable indexes otherwise cost a full
+// root-to-leaf path rewrite each (the write-amplification cost the paper's
+// Section 7 measures); batching them through the memtable amortizes that
+// rewrite across the whole batch via the staged PutBatch path.
+//
+// # Read-your-writes
+//
+// Reads go through a layered view (core.ReadOverlay): the memtable first —
+// where a pending tombstone masks the key entirely — then the checked-out
+// branch head. A buffered write is visible to Get and Range immediately
+// after Put returns, before any merge. The branch head view is pinned
+// (version.Pin), so concurrent GC passes never reclaim pages mid-read.
+//
+// # Durability contract
+//
+// Writes are acknowledged at three strengths, in order:
+//
+//   - Put/Delete returned: the record is in the WAL's write buffer and the
+//     memtable. It is visible to reads but survives nothing — a process
+//     crash loses it.
+//   - Flush returned (group commit): every write buffered before the call
+//     has reached the OS page cache. It survives a process crash; like
+//     store.Flusher, this is NOT an fsync, so an OS crash may still lose it
+//     unless Options.SyncOnFlush is set.
+//   - Merge returned: the writes are in the branch head commit, durable
+//     exactly as strongly as the repo's store is.
+//
+// # Replay idempotence
+//
+// Every merge commit records the WAL high-water mark — the largest WAL
+// sequence number it folded in — as commit metadata. Open replays the WAL
+// against that mark: records with seq at or below the branch head's mark
+// are skipped (they are already in the index; replaying them would
+// resurrect ghosts), records above it rebuild the memtable in append order
+// (last write per key wins). This makes crash recovery idempotent at every
+// crash point: before the merge commit, replay restores the full memtable;
+// after the commit but before the WAL prune, replay skips everything the
+// commit covered and loses nothing.
+//
+// Torn WAL tails (a crash mid-append) are detected by record CRCs and
+// truncated on open, mirroring the store's segment recovery; an
+// acknowledged-durable write is never behind a torn record, because
+// acknowledgment (Flush) happens strictly after the record's bytes are
+// complete in the buffer.
+package ingest

@@ -1,0 +1,198 @@
+package ingest_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/store"
+)
+
+// TestIngestSoak hammers one buffer with concurrent writers (disjoint
+// keyspaces), racing explicit merges, continuous layered reads, and a GC
+// pass mid-flight, then checks the final merged state byte-for-byte against
+// the deterministic expected map and scrubs the repo. Run under -race: the
+// point of the soak is the locking around the memtable, the WAL group
+// commit, and the pinned base swap.
+func TestIngestSoak(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 400
+	)
+	s := store.NewShardedStore(0)
+	repo := newIngestTestRepo(s)
+	bu, err := ingest.Open(repo, ingest.Options{
+		Dir: t.TempDir(), New: newMPT,
+		AutoMerge:  true,
+		MaxEntries: 128, // small: many merges race the writers
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bu.Close()
+
+	// Seed the branch with one merged write so the mid-soak GC always has
+	// a head to retain; writer 0 re-puts the same value later.
+	if err := bu.Put([]byte("w0-key-00000"), soakVal(0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, merged, err := bu.Merge(); err != nil || !merged {
+		t.Fatalf("seed merge = %v/%v", merged, err)
+	}
+
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	errc := make(chan error, writers+2)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := []byte(fmt.Sprintf("w%d-key-%05d", w, i))
+				if err := bu.Put(key, soakVal(w, i, 0)); err != nil {
+					errc <- fmt.Errorf("writer %d put %d: %w", w, i, err)
+					return
+				}
+				switch {
+				case i%11 == 10: // delete an earlier key for good
+					dead := []byte(fmt.Sprintf("w%d-key-%05d", w, i-5))
+					if err := bu.Delete(dead); err != nil {
+						errc <- fmt.Errorf("writer %d delete: %w", w, err)
+						return
+					}
+				case i%7 == 6: // overwrite an earlier key
+					prev := []byte(fmt.Sprintf("w%d-key-%05d", w, i-3))
+					if err := bu.Put(prev, soakVal(w, i-3, 1)); err != nil {
+						errc <- fmt.Errorf("writer %d overwrite: %w", w, err)
+						return
+					}
+				}
+				if i%50 == 49 {
+					if err := bu.Flush(); err != nil {
+						errc <- fmt.Errorf("writer %d flush: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// A merger racing the auto-merges, and a reader scanning the layered
+	// view while both run. They spin until the writers finish.
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		for !stop.Load() {
+			if _, _, err := bu.Merge(); err != nil {
+				errc <- fmt.Errorf("racing merge: %w", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for !stop.Load() {
+			if _, _, err := bu.Get([]byte("w0-key-00000")); err != nil {
+				errc <- fmt.Errorf("racing get: %w", err)
+				return
+			}
+			n := 0
+			if err := bu.Range(nil, nil, func(k, v []byte) bool {
+				n++
+				return n < 200
+			}); err != nil {
+				errc <- fmt.Errorf("racing range: %w", err)
+				return
+			}
+		}
+	}()
+
+	// One GC pass mid-soak: the buffer's pinned base and the merge commits
+	// must survive a sweep that races live ingest.
+	gcDone := make(chan struct{})
+	go func() {
+		defer close(gcDone)
+		if _, err := repo.GCRetainRecent(2); err != nil {
+			errc <- fmt.Errorf("mid-soak GC: %w", err)
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	aux.Wait()
+	<-gcDone
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := bu.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bu.Merge(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic expected state per writer keyspace.
+	want := make(map[string][]byte)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			want[fmt.Sprintf("w%d-key-%05d", w, i)] = soakVal(w, i, 0)
+		}
+		for i := 0; i < perWriter; i++ {
+			if i%7 == 6 && i%11 != 10 { // the switch's delete case shadows the overwrite
+				want[fmt.Sprintf("w%d-key-%05d", w, i-3)] = soakVal(w, i-3, 1)
+			}
+		}
+		for i := 0; i < perWriter; i++ {
+			if i%11 == 10 {
+				delete(want, fmt.Sprintf("w%d-key-%05d", w, i-5))
+			}
+		}
+	}
+	got := 0
+	if err := bu.Range(nil, nil, func(k, v []byte) bool {
+		wantV, ok := want[string(k)]
+		if !ok {
+			t.Fatalf("unexpected key %q survived the soak", k)
+		}
+		if !bytes.Equal(v, wantV) {
+			t.Fatalf("key %q = %q, want %q", k, v, wantV)
+		}
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(want) {
+		t.Fatalf("final state has %d keys, want %d", got, len(want))
+	}
+
+	rep, err := repo.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("post-soak scrub found damage: %v", rep.Faults)
+	}
+	st := bu.Stats()
+	if st.MemEntries != 0 || st.Merges == 0 {
+		t.Fatalf("post-soak stats: %+v", st)
+	}
+}
+
+// soakVal is the deterministic value for writer w's key i at generation g.
+// Overwrites use g=1 so the expected-state replay below can reproduce the
+// exact bytes without tracking interleavings: within one writer the
+// overwrite of key i-3 always happens after the original put of key i-3,
+// and writers never share keys.
+func soakVal(w, i, g int) []byte {
+	return []byte(fmt.Sprintf("val-w%d-%05d-g%d", w, i, g))
+}

@@ -1,0 +1,540 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/codec"
+)
+
+// WAL on-disk format. A directory holds segment files wal-00000000.log,
+// wal-00000001.log, … Each segment is a sequence of framed records:
+//
+//	[4-byte big-endian payload length][4-byte big-endian CRC-32 (IEEE) of payload][payload]
+//
+// and each payload is:
+//
+//	kind byte (1 = put, 2 = delete) | seq uvarint | key len-bytes | value len-bytes (puts only)
+//
+// Sequence numbers are assigned densely in append order and never reused,
+// so the WAL's global record order is the ingest order even across segment
+// rotations. Replay scans segments in file order; a record that fails to
+// frame or checksum marks a torn tail — everything from it to the segment's
+// end is truncated away, mirroring DiskStore's rebuild-on-open contract.
+// Appends go through a buffered writer; flushWAL (group commit) moves them
+// to the OS, which is the process-crash durability boundary.
+const (
+	walPrefix = "wal-"
+	walSuffix = ".log"
+	// walHeaderSize frames every record: length + CRC.
+	walHeaderSize = 8
+	// maxWALRecordBytes bounds a plausible payload length; a header
+	// promising more marks a torn or garbage tail.
+	maxWALRecordBytes = 1 << 28
+	// defaultWALSegmentBytes rolls the active segment once it would grow
+	// past this size.
+	defaultWALSegmentBytes = 4 << 20
+
+	walKindPut    = 1
+	walKindDelete = 2
+)
+
+// Named crash points of the WAL write path, firing immediately BEFORE the
+// step each names (Options.CrashHook receives them). The ingest crash
+// matrix arms them through faultstore's Hook machinery.
+const (
+	// CrashWALAppend fires before a record's bytes enter the write buffer.
+	CrashWALAppend = "wal.append-record"
+	// CrashWALRotate fires after the outgoing segment is sealed, before
+	// the replacement segment file is created.
+	CrashWALRotate = "wal.rotate"
+	// CrashMergeCommit fires inside Merge before the merge commit is
+	// recorded: the crash leaves the memtable contents only in the WAL.
+	CrashMergeCommit = "ingest.merge-commit"
+	// CrashMergePrune fires inside Merge after the commit is durable,
+	// before the WAL segments it covers are pruned: replay after the
+	// crash must skip every record at or below the recorded high-water
+	// mark or merged writes would reappear as ghosts.
+	CrashMergePrune = "ingest.merge-prune"
+)
+
+// CrashPoints lists the ingest crash points in write-path order, for
+// matrix tests that iterate them all.
+func CrashPoints() []string {
+	return []string{CrashWALAppend, CrashWALRotate, CrashMergeCommit, CrashMergePrune}
+}
+
+// walRecord is one decoded WAL entry.
+type walRecord struct {
+	seq       uint64
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+// encodeWALRecord appends rec's payload encoding to w.
+func encodeWALRecord(w *codec.Writer, rec walRecord) {
+	if rec.tombstone {
+		w.Byte(walKindDelete)
+	} else {
+		w.Byte(walKindPut)
+	}
+	w.Uvarint(rec.seq)
+	w.LenBytes(rec.key)
+	if !rec.tombstone {
+		w.LenBytes(rec.value)
+	}
+}
+
+// decodeWALRecord parses one payload. The returned record's byte fields are
+// copies, never aliases of data: WAL payloads live in transient read
+// buffers, not in a content-addressed store with an immutability guarantee.
+func decodeWALRecord(data []byte) (walRecord, error) {
+	r := codec.NewReader(data)
+	kind, err := r.Byte()
+	if err != nil {
+		return walRecord{}, fmt.Errorf("ingest: wal record kind: %w", err)
+	}
+	if kind != walKindPut && kind != walKindDelete {
+		return walRecord{}, fmt.Errorf("ingest: wal record kind %#x unknown", kind)
+	}
+	var rec walRecord
+	rec.tombstone = kind == walKindDelete
+	if rec.seq, err = r.Uvarint(); err != nil {
+		return walRecord{}, fmt.Errorf("ingest: wal record seq: %w", err)
+	}
+	key, err := r.LenBytes()
+	if err != nil {
+		return walRecord{}, fmt.Errorf("ingest: wal record key: %w", err)
+	}
+	if len(key) == 0 {
+		return walRecord{}, errors.New("ingest: wal record with empty key")
+	}
+	rec.key = append([]byte(nil), key...)
+	if !rec.tombstone {
+		val, err := r.LenBytes()
+		if err != nil {
+			return walRecord{}, fmt.Errorf("ingest: wal record value: %w", err)
+		}
+		rec.value = append([]byte(nil), val...)
+	}
+	if err := r.Done(); err != nil {
+		return walRecord{}, fmt.Errorf("ingest: wal record trailing bytes: %w", err)
+	}
+	return rec, nil
+}
+
+// ReplayReport summarizes what openWAL's scan found and repaired — the
+// ingest sibling of store.RecoverySummary. Zero values mean a clean close.
+type ReplayReport struct {
+	// Segments is how many WAL segment files the open scanned.
+	Segments int
+	// Records is how many intact records the scan decoded (including
+	// records at or below the merge high-water mark, which replay skips).
+	Records int
+	// Replayed is how many records were applied to the memtable: intact
+	// records above the recorded high-water mark.
+	Replayed int
+	// TornSegments counts segments whose tail held a torn or corrupt
+	// record (short header, implausible length, CRC mismatch, short
+	// payload, undecodable payload) that the scan truncated away.
+	TornSegments int
+	// TornBytes is the total bytes truncated from torn tails.
+	TornBytes int64
+}
+
+// wal is the segmented write-ahead log behind a Buffer. All methods are
+// safe for concurrent use; append order defines sequence order.
+type wal struct {
+	dir          string
+	segmentBytes int64
+	syncOnFlush  bool
+	crash        func(point string)
+
+	mu         sync.Mutex
+	active     *os.File
+	w          *bufio.Writer
+	activeID   int
+	activeSize int64
+	// sealed maps a sealed segment's ID to the last sequence number it
+	// holds, for pruning: a sealed segment whose lastSeq is at or below
+	// the merge high-water mark holds only merged records.
+	sealed map[int]uint64
+	// appendSeq is the last sequence number appended (buffered included);
+	// lastSeqActive mirrors it for the active segment's prune accounting.
+	appendSeq     uint64
+	lastSeqActive uint64
+	err           error // first write error, sticky
+	closed        bool
+
+	// flushMu serializes physical flushes; flushedSeq (guarded by mu) is
+	// the last sequence number known to have reached the OS.
+	flushMu    sync.Mutex
+	flushedSeq uint64
+}
+
+func walSegmentName(id int) string { return fmt.Sprintf("%s%08d%s", walPrefix, id, walSuffix) }
+
+// openWAL scans dir's WAL segments in order, truncating torn tails, and
+// returns the log (appending to a fresh segment) plus every intact record
+// in sequence order. The caller filters the records against its high-water
+// mark; the report accounts for both.
+func openWAL(dir string, segmentBytes int64, syncOnFlush bool, crash func(string)) (*wal, []walRecord, ReplayReport, error) {
+	if segmentBytes <= 0 {
+		segmentBytes = defaultWALSegmentBytes
+	}
+	if crash == nil {
+		crash = func(string) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, ReplayReport{}, fmt.Errorf("ingest: wal: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, walPrefix+"*"+walSuffix))
+	if err != nil {
+		return nil, nil, ReplayReport{}, fmt.Errorf("ingest: wal: %w", err)
+	}
+	sort.Strings(names)
+
+	w := &wal{
+		dir:          dir,
+		segmentBytes: segmentBytes,
+		syncOnFlush:  syncOnFlush,
+		crash:        crash,
+		sealed:       make(map[int]uint64),
+	}
+	var records []walRecord
+	var report ReplayReport
+	maxID := -1
+	for _, name := range names {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(name), walPrefix+"%d"+walSuffix, &id); err != nil {
+			continue // foreign file; leave it alone
+		}
+		if id > maxID {
+			maxID = id
+		}
+		segRecs, torn, err := replaySegment(name)
+		if err != nil {
+			return nil, nil, ReplayReport{}, err
+		}
+		report.Segments++
+		report.Records += len(segRecs)
+		if torn > 0 {
+			report.TornSegments++
+			report.TornBytes += torn
+		}
+		if len(segRecs) > 0 {
+			w.sealed[id] = segRecs[len(segRecs)-1].seq
+			records = append(records, segRecs...)
+		} else {
+			// An empty (or fully torn) segment holds nothing to replay or
+			// retain; remove it rather than tracking a zero watermark.
+			_ = os.Remove(name)
+			report.Segments-- // not a live segment anymore
+		}
+	}
+	for _, rec := range records {
+		if rec.seq > w.appendSeq {
+			w.appendSeq = rec.seq
+		}
+	}
+	// Append to a fresh segment: sealed segments are immutable, so a
+	// truncated tail is never appended over and the active bufio state
+	// starts clean.
+	w.activeID = maxID + 1
+	if err := w.openActiveLocked(); err != nil {
+		return nil, nil, ReplayReport{}, err
+	}
+	return w, records, report, nil
+}
+
+// replaySegment decodes one segment file, truncating everything from the
+// first torn or corrupt record onward (in place, so the next open starts
+// clean) and returning the bytes it cut.
+func replaySegment(name string) ([]walRecord, int64, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ingest: wal: %w", err)
+	}
+	recs, validLen := decodeSegment(data)
+	torn := int64(len(data)) - validLen
+	if torn > 0 {
+		if err := os.Truncate(name, validLen); err != nil {
+			return nil, 0, fmt.Errorf("ingest: wal: truncate torn tail of %s: %w", name, err)
+		}
+	}
+	return recs, torn, nil
+}
+
+// decodeSegment walks a segment image record by record, returning the
+// intact prefix's records and its byte length. The first framing, CRC or
+// payload error ends the walk: everything after it is a torn tail.
+func decodeSegment(data []byte) ([]walRecord, int64) {
+	var recs []walRecord
+	off := int64(0)
+	for int64(len(data))-off >= walHeaderSize {
+		n := int64(binary.BigEndian.Uint32(data[off:]))
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxWALRecordBytes || off+walHeaderSize+n > int64(len(data)) {
+			break
+		}
+		payload := data[off+walHeaderSize : off+walHeaderSize+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += walHeaderSize + n
+	}
+	return recs, off
+}
+
+// openActiveLocked creates the active segment file. Caller holds mu (or is
+// the constructor).
+func (w *wal) openActiveLocked() error {
+	f, err := os.OpenFile(filepath.Join(w.dir, walSegmentName(w.activeID)),
+		os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: wal: %w", err)
+	}
+	w.active = f
+	w.w = bufio.NewWriter(f)
+	w.activeSize = 0
+	w.lastSeqActive = 0
+	return nil
+}
+
+// append frames and buffers one record, assigning and returning its
+// sequence number. The record is durable only after a flush covering it.
+func (w *wal) append(key, value []byte, tombstone bool) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	seq := w.appendSeq + 1
+	enc := codec.GetWriter()
+	encodeWALRecord(enc, walRecord{seq: seq, key: key, value: value, tombstone: tombstone})
+	payload := enc.Bytes()
+
+	if w.activeSize > 0 && w.activeSize+walHeaderSize+int64(len(payload)) > w.segmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			enc.Release()
+			w.err = err
+			return 0, err
+		}
+	}
+	w.crash(CrashWALAppend)
+	var hdr [walHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		enc.Release()
+		w.err = fmt.Errorf("ingest: wal append: %w", err)
+		return 0, w.err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		enc.Release()
+		w.err = fmt.Errorf("ingest: wal append: %w", err)
+		return 0, w.err
+	}
+	enc.Release()
+	w.activeSize += walHeaderSize + int64(len(payload))
+	w.appendSeq = seq
+	w.lastSeqActive = seq
+	return seq, nil
+}
+
+// rotateLocked seals the active segment (flushing its buffer) and opens the
+// next one. Caller holds mu.
+func (w *wal) rotateLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("ingest: wal rotate: %w", err)
+	}
+	if w.syncOnFlush {
+		if err := w.active.Sync(); err != nil {
+			return fmt.Errorf("ingest: wal rotate: %w", err)
+		}
+	}
+	if err := w.active.Close(); err != nil {
+		return fmt.Errorf("ingest: wal rotate: %w", err)
+	}
+	if w.lastSeqActive > 0 {
+		w.sealed[w.activeID] = w.lastSeqActive
+	} else {
+		// Nothing was ever appended; drop the empty file.
+		_ = os.Remove(filepath.Join(w.dir, walSegmentName(w.activeID)))
+	}
+	// Everything in the sealed segment reached the OS with the flush above.
+	if w.lastSeqActive > w.flushedSeq {
+		w.flushedSeq = w.lastSeqActive
+	}
+	w.crash(CrashWALRotate)
+	w.activeID++
+	return w.openActiveLocked()
+}
+
+// rotate seals the active segment and opens a fresh one — the merge path
+// calls it so a following prune can retire every pre-merge segment.
+func (w *wal) rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.activeSize == 0 {
+		return nil // already fresh
+	}
+	if err := w.rotateLocked(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// flush is the group commit: it pushes every record appended so far to the
+// OS. Concurrent callers coalesce — a caller whose records were already
+// covered by another caller's physical flush returns without touching the
+// file.
+func (w *wal) flush() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if w.err != nil {
+		defer w.mu.Unlock()
+		return w.err
+	}
+	target := w.appendSeq
+	if w.flushedSeq >= target {
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+
+	// One flusher at a time; by the time a waiter gets the flush lock the
+	// leader may have covered its target already.
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.flushedSeq >= target {
+		return nil
+	}
+	covered := w.appendSeq // everything buffered right now goes out together
+	if err := w.w.Flush(); err != nil {
+		w.err = fmt.Errorf("ingest: wal flush: %w", err)
+		return w.err
+	}
+	if w.syncOnFlush {
+		if err := w.active.Sync(); err != nil {
+			w.err = fmt.Errorf("ingest: wal flush: %w", err)
+			return w.err
+		}
+	}
+	w.flushedSeq = covered
+	return nil
+}
+
+// prune removes sealed segments holding only records at or below hwm. The
+// active segment is never pruned.
+func (w *wal) prune(hwm uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	var firstErr error
+	for id, last := range w.sealed {
+		if last > hwm {
+			continue
+		}
+		if err := os.Remove(filepath.Join(w.dir, walSegmentName(id))); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("ingest: wal prune: %w", err)
+			continue
+		}
+		delete(w.sealed, id)
+	}
+	return firstErr
+}
+
+// segments reports the number of live segment files (sealed + active).
+func (w *wal) segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sealed) + 1
+}
+
+// seqs returns the append and flushed sequence watermarks.
+func (w *wal) seqs() (appended, flushed uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendSeq, w.flushedSeq
+}
+
+// close flushes and closes the active segment. The WAL files stay on disk —
+// they are the replay source for the next open.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.active == nil {
+		return w.err
+	}
+	ferr := w.w.Flush()
+	if w.syncOnFlush && ferr == nil {
+		ferr = w.active.Sync()
+	}
+	cerr := w.active.Close()
+	if w.err != nil {
+		return w.err
+	}
+	if ferr != nil {
+		return fmt.Errorf("ingest: wal close: %w", ferr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("ingest: wal close: %w", cerr)
+	}
+	return nil
+}
+
+// crashClose closes the active segment WITHOUT flushing the write buffer —
+// the crash-test hook that models a process death: buffered records are
+// lost exactly as a kill -9 would lose them, flushed records survive.
+func (w *wal) crashClose() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.active != nil {
+		_ = w.active.Close()
+	}
+}

@@ -36,6 +36,12 @@ type Commit struct {
 	Time int64
 	// Message is the human-readable commit description.
 	Message string
+	// Meta is opaque application metadata carried by the commit — the
+	// ingest front-end records its WAL high-water mark here so replay
+	// after a crash is idempotent. Empty and nil are canonically the same
+	// (both encode as "absent"), keeping plain commits byte-identical to
+	// the pre-metadata encoding. Treat the slice as immutable.
+	Meta []byte
 }
 
 // When returns the commit time as a time.Time.
@@ -52,8 +58,12 @@ func (c Commit) String() string {
 const commitTag = 0xC0
 
 // encodeCommit produces the canonical encoding hashed into the commit ID.
+// Meta is a trailing optional field: it is written only when non-empty, so
+// commits without metadata keep the exact encoding (and IDs) they had
+// before the field existed, and decodeCommit treats a missing trailer as
+// nil.
 func encodeCommit(c Commit) []byte {
-	w := codec.NewWriter(64 + len(c.Message) + 32*len(c.Parents))
+	w := codec.NewWriter(64 + len(c.Message) + 32*len(c.Parents) + len(c.Meta))
 	w.Byte(commitTag)
 	w.Bytes32(c.Root[:])
 	w.LenBytes([]byte(c.Class))
@@ -63,6 +73,9 @@ func encodeCommit(c Commit) []byte {
 	w.Uvarint(uint64(len(c.Parents)))
 	for _, p := range c.Parents {
 		w.Bytes32(p[:])
+	}
+	if len(c.Meta) > 0 {
+		w.LenBytes(c.Meta)
 	}
 	return w.Bytes()
 }
@@ -114,6 +127,17 @@ func decodeCommit(data []byte) (Commit, error) {
 			return Commit{}, fmt.Errorf("version: decode commit parent %d: %w", i, err)
 		}
 		copy(c.Parents[i][:], pb)
+	}
+	if r.Remaining() > 0 {
+		// Optional metadata trailer — present on merge commits from the
+		// ingest front-end. Older commits stop at the parents; rejecting
+		// the trailer here would make every branch whose head is a merge
+		// commit unresumable after reopen (the reopen-mid-ingest scenario).
+		mb, err := r.LenBytes()
+		if err != nil {
+			return Commit{}, fmt.Errorf("version: decode commit meta: %w", err)
+		}
+		c.Meta = append([]byte(nil), mb...)
 	}
 	if err := r.Done(); err != nil {
 		return Commit{}, fmt.Errorf("version: commit encoding: %w", err)

@@ -143,6 +143,15 @@ func (r *Repo) RegisterLoader(class string, l Loader) {
 // checkout. Versions flushed after the barrier was armed — every mutation
 // that started after the pass did — commit without waiting.
 func (r *Repo) Commit(branch string, idx core.Index, message string) (Commit, error) {
+	return r.CommitMeta(branch, idx, message, nil)
+}
+
+// CommitMeta is Commit with opaque application metadata attached to the
+// recorded commit (see Commit.Meta). The ingest front-end commits its
+// merges through it, stamping the WAL high-water mark the merge covers so
+// a crash-and-replay can skip already-merged records. meta is copied into
+// the commit encoding; nil and empty both record "no metadata".
+func (r *Repo) CommitMeta(branch string, idx core.Index, message string, meta []byte) (Commit, error) {
 	if branch == "" {
 		return Commit{}, errors.New("version: empty branch name")
 	}
@@ -153,6 +162,9 @@ func (r *Repo) Commit(branch string, idx core.Index, message string) (Commit, er
 		Class:   idx.Name(),
 		Message: message,
 		Time:    r.now().UnixNano(),
+	}
+	if len(meta) > 0 {
+		c.Meta = append([]byte(nil), meta...)
 	}
 	if h, ok := idx.(interface{ Height() int }); ok {
 		c.Height = h.Height()

@@ -33,6 +33,14 @@ const (
 // from the index passed in, never from state captured outside the call.
 // Any error from mutate aborts the loop unchanged.
 func CommitRetry(r *Repo, branch, message string, mutate func(idx core.Index) (core.Index, error)) (Commit, error) {
+	return CommitRetryMeta(r, branch, message, nil, mutate)
+}
+
+// CommitRetryMeta is CommitRetry with commit metadata: every attempt
+// records the same meta bytes on the commit it tries (see Repo.CommitMeta).
+// The ingest merge path uses it so the WAL high-water mark survives however
+// many GC races the commit has to ride out.
+func CommitRetryMeta(r *Repo, branch, message string, meta []byte, mutate func(idx core.Index) (core.Index, error)) (Commit, error) {
 	var lastErr error
 	for attempt := 0; attempt < commitRetryAttempts; attempt++ {
 		if attempt > 0 {
@@ -46,7 +54,7 @@ func CommitRetry(r *Repo, branch, message string, mutate func(idx core.Index) (c
 		if err != nil {
 			return Commit{}, err
 		}
-		c, err := r.Commit(branch, next, message)
+		c, err := r.CommitMeta(branch, next, message, meta)
 		if err == nil {
 			return c, nil
 		}
