@@ -74,6 +74,12 @@ type Scale struct {
 	IngestCommitEvery int
 	IngestMergeEvery  int
 
+	// SecondaryRows is the dataset size for the secondary-index experiment
+	// (the secondary indexes + planner extension): rows loaded through a
+	// table maintaining one derived-attribute secondary, then probed with
+	// narrow queries through the index route and the scan route.
+	SecondaryRows int
+
 	// Store selects the node-store backend every candidate builds on, so
 	// each table/figure can run against the mem/sharded/disk ×
 	// cache-size matrix. The zero value is the historical default: an
@@ -214,6 +220,7 @@ func TinyScale() Scale {
 		Fig1Records: 500, Fig1Updates: 50, Fig1Checkpoints: []int{2, 4},
 		RetentionVersions: 8, RetentionUpdates: 40, RetentionKeep: 3,
 		IngestWrites: 2000, IngestCommitEvery: 100, IngestMergeEvery: 1000,
+		SecondaryRows: 1200,
 	}
 }
 
@@ -235,6 +242,7 @@ func SmallScale() Scale {
 		Fig1Records: 5000, Fig1Updates: 100, Fig1Checkpoints: []int{10, 20, 30, 40, 50},
 		RetentionVersions: 20, RetentionUpdates: 200, RetentionKeep: 5,
 		IngestWrites: 8000, IngestCommitEvery: 200, IngestMergeEvery: 2000,
+		SecondaryRows: 4000,
 	}
 }
 
@@ -256,6 +264,7 @@ func MediumScale() Scale {
 		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
 		RetentionVersions: 50, RetentionUpdates: 1000, RetentionKeep: 5,
 		IngestWrites: 40000, IngestCommitEvery: 500, IngestMergeEvery: 20000,
+		SecondaryRows: 20000,
 	}
 }
 
@@ -276,6 +285,7 @@ func FullScale() Scale {
 		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
 		RetentionVersions: 50, RetentionUpdates: 1000, RetentionKeep: 5,
 		IngestWrites: 200000, IngestCommitEvery: 1000, IngestMergeEvery: 20000,
+		SecondaryRows: 100000,
 	}
 }
 

@@ -53,6 +53,7 @@ func Experiments() []Experiment {
 		{"gcpause", "read/commit latency during concurrent GC vs an idle baseline (extension)", GCPause},
 		{"faults", "crash-recovery time vs segment count + verify-on-read overhead (extension)", FaultsExp},
 		{"ingest", "write-optimized ingest: WAL+memtable sustained throughput vs direct per-batch commits, read-during-merge latency (extension)", IngestExp},
+		{"secondary", "secondary indexes + planner: insert overhead with maintenance, node reads for narrow queries indexed vs scanned (extension)", SecondaryExp},
 	}
 	out := make([]Experiment, len(defs))
 	for i, d := range defs {

@@ -23,12 +23,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/hash"
 	"repro/internal/store"
+	"repro/internal/version"
 )
 
 // Options describes one index class to the suite.
@@ -57,6 +56,11 @@ type Options struct {
 	// CanonicalRoots table keyed by the suite name; set it explicitly when
 	// testing a non-canonical configuration, or to "-" to skip.
 	GoldenRoot string
+	// Loader reattaches to a committed root with the same configuration
+	// New uses — the version.Loader the class registers with a repo. Nil
+	// skips the secondary-maintenance case, which commits and reopens
+	// tables through a version.Repo.
+	Loader version.Loader
 }
 
 // RunIndexTests runs the full conformance battery for the index class named
@@ -85,6 +89,7 @@ func RunIndexTests(t *testing.T, name string, opts Options) {
 		{"StructuralInvariance", testStructuralInvariance},
 		{"GoldenRoot", testGoldenRoot},
 		{"RangePruning", testRangePruning},
+		{"SecondaryMaintenance", testSecondaryMaintenance},
 	}
 	for _, be := range backends() {
 		be := be
@@ -691,23 +696,11 @@ func testGoldenRoot(t *testing.T, name string, opts Options, open storeFactory) 
 	}
 }
 
-// countingStore counts Gets so the pruning assertion can measure how many
-// node reads a bounded scan performs. Wrapping hides the batch fast paths
-// behind interface re-assertion, which only costs the write path speed —
-// correctness and accounting are unchanged.
-type countingStore struct {
-	store.Store
-	gets atomic.Int64
-}
-
-func (c *countingStore) Get(h hash.Hash) ([]byte, bool) {
-	c.gets.Add(1)
-	return c.Store.Get(h)
-}
-
 // testRangePruning is the acceptance assertion for the ordered indexes: a
 // narrow scan over a cold view must read a small fraction of the
-// structure's nodes — o(total), not a filtered full scan.
+// structure's nodes — o(total), not a filtered full scan. Node reads are
+// measured with store.CountingStore, the same counter the planner honesty
+// battery (internal/query/plantest) builds on.
 func testRangePruning(t *testing.T, _ string, opts Options, open storeFactory) {
 	if !opts.PrunedRange {
 		t.Skip("index class cannot prune range scans (hash-partitioned)")
@@ -715,7 +708,7 @@ func testRangePruning(t *testing.T, _ string, opts Options, open storeFactory) {
 	if opts.Reopen == nil {
 		t.Skip("no Reopen hook; cannot build a cold view")
 	}
-	cs := &countingStore{Store: open(t)}
+	cs := store.NewCountingStore(open(t))
 	idx, err := opts.New(cs)
 	if err != nil {
 		t.Fatal(err)
@@ -747,9 +740,9 @@ func testRangePruning(t *testing.T, _ string, opts Options, open storeFactory) {
 		t.Fatal("Reopen changed the root")
 	}
 	lo, hi := entries[600].Key, entries[612].Key
-	before := cs.gets.Load()
+	before := cs.NodeReads()
 	got := collectRange(t, cold, lo, hi)
-	reads := cs.gets.Load() - before
+	reads := cs.NodeReads() - before
 	if len(got) != 612-600 {
 		t.Fatalf("narrow scan returned %d entries, want %d", len(got), 612-600)
 	}

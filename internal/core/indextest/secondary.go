@@ -1,0 +1,167 @@
+package indextest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/secondary"
+	"repro/internal/version"
+)
+
+// groupExtract is the derived attribute the maintenance oracle indexes:
+// the value prefix before '|'. Rows without one stay unindexed, so the
+// partial-index transitions (row enters/leaves the index on update) are
+// part of the randomized walk.
+func groupExtract(_, value []byte) ([]byte, bool) {
+	i := bytes.IndexByte(value, '|')
+	if i < 0 {
+		return nil, false
+	}
+	return value[:i], true
+}
+
+// checkSecondaryOracle compares the table's primary and secondary against
+// the map oracle and its derived projection.
+func checkSecondaryOracle(t *testing.T, tbl *secondary.Table, rows map[string]string) {
+	t.Helper()
+	n := 0
+	if err := tbl.Primary().Iterate(func(k, v []byte) bool {
+		n++
+		if want, ok := rows[string(k)]; !ok || string(v) != want {
+			t.Fatalf("primary row %q = %q, oracle %q (present %v)", k, v, want, ok)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rows) {
+		t.Fatalf("primary holds %d rows, oracle %d", n, len(rows))
+	}
+
+	want := make(map[string]bool)
+	for pk, v := range rows {
+		if av, ok := groupExtract([]byte(pk), []byte(v)); ok {
+			want[string(av)+"\x1F"+pk] = true
+		}
+	}
+	sec, ok := tbl.Secondary("group")
+	if !ok {
+		t.Fatal("secondary \"group\" missing")
+	}
+	got := 0
+	if err := sec.Iterate(func(k, _ []byte) bool {
+		attr, av, pk, err := secondary.DecodeKey(k)
+		if err != nil {
+			t.Fatalf("DecodeKey(%x): %v", k, err)
+		}
+		if attr != "group" || !want[string(av)+"\x1F"+string(pk)] {
+			t.Fatalf("secondary holds stale derived key (%q,%x,%q)", attr, av, pk)
+		}
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(want) {
+		t.Fatalf("secondary holds %d derived keys, oracle %d", got, len(want))
+	}
+}
+
+// testSecondaryMaintenance is the secondary-index sibling of the CRUD
+// oracle case: randomized Put/Delete/PutBatch through a secondary.Table
+// with this class backing both primary and secondary, checked against a
+// map oracle of derived keys — consistent after interleaved commits,
+// after reopening the table from a fresh repo over the same store, and
+// after one GC pass down to the latest head.
+func testSecondaryMaintenance(t *testing.T, _ string, opts Options, open storeFactory) {
+	if opts.Loader == nil {
+		t.Skip("no Loader hook; secondary maintenance needs version checkout")
+	}
+	s := open(t)
+	probe, err := opts.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := version.NewRepo(s)
+	repo.RegisterLoader(probe.Name(), opts.Loader)
+	def := secondary.Def{Attr: "group", Extract: groupExtract, New: opts.New}
+	tbl, err := secondary.Open(repo, "main", opts.New, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := make(map[string]string)
+	rng := rand.New(rand.NewSource(41))
+	value := func() string {
+		if rng.Intn(7) == 0 {
+			return fmt.Sprintf("plain-%d", rng.Intn(500)) // unindexed
+		}
+		return fmt.Sprintf("g%02d|v%d", rng.Intn(10), rng.Intn(500))
+	}
+	pk := func() []byte { return []byte(fmt.Sprintf("pk-%03d", rng.Intn(50))) }
+
+	for op := 0; op < 240; op++ {
+		switch rng.Intn(3) {
+		case 0:
+			k, v := pk(), value()
+			if err := tbl.Put(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			rows[string(k)] = v
+		case 1:
+			k := pk()
+			if err := tbl.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(rows, string(k))
+		case 2:
+			var batch []core.Entry
+			for j := 0; j < 1+rng.Intn(5); j++ {
+				k, v := pk(), value()
+				batch = append(batch, core.Entry{Key: k, Value: []byte(v)})
+			}
+			if err := tbl.PutBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range core.SortEntries(batch) {
+				rows[string(e.Key)] = string(e.Value)
+			}
+		}
+		if op%40 == 39 {
+			if _, err := tbl.Commit(fmt.Sprintf("op %d", op)); err != nil {
+				t.Fatal(err)
+			}
+			checkSecondaryOracle(t, tbl, rows)
+		}
+	}
+	if _, err := tbl.Commit("final"); err != nil {
+		t.Fatal(err)
+	}
+	checkSecondaryOracle(t, tbl, rows)
+
+	// Reopen from a fresh repo over the same store: heads auto-resume and
+	// the secondary reloads from the commit's RootRefs trailer.
+	repo2 := version.NewRepo(s)
+	repo2.RegisterLoader(probe.Name(), opts.Loader)
+	tbl2, err := secondary.Open(repo2, "main", opts.New, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSecondaryOracle(t, tbl2, rows)
+
+	// One GC pass down to the latest head must keep both trees whole.
+	if _, err := repo2.GCRetainRecent(1); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := repo2.Verify(); err != nil || !rep.OK() {
+		t.Fatalf("Verify after GC = %v, %v", rep, err)
+	}
+	tbl3, err := secondary.Open(repo2, "main", opts.New, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSecondaryOracle(t, tbl3, rows)
+}

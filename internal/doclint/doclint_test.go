@@ -39,7 +39,10 @@ var auditedPackages = []string{
 	"internal/mvmbt",
 	"internal/postree",
 	"internal/prolly",
+	"internal/query",
+	"internal/query/plantest",
 	"internal/rlp",
+	"internal/secondary",
 	"internal/store",
 	"internal/store/faultstore",
 	"internal/store/storetest",

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/query"
 	"repro/internal/store"
 )
 
@@ -262,6 +263,22 @@ func (c *Client) PutBatch(entries []core.Entry) error {
 	}
 	c.root, c.height = root, height
 	return nil
+}
+
+// Query ships one predicate to the servlet, which executes it
+// server-side — through the table's secondary indexes when the servlet
+// serves one — and returns the rows with the plan the server reports.
+// Rows travel whole, so a narrow indexed query costs one round trip
+// regardless of tree shape.
+func (c *Client) Query(q query.Query) ([]query.Row, query.Plan, error) {
+	typ, payload, err := c.roundTrip(msgQuery, encodeQuery(q))
+	if err != nil {
+		return nil, query.Plan{}, err
+	}
+	if typ != msgRows {
+		return nil, query.Plan{}, fmt.Errorf("forkbase: unexpected response %d", typ)
+	}
+	return decodeRows(payload)
 }
 
 // Root returns the client's current root view.

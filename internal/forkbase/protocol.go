@@ -8,18 +8,21 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/query"
 )
 
 // Message type tags.
 const (
-	msgGetNode  = 1 // request: hash → node bytes
-	msgNode     = 2 // response: node bytes
-	msgMissing  = 3 // response: node not found
-	msgPutBatch = 4 // request: entries → applied server-side
-	msgRoot     = 5 // response: root hash + height
-	msgGetRoot  = 6 // request: current root
-	msgErr      = 7 // response: permanent error text, request failed
-	msgErrRetry = 8 // response: transient error text, safe to resend
+	msgGetNode  = 1  // request: hash → node bytes
+	msgNode     = 2  // response: node bytes
+	msgMissing  = 3  // response: node not found
+	msgPutBatch = 4  // request: entries → applied server-side
+	msgRoot     = 5  // response: root hash + height
+	msgGetRoot  = 6  // request: current root
+	msgErr      = 7  // response: permanent error text, request failed
+	msgErrRetry = 8  // response: transient error text, safe to resend
+	msgQuery    = 9  // request: one query.Query predicate, served server-side
+	msgRows     = 10 // response: plan flags + result rows
 )
 
 // maxMessage bounds a single message (64 MiB) to fail fast on corruption.
@@ -91,6 +94,161 @@ func decodeEntries(data []byte) ([]core.Entry, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Query payload flag bits: which optional predicate fields are present,
+// so nil (unbounded / range-query) and empty (a real zero-length value)
+// survive the wire.
+const (
+	qryHasExact = 1 << 0
+	qryHasLo    = 1 << 1
+	qryHasHi    = 1 << 2
+)
+
+// encodeQuery serializes one predicate.
+func encodeQuery(q query.Query) []byte {
+	w := codec.NewWriter(32 + len(q.Attr) + len(q.Exact) + len(q.Lo) + len(q.Hi))
+	w.LenBytes([]byte(q.Attr))
+	var flags byte
+	if q.Exact != nil {
+		flags |= qryHasExact
+	}
+	if q.Lo != nil {
+		flags |= qryHasLo
+	}
+	if q.Hi != nil {
+		flags |= qryHasHi
+	}
+	w.Byte(flags)
+	if q.Exact != nil {
+		w.LenBytes(q.Exact)
+	}
+	if q.Lo != nil {
+		w.LenBytes(q.Lo)
+	}
+	if q.Hi != nil {
+		w.LenBytes(q.Hi)
+	}
+	w.Uvarint(uint64(q.Limit))
+	return w.Bytes()
+}
+
+// decodeQuery parses one predicate, restoring the nil-vs-empty
+// distinctions the planner's bound semantics depend on.
+func decodeQuery(data []byte) (query.Query, error) {
+	r := codec.NewReader(data)
+	attr, err := r.LenBytesCopy()
+	if err != nil {
+		return query.Query{}, err
+	}
+	flags, err := r.Byte()
+	if err != nil {
+		return query.Query{}, err
+	}
+	q := query.Query{Attr: string(attr)}
+	present := func() ([]byte, error) {
+		b, err := r.LenBytesCopy()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			b = []byte{}
+		}
+		return b, nil
+	}
+	if flags&qryHasExact != 0 {
+		if q.Exact, err = present(); err != nil {
+			return query.Query{}, err
+		}
+	}
+	if flags&qryHasLo != 0 {
+		if q.Lo, err = present(); err != nil {
+			return query.Query{}, err
+		}
+	}
+	if flags&qryHasHi != 0 {
+		if q.Hi, err = present(); err != nil {
+			return query.Query{}, err
+		}
+	}
+	limit, err := r.Uvarint()
+	if err != nil {
+		return query.Query{}, err
+	}
+	q.Limit = int(limit)
+	if err := r.Done(); err != nil {
+		return query.Query{}, err
+	}
+	return q, nil
+}
+
+// Rows payload flag bits: how the server executed the query.
+const (
+	rowsUsedIndex = 1 << 0
+	rowsFellBack  = 1 << 1
+)
+
+// encodeRows serializes a query response: the plan, then the rows.
+func encodeRows(rows []query.Row, plan query.Plan) []byte {
+	w := codec.NewWriter(64 * (len(rows) + 1))
+	var flags byte
+	if plan.UsedIndex {
+		flags |= rowsUsedIndex
+	}
+	if plan.FellBack {
+		flags |= rowsFellBack
+	}
+	w.Byte(flags)
+	w.LenBytes([]byte(plan.IndexClass))
+	w.Uvarint(uint64(len(rows)))
+	for _, row := range rows {
+		w.LenBytes(row.Key)
+		w.LenBytes(row.Value)
+	}
+	return w.Bytes()
+}
+
+// decodeRows parses a query response.
+func decodeRows(data []byte) ([]query.Row, query.Plan, error) {
+	r := codec.NewReader(data)
+	flags, err := r.Byte()
+	if err != nil {
+		return nil, query.Plan{}, err
+	}
+	class, err := r.LenBytesCopy()
+	if err != nil {
+		return nil, query.Plan{}, err
+	}
+	plan := query.Plan{
+		UsedIndex:  flags&rowsUsedIndex != 0,
+		FellBack:   flags&rowsFellBack != 0,
+		IndexClass: string(class),
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, query.Plan{}, err
+	}
+	// Each row costs at least two length bytes; a count beyond that is a
+	// corrupt frame, not a huge allocation.
+	if n > uint64(r.Remaining()) {
+		return nil, query.Plan{}, fmt.Errorf("forkbase: rows count %d exceeds payload", n)
+	}
+	rows := make([]query.Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.LenBytesCopy()
+		if err != nil {
+			return nil, query.Plan{}, err
+		}
+		v, err := r.LenBytesCopy()
+		if err != nil {
+			return nil, query.Plan{}, err
+		}
+		rows = append(rows, query.Row{Key: k, Value: v})
+	}
+	if err := r.Done(); err != nil {
+		return nil, query.Plan{}, err
+	}
+	return rows, plan, nil
 }
 
 // encodeRoot serializes a root response.

@@ -1,0 +1,175 @@
+package forkbase
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/mpt"
+	"repro/internal/query"
+	"repro/internal/secondary"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+// cityOf splits "city|rest" values; rows without '|' stay unindexed.
+func cityOf(_, value []byte) ([]byte, bool) {
+	i := bytes.IndexByte(value, '|')
+	if i < 0 {
+		return nil, false
+	}
+	return value[:i], true
+}
+
+func newMPT(s store.Store) (core.Index, error) { return mpt.New(s), nil }
+
+func startTableServlet(t *testing.T) (*secondary.Table, string) {
+	t.Helper()
+	s := store.NewMemStore()
+	repo := version.NewRepo(s)
+	repo.RegisterLoader("MPT", func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+		return mpt.Load(s, root), nil
+	})
+	tbl, err := secondary.Open(repo, "main", newMPT,
+		secondary.Def{Attr: "city", Extract: cityOf, New: newMPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServletTable(tbl)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return tbl, addr
+}
+
+// TestClientQueryThroughTable exercises the msgQuery verb end to end
+// against a table servlet: writes go through the client (maintaining the
+// secondary server-side), then exact and range predicates come back with
+// the rows the index route produced and a plan that says so.
+func TestClientQueryThroughTable(t *testing.T) {
+	_, addr := startTableServlet(t)
+	cli, err := Dial(addr, func(s store.Store, root hash.Hash, _ int) core.Index {
+		return mpt.Load(s, root)
+	}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// 60 rows over 10 cities: city c%1d gets rows i%10==c.
+	var entries []core.Entry
+	for i := 0; i < 60; i++ {
+		entries = append(entries, core.Entry{
+			Key:   []byte(fmt.Sprintf("pk-%03d", i)),
+			Value: []byte(fmt.Sprintf("c%d|row-%d", i%10, i)),
+		})
+	}
+	if err := cli.PutBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, plan, err := cli.Query(query.Query{Attr: "city", Exact: []byte("c3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UsedIndex || plan.IndexClass != "MPT" || plan.FellBack {
+		t.Fatalf("exact plan = %+v, want index route via MPT", plan)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("exact query returned %d rows, want 6", len(rows))
+	}
+	for _, row := range rows {
+		if !bytes.HasPrefix(row.Value, []byte("c3|")) {
+			t.Fatalf("row %q = %q not in city c3", row.Key, row.Value)
+		}
+	}
+
+	// Range [c4, c6) covers two cities; Limit truncates in index order
+	// (value, then pk), so c4's three lowest pks come back.
+	rows, plan, err = cli.Query(query.Query{
+		Attr: "city", Lo: []byte("c4"), Hi: []byte("c6"), Limit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UsedIndex {
+		t.Fatalf("range plan = %+v, want index route", plan)
+	}
+	want := [][]byte{[]byte("pk-004"), []byte("pk-014"), []byte("pk-024")}
+	if len(rows) != len(want) {
+		t.Fatalf("range query returned %d rows, want %d", len(rows), len(want))
+	}
+	for i, row := range rows {
+		if !bytes.Equal(row.Key, want[i]) {
+			t.Fatalf("range row %d = %q, want %q", i, row.Key, want[i])
+		}
+	}
+
+	// Unknown attribute is a permanent error, not a dropped connection:
+	// the same client must keep working afterward.
+	if _, _, err := cli.Query(query.Query{Attr: "nope", Exact: []byte("x")}); err == nil {
+		t.Fatal("query on unknown attribute succeeded")
+	}
+	if _, plan, err := cli.Query(query.Query{Attr: "city", Exact: []byte("c0")}); err != nil || !plan.UsedIndex {
+		t.Fatalf("query after error = %+v, %v", plan, err)
+	}
+
+	// A second batch through the client must keep the secondary current.
+	if err := cli.PutBatch([]core.Entry{
+		{Key: []byte("pk-003"), Value: []byte("c9|moved")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err = cli.Query(query.Query{Attr: "city", Exact: []byte("c3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if bytes.Equal(row.Key, []byte("pk-003")) {
+			t.Fatal("moved row still listed under its old city")
+		}
+	}
+	if len(rows) != 5 {
+		t.Fatalf("c3 after move holds %d rows, want 5", len(rows))
+	}
+}
+
+// TestClientQueryPrimaryOnly checks the msgQuery verb against a plain
+// servlet with no table: predicates on the primary key work, attribute
+// predicates report the unknown-attribute error.
+func TestClientQueryPrimaryOnly(t *testing.T) {
+	s := store.NewMemStore()
+	idx, err := core.Index(mpt.New(s)).PutBatch(entriesN(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServlet(t, idx)
+	cli, err := Dial(addr, func(s store.Store, root hash.Hash, _ int) core.Index {
+		return mpt.Load(s, root)
+	}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	rows, plan, err := cli.Query(query.Query{
+		Lo: []byte("key-00010"), Hi: []byte("key-00013"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UsedIndex || plan.FellBack {
+		t.Fatalf("pk plan = %+v, want direct primary range", plan)
+	}
+	if len(rows) != 3 || !bytes.Equal(rows[0].Key, []byte("key-00010")) {
+		t.Fatalf("pk range = %d rows starting %q, want 3 from key-00010",
+			len(rows), rows[0].Key)
+	}
+	if _, _, err := cli.Query(query.Query{Attr: "city", Exact: []byte("c1")}); err == nil {
+		t.Fatal("attribute query on primary-only servlet succeeded")
+	}
+}

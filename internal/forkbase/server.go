@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/query"
+	"repro/internal/secondary"
 	"repro/internal/version"
 )
 
@@ -34,6 +36,7 @@ type Servlet struct {
 
 	repo   *version.Repo // nil for a memory-head servlet
 	branch string
+	tbl    *secondary.Table // nil unless built with NewServletTable
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -55,6 +58,20 @@ func NewServletRepo(repo *version.Repo, branch string) (*Servlet, error) {
 	s := NewServlet(idx)
 	s.repo, s.branch = repo, branch
 	return s, nil
+}
+
+// NewServletTable returns a servlet serving a secondary.Table: every
+// accepted write batch goes through the table (maintaining its secondary
+// indexes) and co-commits all roots on the table's branch, and msgQuery
+// requests route through the table's planner. The table must not be
+// mutated by anyone else while the servlet runs — the servlet is its
+// single writer. A write batch whose co-commit races a concurrent GC
+// pass surfaces to the client as msgErrRetry; the resend is idempotent,
+// content addressing makes reapplying the same entries converge.
+func NewServletTable(tbl *secondary.Table) *Servlet {
+	s := NewServlet(tbl.Primary())
+	s.tbl = tbl
+	return s
 }
 
 // Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
@@ -198,6 +215,9 @@ func (s *Servlet) serveOne(conn net.Conn) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
+		if s.tbl != nil {
+			return s.commitTableBatch(entries)
+		}
 		if s.repo != nil {
 			return s.commitBatch(entries)
 		}
@@ -218,6 +238,28 @@ func (s *Servlet) serveOne(conn net.Conn) (byte, []byte, error) {
 		root, height := s.idx.RootHash(), s.headHeight()
 		s.mu.Unlock()
 		return msgRoot, encodeRoot(root, height), nil
+
+	case msgQuery:
+		q, err := decodeQuery(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Snapshot an engine under the lock, execute outside it: the
+		// index versions it binds are immutable, so a concurrent write
+		// batch advances the head without disturbing this query.
+		s.mu.Lock()
+		var eng query.Engine
+		if s.tbl != nil {
+			eng = query.PlannerFor(query.IndexSource(s.tbl.Primary()), s.tbl)
+		} else {
+			eng = query.NewPlanner(query.IndexSource(s.idx))
+		}
+		s.mu.Unlock()
+		rows, plan, err := eng.Query(q)
+		if err != nil {
+			return 0, nil, err
+		}
+		return msgRows, encodeRows(rows, plan), nil
 
 	default:
 		return 0, nil, fmt.Errorf("forkbase: unknown request type %d", typ)
@@ -252,6 +294,24 @@ func (s *Servlet) commitBatch(entries []core.Entry) (byte, []byte, error) {
 	root, height := s.idx.RootHash(), s.headHeight()
 	s.mu.Unlock()
 	return msgRoot, encodeRoot(root, height), nil
+}
+
+// commitTableBatch applies one write batch through the secondary.Table:
+// the table maintains every secondary, then co-commits all roots. The
+// table's mutation methods are not concurrency-safe, so the whole apply
+// runs under s.mu. A raced co-commit (ErrCommitRaced) leaves the table
+// state coherent and propagates for handleConn to map to msgErrRetry.
+func (s *Servlet) commitTableBatch(entries []core.Entry) (byte, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.tbl.PutBatch(entries); err != nil {
+		return 0, nil, err
+	}
+	if _, err := s.tbl.Commit(fmt.Sprintf("forkbase: put %d entries", len(entries))); err != nil {
+		return 0, nil, err
+	}
+	s.idx = s.tbl.Primary()
+	return msgRoot, encodeRoot(s.idx.RootHash(), s.headHeight()), nil
 }
 
 // headHeight reports the head's tree height when it exposes one. Caller

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/core/indextest"
+	"repro/internal/hash"
 	"repro/internal/mbt"
 	"repro/internal/store"
 )
@@ -22,6 +23,9 @@ func TestIndexConformance(t *testing.T) {
 		New: func(s store.Store) (core.Index, error) { return mbt.New(s, conformanceConfig) },
 		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
 			return mbt.Load(s, conformanceConfig, idx.RootHash())
+		},
+		Loader: func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+			return mbt.Load(s, conformanceConfig, root)
 		},
 		OrderedIterate:        false,
 		PrunedRange:           false,

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/core/indextest"
+	"repro/internal/hash"
 	"repro/internal/mpt"
 	"repro/internal/store"
 )
@@ -17,6 +18,9 @@ func TestIndexConformance(t *testing.T) {
 		New: func(s store.Store) (core.Index, error) { return mpt.New(s), nil },
 		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
 			return mpt.Load(s, idx.RootHash()), nil
+		},
+		Loader: func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+			return mpt.Load(s, root), nil
 		},
 		OrderedIterate:        true,
 		PrunedRange:           true,

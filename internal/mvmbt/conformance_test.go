@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/core/indextest"
+	"repro/internal/hash"
 	"repro/internal/mvmbt"
 	"repro/internal/store"
 )
@@ -25,6 +26,9 @@ func TestIndexConformance(t *testing.T) {
 		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
 			bt := idx.(*mvmbt.Tree)
 			return mvmbt.Load(s, conformanceConfig(), bt.RootHash(), bt.Height()), nil
+		},
+		Loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+			return mvmbt.Load(s, conformanceConfig(), root, height), nil
 		},
 		OrderedIterate:        true,
 		PrunedRange:           true,

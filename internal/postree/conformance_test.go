@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/core/indextest"
+	"repro/internal/hash"
 	"repro/internal/postree"
 	"repro/internal/store"
 )
@@ -24,6 +25,9 @@ func TestIndexConformance(t *testing.T) {
 		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
 			pt := idx.(*postree.Tree)
 			return postree.Load(s, conformanceConfig(), pt.RootHash(), pt.Height()), nil
+		},
+		Loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+			return postree.Load(s, conformanceConfig(), root, height), nil
 		},
 		OrderedIterate:        true,
 		PrunedRange:           true,

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/core/indextest"
+	"repro/internal/hash"
 	"repro/internal/prolly"
 	"repro/internal/store"
 )
@@ -26,6 +27,9 @@ func TestIndexConformance(t *testing.T) {
 		Reopen: func(s store.Store, idx core.Index) (core.Index, error) {
 			pt := idx.(*prolly.Tree)
 			return prolly.Load(s, cfg, pt.RootHash(), pt.Height()), nil
+		},
+		Loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+			return prolly.Load(s, cfg, root, height), nil
 		},
 		OrderedIterate:        true,
 		PrunedRange:           true,

@@ -1,0 +1,63 @@
+package query_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/secondary"
+	"repro/internal/store"
+)
+
+// BenchmarkNarrowQuery compares the two routes for a narrow exact-match
+// predicate (5 rows out of 2000): indexed must stay far below scan in
+// both time and node reads — the CI benchstat smoke watches the ratio.
+func BenchmarkNarrowQuery(b *testing.B) {
+	build := func(b *testing.B) (*secondary.Table, *store.CountingStore) {
+		cs := store.NewCountingStore(store.NewMemStore())
+		repo := newRepo(cs)
+		tbl, err := secondary.Open(repo, "main", newMPT,
+			secondary.Def{Attr: "city", Extract: cityExtract, New: newMPT})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var batch []core.Entry
+		for i := 0; i < 2000; i++ {
+			batch = append(batch, core.Entry{
+				Key:   []byte(fmt.Sprintf("pk-%06d", i)),
+				Value: []byte(fmt.Sprintf("g%03d|v%d", i%400, i)),
+			})
+		}
+		if err := tbl.PutBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tbl.Commit("load"); err != nil {
+			b.Fatal(err)
+		}
+		return tbl, cs
+	}
+	run := func(b *testing.B, eng query.Engine, cs *store.CountingStore) {
+		b.ReportAllocs()
+		start := cs.NodeReads()
+		for i := 0; i < b.N; i++ {
+			rows, _, err := eng.Query(query.Query{Attr: "city", Exact: []byte(fmt.Sprintf("g%03d", i%400))})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != 5 {
+				b.Fatalf("rows = %d, want 5", len(rows))
+			}
+		}
+		b.ReportMetric(float64(cs.NodeReads()-start)/float64(b.N), "nodereads/op")
+	}
+	b.Run("indexed", func(b *testing.B) {
+		tbl, cs := build(b)
+		run(b, query.PlannerFor(query.IndexSource(tbl.Primary()), tbl), cs)
+	})
+	b.Run("scan", func(b *testing.B) {
+		tbl, cs := build(b)
+		eng := query.NewPlanner(query.IndexSource(tbl.Primary())).BindAttr("city", cityExtract)
+		run(b, eng, cs)
+	})
+}

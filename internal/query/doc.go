@@ -1,0 +1,24 @@
+// Package query routes point and range predicates over a table's access
+// paths: a registered secondary index (internal/secondary) when one
+// covers the queried attribute, a filtered primary scan otherwise.
+//
+// The planner is deliberately minimal — one attribute per query, exact
+// match or half-open value range — because its point is not SQL, it is
+// the cost contract: a query routed through a secondary index must read
+// O(result) index nodes, not O(data). That contract is enforced, not
+// assumed: internal/query/plantest runs every index class over a
+// node-read-counting store and fails any planner that silently falls
+// back to scanning while claiming an index route (Plan says which route
+// ran, the counter says what it cost).
+//
+// Results come back as primary rows: the index route resolves each
+// matching composite key to its primary key and re-reads the row from
+// the query Source. Reading through the Source — rather than trusting
+// the index — is what makes the planner correct over an ingest.Buffer
+// overlay: a delete the memtable has not merged yet makes the primary
+// lookup miss, masking the stale index hit, and an unmerged overwrite is
+// re-checked against the predicate via the extractor. Rows that are new
+// in the overlay appear under attribute predicates only after the
+// overlay merges, since the secondary is maintained at the committed
+// table, not the memtable.
+package query

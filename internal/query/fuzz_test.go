@@ -1,0 +1,76 @@
+package query_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/secondary"
+)
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}
+
+// FuzzPlanner fuzzes the predicate-to-composite-key translation the
+// planner routes through: whatever the attribute, values, primary keys
+// and bounds contain (separator bytes, escapes, empties, inverted
+// ranges), the encoding must round trip, sort like the raw tuples, and
+// ExactBounds/RangeBounds must select exactly the tuples the predicate
+// selects.
+func FuzzPlanner(f *testing.F) {
+	f.Add("city", []byte("g01"), []byte("pk-1"), []byte("g00"), []byte("pk-2"), []byte("g00"), []byte("g02"), true, true)
+	f.Add("a\x00b", []byte{0x00}, []byte{}, []byte{0x00, 0xFF}, []byte{0x01}, []byte{}, []byte{0x00}, false, true)
+	f.Add("", []byte{}, []byte{}, []byte{}, []byte{}, []byte{}, []byte{}, false, false)
+	f.Add("x", []byte("same"), []byte("pk"), []byte("same"), []byte("pk"), []byte("z"), []byte("a"), true, true) // inverted
+	f.Fuzz(func(t *testing.T, attr string, valA, pkA, valB, pkB, lo, hi []byte, hasLo, hasHi bool) {
+		kA := secondary.EncodeKey(attr, valA, pkA)
+		kB := secondary.EncodeKey(attr, valB, pkB)
+
+		// Round trip.
+		ga, gv, gp, err := secondary.DecodeKey(kA)
+		if err != nil {
+			t.Fatalf("DecodeKey(EncodeKey(%q,%x,%x)): %v", attr, valA, pkA, err)
+		}
+		if ga != attr || !bytes.Equal(gv, valA) || !bytes.Equal(gp, pkA) {
+			t.Fatalf("round trip (%q,%x,%x) -> (%q,%x,%x)", attr, valA, pkA, ga, gv, gp)
+		}
+
+		// Encoded order == tuple order within one attribute.
+		if sign(bytes.Compare(kA, kB)) != sign(secondary.CompareTuples(valA, pkA, valB, pkB)) {
+			t.Fatalf("order disagrees: enc %d for tuples (%x,%x) vs (%x,%x)",
+				bytes.Compare(kA, kB), valA, pkA, valB, pkB)
+		}
+
+		// Exact bounds select exactly the tuples with the queried value.
+		exLo, exHi := secondary.ExactBounds(attr, valB)
+		inExact := bytes.Compare(kA, exLo) >= 0 && bytes.Compare(kA, exHi) < 0
+		if inExact != bytes.Equal(valA, valB) {
+			t.Fatalf("ExactBounds(%q,%x): key (%x,%x) in=%v", attr, valB, valA, pkA, inExact)
+		}
+
+		// Range bounds select exactly the tuples the predicate admits,
+		// including for empty and inverted ranges. nil bounds are
+		// unbounded, mirroring the planner's Query.Lo/Hi semantics.
+		var qLo, qHi []byte
+		if hasLo {
+			qLo = lo
+		}
+		if hasHi {
+			qHi = hi
+		}
+		rLo, rHi := secondary.RangeBounds(attr, qLo, qHi)
+		inRange := bytes.Compare(kA, rLo) >= 0 && bytes.Compare(kA, rHi) < 0
+		want := core.InRange(valA, qLo, qHi)
+		if inRange != want {
+			t.Fatalf("RangeBounds(%q,%x,%x): key (%x,%x) in=%v want %v",
+				attr, qLo, qHi, valA, pkA, inRange, want)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package plantest_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/mbt"
+	"repro/internal/mpt"
+	"repro/internal/mvmbt"
+	"repro/internal/postree"
+	"repro/internal/prolly"
+	"repro/internal/query"
+	"repro/internal/query/plantest"
+	"repro/internal/secondary"
+	"repro/internal/store"
+)
+
+func mptOpts() plantest.Options {
+	return plantest.Options{
+		New: func(s store.Store) (core.Index, error) { return mpt.New(s), nil },
+		Loader: func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+			return mpt.Load(s, root), nil
+		},
+		Pruned: true,
+	}
+}
+
+func TestPlannerConformanceMPT(t *testing.T) {
+	plantest.RunPlannerTests(t, "MPT", mptOpts())
+}
+
+func TestPlannerConformanceMBT(t *testing.T) {
+	cfg := mbt.Config{Capacity: 64, Fanout: 8}
+	plantest.RunPlannerTests(t, "MBT", plantest.Options{
+		New: func(s store.Store) (core.Index, error) { return mbt.New(s, cfg) },
+		Loader: func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+			return mbt.Load(s, cfg, root)
+		},
+		Pruned: false, // hash-partitioned: correct but cannot prune
+	})
+}
+
+func TestPlannerConformancePOSTree(t *testing.T) {
+	cfg := postree.ConfigForNodeSize(512)
+	plantest.RunPlannerTests(t, "POS-Tree", plantest.Options{
+		New: func(s store.Store) (core.Index, error) { return postree.New(s, cfg), nil },
+		Loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+			return postree.Load(s, cfg, root, height), nil
+		},
+		Pruned: true,
+	})
+}
+
+func TestPlannerConformanceProlly(t *testing.T) {
+	cfg := prolly.ConfigForNodeSize(512)
+	plantest.RunPlannerTests(t, "Prolly-Tree", plantest.Options{
+		New: func(s store.Store) (core.Index, error) { return prolly.New(s, cfg), nil },
+		Loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+			return prolly.Load(s, cfg, root, height), nil
+		},
+		Pruned: true,
+	})
+}
+
+func TestPlannerConformanceMVMBT(t *testing.T) {
+	cfg := mvmbt.ConfigForNodeSize(512)
+	plantest.RunPlannerTests(t, "MVMB+-Tree", plantest.Options{
+		New: func(s store.Store) (core.Index, error) { return mvmbt.New(s, cfg), nil },
+		Loader: func(s store.Store, root hash.Hash, height int) (core.Index, error) {
+			return mvmbt.Load(s, cfg, root, height), nil
+		},
+		Pruned: true,
+	})
+}
+
+// TestHonestyNegativeControl is the battery's proof about itself: an
+// engine that dutifully maintains the secondary index but never routes
+// through it — every query a filtered primary scan — must FAIL
+// CheckHonesty. If this test ever passes a scan-only engine, the honesty
+// assertion has gone vacuous and the shipped planner's green run means
+// nothing.
+func TestHonestyNegativeControl(t *testing.T) {
+	dishonest := func(src query.Source, tbl *secondary.Table) query.Engine {
+		p := query.NewPlanner(src)
+		for _, d := range tbl.Defs() {
+			p.BindAttr(d.Attr, d.Extract) // scan-only: the index exists but is never used
+		}
+		return p
+	}
+	err := plantest.CheckHonesty(store.NewMemStore(), mptOpts(), dishonest)
+	if err == nil {
+		t.Fatal("CheckHonesty passed an engine that never routes through the index")
+	}
+	if !strings.Contains(err.Error(), "not routing") {
+		t.Fatalf("CheckHonesty failed for the wrong reason: %v", err)
+	}
+}
+
+// TestHonestyRejectsWrongRows pins the other guard: an engine that is
+// cheap but wrong (returns nothing) must fail on correctness, not pass
+// on node reads.
+func TestHonestyRejectsWrongRows(t *testing.T) {
+	empty := func(src query.Source, tbl *secondary.Table) query.Engine {
+		return emptyEngine{}
+	}
+	err := plantest.CheckHonesty(store.NewMemStore(), mptOpts(), empty)
+	if err == nil {
+		t.Fatal("CheckHonesty passed an engine that returns no rows")
+	}
+}
+
+type emptyEngine struct{}
+
+func (emptyEngine) Query(q query.Query) ([]query.Row, query.Plan, error) {
+	return nil, query.Plan{Attr: q.Attr, UsedIndex: true}, nil
+}
+
+// TestShippedPlannerHonest is the direct acceptance check: the shipped
+// factory passes over a plain mem store for a pruning class.
+func TestShippedPlannerHonest(t *testing.T) {
+	if err := plantest.CheckHonesty(store.NewMemStore(), mptOpts(), plantest.ShippedEngine); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+package query
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/secondary"
+)
+
+// Source is where the planner reads rows from: the committed primary
+// index (wrap one with IndexSource) or an ingest.Buffer, whose Get/Range
+// already merge the unmerged memtable over the committed head.
+type Source interface {
+	// Get reads one row by primary key.
+	Get(key []byte) ([]byte, bool, error)
+	// Range visits rows with lo ≤ key < hi in ascending key order, nil
+	// bounds unbounded — the core.Ranger contract.
+	Range(lo, hi []byte, fn func(key, value []byte) bool) error
+}
+
+// indexSource adapts a core.Index to Source.
+type indexSource struct{ idx core.Index }
+
+func (s indexSource) Get(key []byte) ([]byte, bool, error) { return s.idx.Get(key) }
+func (s indexSource) Range(lo, hi []byte, fn func(key, value []byte) bool) error {
+	return core.RangeOf(s.idx, lo, hi, fn)
+}
+
+// IndexSource wraps a primary index version as a query Source.
+func IndexSource(idx core.Index) Source { return indexSource{idx} }
+
+// Query is one predicate. Attr == "" queries by primary key directly;
+// otherwise Attr names a derived attribute. Exact != nil asks for rows
+// whose attribute equals Exact (use []byte{} for the empty value);
+// Exact == nil asks for the half-open value range [Lo, Hi) with nil
+// bounds unbounded, the same bound semantics as core.Ranger. Limit > 0
+// caps the result count; for a range predicate over an attribute, which
+// matching rows survive the cap is route-dependent (the index route cuts
+// in value order, the scan route in primary-key order).
+type Query struct {
+	Attr  string
+	Exact []byte
+	Lo    []byte
+	Hi    []byte
+	Limit int
+}
+
+// Row is one result: a primary row.
+type Row struct {
+	Key   []byte
+	Value []byte
+}
+
+// Plan reports how a query was executed — the observable half of the
+// honesty contract. UsedIndex means a secondary served the predicate
+// (IndexClass names its class); FellBack means the attribute had no
+// covering index and a filtered primary scan ran instead.
+type Plan struct {
+	Attr       string
+	UsedIndex  bool
+	IndexClass string
+	FellBack   bool
+}
+
+// Engine answers queries. The shipped implementation is Planner; the
+// plantest battery accepts any Engine so it can prove the battery itself
+// catches a dishonest one.
+type Engine interface {
+	Query(q Query) ([]Row, Plan, error)
+}
+
+// ErrUnknownAttr reports a query over an attribute the planner has no
+// binding for — neither an index nor an extractor to scan with.
+var ErrUnknownAttr = errors.New("query: unknown attribute")
+
+// binding is one attribute the planner can serve.
+type binding struct {
+	extract secondary.Extract
+	idx     core.Index // nil: scan-only binding
+}
+
+// Planner routes queries over one Source. Bind attributes with BindIndex
+// (index-routed) or BindAttr (scan-only fallback); primary-key queries
+// (Attr == "") need no binding. Planner is a snapshot: it holds the
+// index versions it was built with, so rebuild it (or use PlannerFor)
+// after the table commits new versions.
+type Planner struct {
+	src   Source
+	attrs map[string]binding
+}
+
+// NewPlanner builds a planner over one row source with no attribute
+// bindings yet.
+func NewPlanner(src Source) *Planner {
+	return &Planner{src: src, attrs: make(map[string]binding)}
+}
+
+// BindAttr registers a scan-only attribute: queries over it work but
+// always fall back to a filtered primary scan.
+func (p *Planner) BindAttr(attr string, ex secondary.Extract) *Planner {
+	p.attrs[attr] = binding{extract: ex}
+	return p
+}
+
+// BindIndex registers an attribute served by a secondary index version.
+// The extractor must be the one that maintains idx, or index-routed
+// re-checks will disagree with scans.
+func (p *Planner) BindIndex(attr string, ex secondary.Extract, idx core.Index) *Planner {
+	p.attrs[attr] = binding{extract: ex, idx: idx}
+	return p
+}
+
+// PlannerFor builds the planner a secondary.Table implies: every table
+// Def bound to its current secondary index version, reading rows from
+// src. Pass IndexSource(tbl.Primary()) to query the committed table, or
+// an ingest.Buffer to query through the unmerged overlay.
+func PlannerFor(src Source, tbl *secondary.Table) *Planner {
+	p := NewPlanner(src)
+	for _, d := range tbl.Defs() {
+		if idx, ok := tbl.Secondary(d.Attr); ok {
+			p.BindIndex(d.Attr, d.Extract, idx)
+		}
+	}
+	return p
+}
+
+// Query executes one predicate and returns the matching rows sorted by
+// primary key — without a Limit, the same rows in the same order
+// whichever route served them.
+func (p *Planner) Query(q Query) ([]Row, Plan, error) {
+	if q.Attr == "" {
+		return p.primaryQuery(q)
+	}
+	b, ok := p.attrs[q.Attr]
+	if !ok {
+		return nil, Plan{Attr: q.Attr}, fmt.Errorf("%w: %q", ErrUnknownAttr, q.Attr)
+	}
+	if b.idx != nil {
+		rows, err := p.indexed(q, b)
+		return rows, Plan{Attr: q.Attr, UsedIndex: true, IndexClass: b.idx.Name()}, err
+	}
+	rows, err := p.scan(q, b)
+	return rows, Plan{Attr: q.Attr, FellBack: true}, err
+}
+
+// primaryQuery serves Attr == "": by key through Source.Get, or a key
+// range through Source.Range.
+func (p *Planner) primaryQuery(q Query) ([]Row, Plan, error) {
+	plan := Plan{}
+	if q.Exact != nil {
+		v, ok, err := p.src.Get(q.Exact)
+		if err != nil || !ok {
+			return nil, plan, err
+		}
+		return []Row{{Key: append([]byte(nil), q.Exact...), Value: v}}, plan, nil
+	}
+	var rows []Row
+	err := p.src.Range(q.Lo, q.Hi, func(k, v []byte) bool {
+		rows = append(rows, copyRow(k, v))
+		return q.Limit <= 0 || len(rows) < q.Limit
+	})
+	return rows, plan, err
+}
+
+// Matches evaluates the predicate against one attribute value — the
+// membership test both routes agree on, exported for conformance
+// batteries that re-check returned rows.
+func (q Query) Matches(av []byte) bool {
+	if q.Exact != nil {
+		return bytes.Equal(av, q.Exact)
+	}
+	return core.InRange(av, q.Lo, q.Hi) && !core.EmptyRange(q.Lo, q.Hi)
+}
+
+// bounds translates the predicate into the composite-key interval to
+// scan on the secondary.
+func (q Query) bounds() (lo, hi []byte) {
+	if q.Exact != nil {
+		return secondary.ExactBounds(q.Attr, q.Exact)
+	}
+	return secondary.RangeBounds(q.Attr, q.Lo, q.Hi)
+}
+
+// indexed serves the predicate through the bound secondary: scan the
+// composite-key interval, resolve each hit to its primary row through
+// the Source, re-check the predicate against the live value. The re-read
+// is what keeps the route correct over an overlay Source — an unmerged
+// delete misses (masking the stale index entry) and an unmerged
+// overwrite is re-judged by the extractor.
+func (p *Planner) indexed(q Query, b binding) ([]Row, error) {
+	if q.Exact == nil && core.EmptyRange(q.Lo, q.Hi) {
+		return nil, nil
+	}
+	lo, hi := q.bounds()
+	var rows []Row
+	var rerr error
+	err := core.RangeOf(b.idx, lo, hi, func(k, _ []byte) bool {
+		_, _, pk, err := secondary.DecodeKey(k)
+		if err != nil {
+			rerr = err
+			return false
+		}
+		v, ok, err := p.src.Get(pk)
+		if err != nil {
+			rerr = err
+			return false
+		}
+		if !ok {
+			return true // unmerged delete: stale index hit, masked
+		}
+		av, ok := b.extract(pk, v)
+		if !ok || !q.Matches(av) {
+			return true // unmerged overwrite moved the row out of the predicate
+		}
+		rows = append(rows, copyRow(pk, v))
+		return q.Limit <= 0 || len(rows) < q.Limit
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	sortRows(rows)
+	return rows, nil
+}
+
+// scan serves the predicate by filtering a full primary scan — the
+// fallback for attributes with no covering index.
+func (p *Planner) scan(q Query, b binding) ([]Row, error) {
+	if q.Exact == nil && core.EmptyRange(q.Lo, q.Hi) {
+		return nil, nil
+	}
+	var rows []Row
+	err := p.src.Range(nil, nil, func(k, v []byte) bool {
+		av, ok := b.extract(k, v)
+		if !ok || !q.Matches(av) {
+			return true
+		}
+		rows = append(rows, copyRow(k, v))
+		return q.Limit <= 0 || len(rows) < q.Limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortRows(rows)
+	return rows, nil
+}
+
+func copyRow(k, v []byte) Row {
+	return Row{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)}
+}
+
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool { return bytes.Compare(rows[i].Key, rows[j].Key) < 0 })
+}

@@ -1,0 +1,241 @@
+package query_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/ingest"
+	"repro/internal/mpt"
+	"repro/internal/query"
+	"repro/internal/secondary"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+func cityExtract(_, value []byte) ([]byte, bool) {
+	i := bytes.IndexByte(value, '|')
+	if i < 0 {
+		return nil, false
+	}
+	return value[:i], true
+}
+
+func newMPT(s store.Store) (core.Index, error) { return mpt.New(s), nil }
+
+func newRepo(s store.Store) *version.Repo {
+	repo := version.NewRepo(s)
+	repo.RegisterLoader("MPT", func(st store.Store, root hash.Hash, _ int) (core.Index, error) {
+		return mpt.Load(st, root), nil
+	})
+	return repo
+}
+
+// buildTable loads n rows "pk-%03d" -> "g%02d|v%d" (city = i%groups) and
+// commits.
+func buildTable(t *testing.T, repo *version.Repo, n, groups int) *secondary.Table {
+	t.Helper()
+	tbl, err := secondary.Open(repo, "main", newMPT,
+		secondary.Def{Attr: "city", Extract: cityExtract, New: newMPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []core.Entry
+	for i := 0; i < n; i++ {
+		batch = append(batch, core.Entry{
+			Key:   []byte(fmt.Sprintf("pk-%03d", i)),
+			Value: []byte(fmt.Sprintf("g%02d|v%d", i%groups, i)),
+		})
+	}
+	if err := tbl.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Commit("load"); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func keys(rows []query.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = string(r.Key)
+	}
+	return out
+}
+
+func TestPlannerRoutes(t *testing.T) {
+	s := store.NewMemStore()
+	tbl := buildTable(t, newRepo(s), 60, 10)
+	p := query.PlannerFor(query.IndexSource(tbl.Primary()), tbl)
+
+	// Exact match routes through the index and returns the right rows.
+	rows, plan, err := p.Query(query.Query{Attr: "city", Exact: []byte("g03")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UsedIndex || plan.FellBack || plan.IndexClass != "MPT" {
+		t.Fatalf("exact plan = %+v", plan)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("exact rows = %v", keys(rows))
+	}
+	for _, r := range rows {
+		av, ok := cityExtract(r.Key, r.Value)
+		if !ok || !bytes.Equal(av, []byte("g03")) {
+			t.Fatalf("row %q value %q not in g03", r.Key, r.Value)
+		}
+	}
+	// Sorted by primary key.
+	for i := 1; i < len(rows); i++ {
+		if bytes.Compare(rows[i-1].Key, rows[i].Key) >= 0 {
+			t.Fatalf("rows out of key order: %v", keys(rows))
+		}
+	}
+
+	// Range predicate [g03, g05) through the index.
+	rows, plan, err = p.Query(query.Query{Attr: "city", Lo: []byte("g03"), Hi: []byte("g05")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UsedIndex || len(rows) != 12 {
+		t.Fatalf("range plan %+v, %d rows", plan, len(rows))
+	}
+
+	// Scan-only binding falls back and agrees with the index route.
+	ps := query.NewPlanner(query.IndexSource(tbl.Primary())).BindAttr("city", cityExtract)
+	srows, splan, err := ps.Query(query.Query{Attr: "city", Lo: []byte("g03"), Hi: []byte("g05")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if splan.UsedIndex || !splan.FellBack {
+		t.Fatalf("scan plan = %+v", splan)
+	}
+	if len(srows) != len(rows) {
+		t.Fatalf("routes disagree: index %v, scan %v", keys(rows), keys(srows))
+	}
+	for i := range rows {
+		if !bytes.Equal(rows[i].Key, srows[i].Key) || !bytes.Equal(rows[i].Value, srows[i].Value) {
+			t.Fatalf("routes disagree at %d: %q vs %q", i, rows[i].Key, srows[i].Key)
+		}
+	}
+
+	// Empty and inverted ranges return nothing on both routes.
+	for _, q := range []query.Query{
+		{Attr: "city", Lo: []byte("g05"), Hi: []byte("g03")},
+		{Attr: "city", Lo: []byte("g05"), Hi: []byte("g05")},
+		{Attr: "city", Hi: []byte{}},
+		{Attr: "city", Exact: []byte("no-such-city")},
+	} {
+		for _, eng := range []query.Engine{p, ps} {
+			rows, _, err := eng.Query(q)
+			if err != nil || len(rows) != 0 {
+				t.Fatalf("degenerate query %+v = %v, %v", q, keys(rows), err)
+			}
+		}
+	}
+
+	// Limit caps the exact route, keeping the lowest primary keys.
+	rows, _, err = p.Query(query.Query{Attr: "city", Exact: []byte("g03"), Limit: 2})
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("limit rows = %v, %v", keys(rows), err)
+	}
+	if string(rows[0].Key) != "pk-003" || string(rows[1].Key) != "pk-013" {
+		t.Fatalf("limit kept %v", keys(rows))
+	}
+
+	// Primary-key queries need no binding.
+	rows, plan, err = p.Query(query.Query{Exact: []byte("pk-007")})
+	if err != nil || len(rows) != 1 || plan.UsedIndex || plan.FellBack {
+		t.Fatalf("pk exact = %v, %+v, %v", keys(rows), plan, err)
+	}
+	rows, _, err = p.Query(query.Query{Lo: []byte("pk-010"), Hi: []byte("pk-013")})
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("pk range = %v, %v", keys(rows), err)
+	}
+
+	// Unknown attribute is an error, not a silent empty result.
+	if _, _, err := p.Query(query.Query{Attr: "price", Exact: []byte("1")}); !errors.Is(err, query.ErrUnknownAttr) {
+		t.Fatalf("unknown attr err = %v", err)
+	}
+}
+
+// TestPlannerMasksOverlay queries through an ingest.Buffer holding
+// unmerged mutations: a delete must mask the stale index hit, an
+// attribute-changing overwrite must drop the row from its old attribute
+// value, and after Merge the secondary catches up through a reopened
+// table.
+func TestPlannerMasksOverlay(t *testing.T) {
+	s := store.NewMemStore()
+	repo := newRepo(s)
+	tbl := buildTable(t, repo, 40, 8)
+
+	dir := t.TempDir()
+	bu, err := ingest.Open(repo, ingest.Options{
+		Dir:        dir,
+		Branch:     "main",
+		MaxEntries: 1 << 20, // never auto-merge during the test
+		New:        func(st store.Store) (core.Index, error) { return mpt.New(st), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bu.Close()
+
+	// g02 holds pk-002, pk-010, pk-018, pk-026, pk-034.
+	if err := bu.Delete([]byte("pk-010")); err != nil {
+		t.Fatal(err)
+	}
+	// Move pk-018 from g02 to g99 without merging.
+	if err := bu.Put([]byte("pk-018"), []byte("g99|moved")); err != nil {
+		t.Fatal(err)
+	}
+
+	p := query.PlannerFor(bu, tbl)
+	rows, plan, err := p.Query(query.Query{Attr: "city", Exact: []byte("g02")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UsedIndex {
+		t.Fatalf("plan = %+v", plan)
+	}
+	want := []string{"pk-002", "pk-026", "pk-034"}
+	got := keys(rows)
+	if len(got) != len(want) {
+		t.Fatalf("overlay-masked rows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("overlay-masked rows = %v, want %v", got, want)
+		}
+	}
+
+	// The moved row is invisible under its new attribute until merge: the
+	// committed secondary has no g99 entry yet.
+	rows, _, err = p.Query(query.Query{Attr: "city", Exact: []byte("g99")})
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("unmerged new attribute rows = %v, %v", keys(rows), err)
+	}
+
+	// Merge, reopen the table at the new head, and the index catches up.
+	if _, merged, err := bu.Merge(); err != nil || !merged {
+		t.Fatalf("Merge = %v, %v", merged, err)
+	}
+	tbl2, err := secondary.Open(repo, "main", newMPT,
+		secondary.Def{Attr: "city", Extract: cityExtract, New: newMPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := query.PlannerFor(query.IndexSource(tbl2.Primary()), tbl2)
+	rows, _, err = p2.Query(query.Query{Attr: "city", Exact: []byte("g02")})
+	if err != nil || len(keys(rows)) != 3 {
+		t.Fatalf("post-merge g02 = %v, %v", keys(rows), err)
+	}
+	rows, _, err = p2.Query(query.Query{Attr: "city", Exact: []byte("g99")})
+	if err != nil || len(rows) != 1 || string(rows[0].Key) != "pk-018" {
+		t.Fatalf("post-merge g99 = %v, %v", keys(rows), err)
+	}
+}

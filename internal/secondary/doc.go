@@ -1,0 +1,26 @@
+// Package secondary adds Merkle secondary indexes over the primary
+// core.Index classes: derived access paths (value→key lookups, attribute
+// range scans) for a serving system whose primary key order does not
+// match its queries.
+//
+// A secondary index is itself any of the five core.Index classes, keyed
+// by order-preserving composite keys — conceptually attr\x00value\x00pk,
+// escaped so values containing the separator still round-trip and sort
+// correctly (see EncodeKey) — and mapping back to primary keys. Table
+// binds a primary index and its secondaries to one version.Repo branch:
+// Put/Delete/PutBatch maintain every secondary tombstone-correctly (an
+// update that changes an attribute deletes the old derived key before
+// inserting the new one), and Commit records the primary root plus a
+// root-of-roots of the secondaries (version.RootRef in Commit.Meta) in a
+// single commit — the co-commit is atomic, GC marks the secondary trees,
+// and Repo.Verify scrubs them.
+//
+// The query routing that makes these indexes worth their insert overhead
+// lives in internal/query; the battery proving the routing is honest (a
+// narrow query reads O(result) nodes, not O(data)) lives in
+// internal/query/plantest.
+//
+// Table is a single-writer view, like the indexes it wraps: one
+// goroutine mutates and commits; readers use the immutable index values
+// it exposes.
+package secondary

@@ -1,0 +1,142 @@
+package secondary
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// The composite-key encoding. A derived key is the tuple (attr, value,
+// pk) and must sort by that tuple under plain bytes.Compare, because the
+// secondary index classes order by raw key bytes. A naive
+// attr\x00value\x00pk join breaks when a field contains \x00, so each
+// field is escaped order-preservingly — 0x00 becomes 0x00 0xFF — and
+// fields are joined with the separator 0x00 0x01. The separator compares
+// below every possible escaped continuation byte (0x01 < 0xFF, and
+// 0x01 <= any first byte of a non-0x00 continuation), which is exactly
+// the property that makes tuple order and encoded order agree: a field
+// that is a strict prefix of another sorts first, same as the raw
+// tuples.
+const (
+	escByte  = 0x00
+	escCont  = 0xFF // 0x00 0xFF encodes a literal 0x00
+	sepByte  = 0x01 // 0x00 0x01 separates fields
+	succByte = 0x02 // 0x00 0x02 is the exclusive upper bound of a field prefix
+)
+
+// appendEscaped appends the order-preserving escape of field to dst.
+func appendEscaped(dst, field []byte) []byte {
+	for _, b := range field {
+		if b == escByte {
+			dst = append(dst, escByte, escCont)
+			continue
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// appendSep appends the field separator.
+func appendSep(dst []byte) []byte { return append(dst, escByte, sepByte) }
+
+// EncodeKey builds the composite key for one (attr, value, pk) triple.
+// The encoding sorts by the raw tuple: all keys of one attribute are
+// contiguous, within an attribute they sort by value, and within a value
+// by primary key — which is what lets exact-match and range predicates
+// translate to contiguous key ranges (ExactBounds, RangeBounds).
+func EncodeKey(attr string, value, pk []byte) []byte {
+	out := make([]byte, 0, len(attr)+len(value)+len(pk)+8)
+	out = appendEscaped(out, []byte(attr))
+	out = appendSep(out)
+	out = appendEscaped(out, value)
+	out = appendSep(out)
+	out = appendEscaped(out, pk)
+	return out
+}
+
+// DecodeKey splits a composite key back into its fields. It is strict:
+// exactly two separators, and every 0x00 must open a valid escape or
+// separator pair.
+func DecodeKey(key []byte) (attr string, value, pk []byte, err error) {
+	var fields [][]byte
+	cur := []byte{}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if b != escByte {
+			cur = append(cur, b)
+			continue
+		}
+		if i+1 >= len(key) {
+			return "", nil, nil, fmt.Errorf("secondary: truncated escape in composite key %x", key)
+		}
+		i++
+		switch key[i] {
+		case escCont:
+			cur = append(cur, escByte)
+		case sepByte:
+			fields = append(fields, cur)
+			cur = []byte{}
+		default:
+			return "", nil, nil, fmt.Errorf("secondary: invalid escape %#x in composite key %x", key[i], key)
+		}
+	}
+	fields = append(fields, cur)
+	if len(fields) != 3 {
+		return "", nil, nil, fmt.Errorf("secondary: composite key %x has %d fields, want 3", key, len(fields))
+	}
+	return string(fields[0]), fields[1], fields[2], nil
+}
+
+// attrPrefix is the encoded prefix shared by every key of one attribute:
+// esc(attr) plus the separator.
+func attrPrefix(attr string) []byte {
+	out := appendEscaped(make([]byte, 0, len(attr)+2), []byte(attr))
+	return appendSep(out)
+}
+
+// succ returns the exclusive upper bound of the prefix p, which by
+// construction ends in a separator pair: bumping the separator's second
+// byte to succByte bounds every key that extends p, because no escape or
+// separator pair sorts at or above 0x00 0x02 while extending the same
+// prefix.
+func succ(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	out[len(out)-1] = succByte
+	return out
+}
+
+// ExactBounds returns the half-open composite range [lo, hi) holding
+// exactly the keys of (attr, value) pairs equal to the given ones, across
+// all primary keys.
+func ExactBounds(attr string, value []byte) (lo, hi []byte) {
+	p := attrPrefix(attr)
+	p = appendEscaped(p, value)
+	p = appendSep(p)
+	return p, succ(p)
+}
+
+// RangeBounds translates a value range [valLo, valHi) on one attribute
+// into the composite-key range [lo, hi) covering it. A nil valLo means
+// unbounded below; a nil valHi means unbounded above (every value of the
+// attribute). Note nil and empty differ for valHi exactly as in
+// core.Ranger bounds: an empty valHi is the bound "" and selects
+// nothing.
+func RangeBounds(attr string, valLo, valHi []byte) (lo, hi []byte) {
+	p := attrPrefix(attr)
+	lo = append(append([]byte(nil), p...), appendEscaped(nil, valLo)...)
+	if valHi == nil {
+		hi = succ(p)
+	} else {
+		hi = append(append([]byte(nil), p...), appendEscaped(nil, valHi)...)
+	}
+	return lo, hi
+}
+
+// CompareTuples orders two (value, pk) pairs the way their encodings
+// order under bytes.Compare — the oracle the fuzz tests check the
+// encoding against.
+func CompareTuples(valA, pkA, valB, pkB []byte) int {
+	if c := bytes.Compare(valA, valB); c != 0 {
+		return c
+	}
+	return bytes.Compare(pkA, pkB)
+}

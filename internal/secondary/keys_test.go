@@ -1,0 +1,161 @@
+package secondary
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// awkward field values: empties, separators, escape bytes, high bytes —
+// the cases a naive \x00-joined encoding gets wrong.
+var awkward = [][]byte{
+	nil,
+	{},
+	[]byte("a"),
+	[]byte("ab"),
+	{0x00},
+	{0x00, 0x00},
+	{0x00, 0x01},
+	{0x00, 0x02},
+	{0x00, 0xFF},
+	{0x01},
+	{0xFF},
+	{0xFF, 0x00},
+	[]byte("a\x00b"),
+	[]byte("city-0001"),
+}
+
+func TestCompositeKeyRoundTrip(t *testing.T) {
+	attrs := []string{"a", "city", "a\x00b", "\x00", "x\xffy"}
+	for _, attr := range attrs {
+		for _, val := range awkward {
+			for _, pk := range awkward {
+				key := EncodeKey(attr, val, pk)
+				ga, gv, gp, err := DecodeKey(key)
+				if err != nil {
+					t.Fatalf("DecodeKey(%x): %v", key, err)
+				}
+				if ga != attr || !bytes.Equal(gv, val) || !bytes.Equal(gp, pk) {
+					t.Fatalf("round trip (%q,%x,%x) -> (%q,%x,%x)", attr, val, pk, ga, gv, gp)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeKeyRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		{},                                     // zero fields
+		[]byte("a"),                            // one field
+		{0x61, 0x00, 0x01, 0x62},               // two fields
+		{0x00},                                 // truncated escape
+		{0x61, 0x00, 0x01, 0x62, 0x00},         // truncated escape after a separator
+		{0x61, 0x00, 0x03, 0x62},               // invalid escape pair
+		append(EncodeKey("a", nil, nil), 0x00), // valid key plus dangling escape
+	}
+	for _, key := range bad {
+		if _, _, _, err := DecodeKey(key); err == nil {
+			t.Fatalf("DecodeKey(%x) accepted malformed key", key)
+		}
+	}
+}
+
+// TestCompositeKeyOrder checks the load-bearing property: encoded keys
+// sort under bytes.Compare exactly as the raw (value, pk) tuples sort
+// under CompareTuples, within one attribute.
+func TestCompositeKeyOrder(t *testing.T) {
+	type tup struct{ val, pk []byte }
+	var tuples []tup
+	for _, v := range awkward {
+		for _, p := range awkward {
+			tuples = append(tuples, tup{v, p})
+		}
+	}
+	for i, a := range tuples {
+		for j, b := range tuples {
+			want := CompareTuples(a.val, a.pk, b.val, b.pk)
+			got := bytes.Compare(EncodeKey("attr", a.val, a.pk), EncodeKey("attr", b.val, b.pk))
+			if sign(got) != sign(want) {
+				t.Fatalf("order disagrees for tuples %d,%d: (%x,%x) vs (%x,%x): enc %d, tuple %d",
+					i, j, a.val, a.pk, b.val, b.pk, got, want)
+			}
+		}
+	}
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}
+
+// TestBoundsMembership checks ExactBounds and RangeBounds against brute
+// force: a composite key falls inside the bounds iff its decoded tuple
+// satisfies the predicate. Multiple attributes are present so prefix
+// leakage across attributes would be caught.
+func TestBoundsMembership(t *testing.T) {
+	attrs := []string{"a", "a\x00b", "ab", "b"}
+	var keys [][]byte
+	type decoded struct {
+		attr    string
+		val, pk []byte
+	}
+	byKey := make(map[string]decoded)
+	for _, attr := range attrs {
+		for _, val := range awkward {
+			for i := 0; i < 2; i++ {
+				pk := []byte(fmt.Sprintf("pk-%d", i))
+				k := EncodeKey(attr, val, pk)
+				keys = append(keys, k)
+				byKey[string(k)] = decoded{attr, append([]byte(nil), val...), pk}
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+
+	inBounds := func(k, lo, hi []byte) bool {
+		return bytes.Compare(k, lo) >= 0 && bytes.Compare(k, hi) < 0
+	}
+
+	for _, attr := range attrs {
+		for _, val := range awkward {
+			lo, hi := ExactBounds(attr, val)
+			for _, k := range keys {
+				d := byKey[string(k)]
+				want := d.attr == attr && bytes.Equal(d.val, val)
+				if got := inBounds(k, lo, hi); got != want {
+					t.Fatalf("ExactBounds(%q,%x): key (%q,%x,%x) in=%v want %v",
+						attr, val, d.attr, d.val, d.pk, got, want)
+				}
+			}
+		}
+		for _, valLo := range awkward {
+			for _, valHi := range awkward {
+				lo, hi := RangeBounds(attr, valLo, valHi)
+				for _, k := range keys {
+					d := byKey[string(k)]
+					want := d.attr == attr &&
+						(valLo == nil || bytes.Compare(d.val, valLo) >= 0) &&
+						(valHi == nil || bytes.Compare(d.val, valHi) < 0)
+					if got := inBounds(k, lo, hi); got != want {
+						t.Fatalf("RangeBounds(%q,%x,%x): key (%q,%x,%x) in=%v want %v",
+							attr, valLo, valHi, d.attr, d.val, d.pk, got, want)
+					}
+				}
+			}
+		}
+		// Unbounded on both sides selects exactly the attribute.
+		lo, hi := RangeBounds(attr, nil, nil)
+		for _, k := range keys {
+			d := byKey[string(k)]
+			if got := inBounds(k, lo, hi); got != (d.attr == attr) {
+				t.Fatalf("RangeBounds(%q,nil,nil): key attr %q in=%v", attr, d.attr, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package secondary_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/mpt"
+	"repro/internal/secondary"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+// rows in these tests hold "attr|payload"; the city extractor indexes the
+// part before '|' and leaves rows without a '|' unindexed (a partial
+// index).
+func cityExtract(_, value []byte) ([]byte, bool) {
+	i := bytes.IndexByte(value, '|')
+	if i < 0 {
+		return nil, false
+	}
+	return value[:i], true
+}
+
+func newMPT(s store.Store) (core.Index, error) { return mpt.New(s), nil }
+
+func mptLoader(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+	return mpt.Load(s, root), nil
+}
+
+func cityDef() secondary.Def {
+	return secondary.Def{Attr: "city", Extract: cityExtract, New: newMPT}
+}
+
+// secondaryContents decodes the full secondary into a set of
+// "value\x1Fpk" strings for oracle comparison.
+func secondaryContents(t *testing.T, tbl *secondary.Table, attr string) map[string]bool {
+	t.Helper()
+	sec, ok := tbl.Secondary(attr)
+	if !ok {
+		t.Fatalf("Secondary(%q) missing", attr)
+	}
+	got := make(map[string]bool)
+	if err := sec.Iterate(func(k, _ []byte) bool {
+		a, val, pk, err := secondary.DecodeKey(k)
+		if err != nil {
+			t.Fatalf("DecodeKey(%x): %v", k, err)
+		}
+		if a != attr {
+			t.Fatalf("secondary %q holds foreign key for attr %q", attr, a)
+		}
+		got[string(val)+"\x1F"+string(pk)] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// derivedOracle recomputes the expected secondary contents from a primary
+// oracle map.
+func derivedOracle(rows map[string][]byte) map[string]bool {
+	want := make(map[string]bool)
+	for pk, v := range rows {
+		if av, ok := cityExtract([]byte(pk), v); ok {
+			want[string(av)+"\x1F"+pk] = true
+		}
+	}
+	return want
+}
+
+func checkTable(t *testing.T, tbl *secondary.Table, rows map[string][]byte) {
+	t.Helper()
+	// Primary matches the oracle.
+	n := 0
+	if err := tbl.Primary().Iterate(func(k, v []byte) bool {
+		n++
+		want, ok := rows[string(k)]
+		if !ok || !bytes.Equal(v, want) {
+			t.Fatalf("primary row %q = %x, oracle %x (present %v)", k, v, want, ok)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rows) {
+		t.Fatalf("primary holds %d rows, oracle %d", n, len(rows))
+	}
+	// Secondary matches the derived oracle.
+	got, want := secondaryContents(t, tbl, "city"), derivedOracle(rows)
+	if len(got) != len(want) {
+		t.Fatalf("secondary holds %d derived keys, oracle %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("secondary missing derived key %q", k)
+		}
+	}
+}
+
+// TestTableMaintenance drives randomized CRUD through the table and
+// checks the secondary against a recomputed oracle after every
+// mutation's worth of state transitions: inserts, attribute-changing
+// updates, attribute-preserving updates, rows leaving and entering the
+// partial index, deletes, and batches with duplicate keys.
+func TestTableMaintenance(t *testing.T) {
+	s := store.NewMemStore()
+	repo := version.NewRepo(s)
+	repo.RegisterLoader("MPT", mptLoader)
+	tbl, err := secondary.Open(repo, "main", newMPT, cityDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(9))
+	value := func() []byte {
+		if rng.Intn(8) == 0 {
+			return []byte(fmt.Sprintf("unindexed-%d", rng.Intn(1000))) // no '|': partial index gap
+		}
+		return []byte(fmt.Sprintf("g%02d|v%d", rng.Intn(12), rng.Intn(1000)))
+	}
+	pk := func() []byte { return []byte(fmt.Sprintf("pk-%03d", rng.Intn(60))) }
+
+	for op := 0; op < 300; op++ {
+		switch rng.Intn(4) {
+		case 0: // single put
+			k, v := pk(), value()
+			if err := tbl.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			rows[string(k)] = v
+		case 1: // delete (often of a present key)
+			k := pk()
+			if err := tbl.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(rows, string(k))
+		case 2: // attribute-preserving overwrite of an existing row
+			for k, old := range rows {
+				av, ok := cityExtract([]byte(k), old)
+				if !ok {
+					continue
+				}
+				v := append(append([]byte(nil), av...), []byte(fmt.Sprintf("|v%d", rng.Intn(1000)))...)
+				if err := tbl.Put([]byte(k), v); err != nil {
+					t.Fatal(err)
+				}
+				rows[k] = v
+				break
+			}
+		case 3: // batch with a duplicate key (last wins)
+			k1, k2 := pk(), pk()
+			v1, v2, v3 := value(), value(), value()
+			batch := []core.Entry{{Key: k1, Value: v1}, {Key: k2, Value: v2}, {Key: k1, Value: v3}}
+			if err := tbl.PutBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			rows[string(k2)] = v2
+			rows[string(k1)] = v3 // duplicate collapsed last-wins
+		}
+		if op%50 == 49 {
+			checkTable(t, tbl, rows)
+		}
+	}
+	checkTable(t, tbl, rows)
+
+	// An attribute-preserving overwrite must not churn the secondary.
+	var k string
+	for cand, old := range rows {
+		if _, ok := cityExtract([]byte(cand), old); ok {
+			k = cand
+			break
+		}
+	}
+	sec, _ := tbl.Secondary("city")
+	before := sec.RootHash()
+	av, _ := cityExtract([]byte(k), rows[k])
+	if err := tbl.Put([]byte(k), append(append([]byte(nil), av...), []byte("|rewritten")...)); err != nil {
+		t.Fatal(err)
+	}
+	sec, _ = tbl.Secondary("city")
+	if sec.RootHash() != before {
+		t.Fatal("attribute-preserving overwrite churned the secondary root")
+	}
+}
+
+// TestTableCommitReopenGC checks the co-commit end to end: one commit
+// carries primary and secondary roots; a fresh Repo over the same store
+// reopens the table from the head's RootRefs; GC keeps every secondary
+// node live; the reopened secondary still answers.
+func TestTableCommitReopenGC(t *testing.T) {
+	s := store.NewMemStore()
+	repo := version.NewRepo(s)
+	repo.RegisterLoader("MPT", mptLoader)
+	tbl, err := secondary.Open(repo, "main", newMPT, cityDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string][]byte)
+	for i := 0; i < 80; i++ {
+		k := []byte(fmt.Sprintf("pk-%03d", i))
+		v := []byte(fmt.Sprintf("g%02d|v%d", i%10, i))
+		if err := tbl.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		rows[string(k)] = v
+	}
+	head, err := tbl.Commit("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := version.MetaRoots(head)
+	if len(refs) != 1 || refs[0].Name != "city" || refs[0].Class != "MPT" {
+		t.Fatalf("committed RootRefs = %v", refs)
+	}
+	sec, _ := tbl.Secondary("city")
+	if refs[0].Root != sec.RootHash() {
+		t.Fatal("committed secondary root differs from the live one")
+	}
+
+	// Second commit after more churn, then GC down to the latest head.
+	for i := 0; i < 40; i++ {
+		k := []byte(fmt.Sprintf("pk-%03d", i))
+		if i%3 == 0 {
+			if err := tbl.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(rows, string(k))
+			continue
+		}
+		v := []byte(fmt.Sprintf("h%02d|w%d", i%7, i))
+		if err := tbl.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		rows[string(k)] = v
+	}
+	if _, err := tbl.Commit("second"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.GCRetainRecent(1); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := repo.Verify(); err != nil || !rep.OK() {
+		t.Fatalf("Verify after GC = %v, %v", rep, err)
+	}
+
+	// Reopen through a brand-new Repo: heads auto-resume, Open loads the
+	// secondary from the RootRefs trailer.
+	repo2 := version.NewRepo(s)
+	repo2.RegisterLoader("MPT", mptLoader)
+	tbl2, err := secondary.Open(repo2, "main", newMPT, cityDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl2, rows)
+}
+
+// TestTableBackfill opens a committed table with a Def the head never
+// recorded; Open must backfill it from the primary, and the next commit
+// records both secondaries.
+func TestTableBackfill(t *testing.T) {
+	s := store.NewMemStore()
+	repo := version.NewRepo(s)
+	repo.RegisterLoader("MPT", mptLoader)
+	tbl, err := secondary.Open(repo, "main", newMPT, cityDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string][]byte)
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("pk-%03d", i))
+		v := []byte(fmt.Sprintf("g%02d|v%d", i%5, i))
+		if err := tbl.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		rows[string(k)] = v
+	}
+	if _, err := tbl.Commit("cities only"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with an extra secondary over the payload suffix.
+	suffix := secondary.Def{
+		Attr: "suffix",
+		Extract: func(_, value []byte) ([]byte, bool) {
+			i := bytes.IndexByte(value, '|')
+			if i < 0 {
+				return nil, false
+			}
+			return value[i+1:], true
+		},
+		New: newMPT,
+	}
+	tbl2, err := secondary.Open(repo, "main", newMPT, cityDef(), suffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl2, rows)
+	sec, ok := tbl2.Secondary("suffix")
+	if !ok {
+		t.Fatal("backfilled secondary missing")
+	}
+	n := 0
+	if err := sec.Iterate(func(k, _ []byte) bool {
+		_, val, pk, err := secondary.DecodeKey(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := suffix.Extract(pk, rows[string(pk)])
+		if !ok || !bytes.Equal(val, want) {
+			t.Fatalf("backfilled key (%x,%x) disagrees with oracle %x", val, pk, want)
+		}
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rows) {
+		t.Fatalf("backfill produced %d keys, want %d", n, len(rows))
+	}
+	head, err := tbl2.Commit("add suffix index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := version.MetaRoots(head)
+	if len(refs) != 2 || refs[0].Name != "city" || refs[1].Name != "suffix" {
+		t.Fatalf("RootRefs after backfill commit = %v", refs)
+	}
+}

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// TestCountingStoreCountsGets pins the counter semantics: Get counts, Has
+// and Put do not, and NodeReads resolves the capability through the
+// helper.
+func TestCountingStoreCountsGets(t *testing.T) {
+	cs := NewCountingStore(NewMemStore())
+	h := cs.Put([]byte("payload"))
+	if got := cs.NodeReads(); got != 0 {
+		t.Fatalf("Put counted as a read: NodeReads = %d", got)
+	}
+	if !cs.Has(h) {
+		t.Fatal("Has lost the node")
+	}
+	if got := cs.NodeReads(); got != 0 {
+		t.Fatalf("Has counted as a read: NodeReads = %d", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := cs.Get(h); !ok {
+			t.Fatal("Get lost the node")
+		}
+	}
+	if got := cs.NodeReads(); got != 3 {
+		t.Fatalf("NodeReads = %d after 3 Gets", got)
+	}
+	if n, ok := NodeReads(cs); !ok || n != 3 {
+		t.Fatalf("NodeReads helper = %d, %v", n, ok)
+	}
+	if _, ok := NodeReads(NewMemStore()); ok {
+		t.Fatal("NodeReads found a counter on a plain MemStore")
+	}
+}
+
+// TestCountingStoreForwardsCapabilities asserts wrapping does not strip
+// the inner store's optional capabilities: batch puts, metadata, sweep,
+// and the write barrier must all reach the MemStore underneath.
+func TestCountingStoreForwardsCapabilities(t *testing.T) {
+	cs := NewCountingStore(NewMemStore())
+	hashes := cs.PutBatch([][]byte{[]byte("a"), []byte("b")})
+	if len(hashes) != 2 || !cs.Has(hashes[0]) || !cs.Has(hashes[1]) {
+		t.Fatalf("PutBatch did not land: %v", hashes)
+	}
+	if err := SetMeta(cs, "k", []byte("v")); err != nil {
+		t.Fatalf("SetMeta: %v", err)
+	}
+	if v, ok, err := GetMeta(cs, "k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("GetMeta = %q, %v, %v", v, ok, err)
+	}
+	bar, err := ArmBarrier(cs)
+	if err != nil {
+		t.Fatalf("ArmBarrier: %v", err)
+	}
+	h := cs.Put([]byte("barriered"))
+	if !bar.Has(h) {
+		t.Fatal("write through the wrapper missed the inner store's barrier")
+	}
+	DisarmBarrier(cs)
+	if _, err := Sweep(cs, func(h2 hash.Hash) bool { return h2 == h }); err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if cs.Has(hashes[0]) || !cs.Has(h) {
+		t.Fatal("sweep through the wrapper kept the wrong nodes")
+	}
+}

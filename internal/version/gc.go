@@ -66,6 +66,21 @@ func (p *gcPass) covered(root hash.Hash) bool {
 	return p.barrier != nil && p.barrier.Has(root)
 }
 
+// rootsCovered reports whether every root a commit carries — the primary
+// plus any Meta-trailer RootRefs — is covered by this pass. A multi-root
+// commit is only safe when all of its trees are.
+func (p *gcPass) rootsCovered(c Commit) bool {
+	if !c.Root.IsNull() && !p.covered(c.Root) {
+		return false
+	}
+	for _, ref := range MetaRoots(c) {
+		if !ref.Root.IsNull() && !p.covered(ref.Root) {
+			return false
+		}
+	}
+	return true
+}
+
 // GC reclaims every store node unreachable from the retained commits:
 // mark computes the union of the retained versions' reachable node sets
 // (plus the retained commit blobs, pinned versions, and everything written
@@ -243,7 +258,7 @@ func (r *Repo) gcRun(collect func() ([]Commit, map[hash.Hash]bool, error)) (GCSt
 		if keep[c.ID] || pass.walked[c.ID] {
 			return true
 		}
-		return bar.Has(c.ID) && (c.Root.IsNull() || pass.covered(c.Root))
+		return bar.Has(c.ID) && pass.rootsCovered(c)
 	}
 	for {
 		r.mu.Lock()
@@ -327,9 +342,11 @@ func (r *Repo) gcRun(collect func() ([]Commit, map[hash.Hash]bool, error)) (GCSt
 }
 
 // markCommit accumulates one commit's blob and its version's reachable
-// pages into the pass's live set. It runs without the repo lock — it
-// touches only the pass (single GC goroutine) and reads the store, which
-// is safe under concurrent writers.
+// pages into the pass's live set — the primary root plus every extra root
+// the commit's Meta trailer references (secondary indexes co-committed
+// through RootRefs), so a sweep never strands a co-committed tree. It
+// runs without the repo lock — it touches only the pass (single GC
+// goroutine) and reads the store, which is safe under concurrent writers.
 func (r *Repo) markCommit(p *gcPass, loaders map[string]Loader, c Commit) error {
 	if p.walked[c.ID] {
 		return nil
@@ -347,6 +364,11 @@ func (r *Repo) markCommit(p *gcPass, loaders map[string]Loader, c Commit) error 
 			return fmt.Errorf("version: GC mark %s: %w", c, err)
 		}
 		if err := core.MarkReachable(idx, c.Root, p.live); err != nil {
+			return fmt.Errorf("version: GC mark %s: %w", c, err)
+		}
+	}
+	for _, ref := range MetaRoots(c) {
+		if err := r.markRoot(p, loaders, ref); err != nil {
 			return fmt.Errorf("version: GC mark %s: %w", c, err)
 		}
 	}

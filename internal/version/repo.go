@@ -150,7 +150,10 @@ func (r *Repo) Commit(branch string, idx core.Index, message string) (Commit, er
 // recorded commit (see Commit.Meta). The ingest front-end commits its
 // merges through it, stamping the WAL high-water mark the merge covers so
 // a crash-and-replay can skip already-merged records. meta is copied into
-// the commit encoding; nil and empty both record "no metadata".
+// the commit encoding; nil and empty both record "no metadata". A meta
+// produced by EncodeRootRefs makes this a multi-root commit: every
+// referenced root clears the GC admission gate and is marked and scrubbed
+// alongside the primary (see RootRef).
 func (r *Repo) CommitMeta(branch string, idx core.Index, message string, meta []byte) (Commit, error) {
 	if branch == "" {
 		return Commit{}, errors.New("version: empty branch name")
@@ -174,6 +177,15 @@ func (r *Repo) CommitMeta(branch string, idx core.Index, message string, meta []
 	}
 	if err := r.gcAdmitCommitLocked(c.Root); err != nil {
 		return Commit{}, err
+	}
+	// A multi-root commit (RootRefs in the Meta trailer) must clear the
+	// GC gate for every tree it records, not just the primary — a swept
+	// secondary root would otherwise ride into the log inside a "valid"
+	// commit.
+	for _, ref := range MetaRoots(c) {
+		if err := r.gcAdmitCommitLocked(ref.Root); err != nil {
+			return Commit{}, err
+		}
 	}
 	c.ID = r.s.Put(encodeCommit(c))
 	r.commits[c.ID] = c

@@ -1,0 +1,151 @@
+package version
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// RootRef names one extra index root a commit carries in its Meta trailer
+// beyond the primary Commit.Root — the root-of-roots mechanism secondary
+// indexes co-commit through (internal/secondary). A commit whose Meta
+// decodes as RootRefs is a multi-root commit: GC marks every referenced
+// tree live alongside the primary, Verify scrubs them, and the commit
+// admission gate covers them, so a sweep can never strand a co-committed
+// root.
+type RootRef struct {
+	// Name identifies the reference to the application — the secondary
+	// package uses the indexed attribute name.
+	Name string
+	// Class is the index class of the referenced tree (core.Index.Name),
+	// keying the Loader used to walk it.
+	Class string
+	// Height is the tree height Load needs for the height-carrying
+	// classes; zero otherwise.
+	Height int
+	// Root is the referenced Merkle root. A null root (empty tree) is
+	// legal and skipped by walks.
+	Root hash.Hash
+}
+
+// rootRefsTag opens a RootRefs encoding inside Commit.Meta. The value has
+// its high bit set, so it can never be the canonical single-byte uvarint
+// the ingest front-end stores as its high-water-mark meta, and a
+// multi-byte uvarint starting 0xA7 can never satisfy this encoding's
+// strict length check — the two Meta users cannot misparse each other.
+const rootRefsTag = 0xA7
+
+// EncodeRootRefs produces the canonical Meta encoding of a root-of-roots
+// trailer. Nil is returned for an empty set, which CommitMeta records as
+// "no metadata".
+func EncodeRootRefs(refs []RootRef) []byte {
+	if len(refs) == 0 {
+		return nil
+	}
+	w := codec.NewWriter(2 + len(refs)*48)
+	w.Byte(rootRefsTag)
+	w.Uvarint(uint64(len(refs)))
+	for _, ref := range refs {
+		w.LenBytes([]byte(ref.Name))
+		w.LenBytes([]byte(ref.Class))
+		w.Uvarint(uint64(ref.Height))
+		w.Bytes32(ref.Root[:])
+	}
+	return w.Bytes()
+}
+
+// DecodeRootRefs parses a Meta trailer as a root-of-roots encoding. The
+// boolean is false when meta is something else (absent, an ingest
+// high-water mark, any foreign payload): the parse is strict — tag, every
+// field, and full consumption — so only a genuine EncodeRootRefs output
+// decodes.
+func DecodeRootRefs(meta []byte) ([]RootRef, bool) {
+	if len(meta) == 0 || meta[0] != rootRefsTag {
+		return nil, false
+	}
+	r := codec.NewReader(meta[1:])
+	n, err := r.Uvarint()
+	if err != nil || n > uint64(r.Remaining())/hash.Size {
+		return nil, false
+	}
+	out := make([]RootRef, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := r.LenBytes()
+		if err != nil {
+			return nil, false
+		}
+		class, err := r.LenBytes()
+		if err != nil {
+			return nil, false
+		}
+		height, err := r.Uvarint()
+		if err != nil {
+			return nil, false
+		}
+		rb, err := r.Bytes32()
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, RootRef{
+			Name:   string(name),
+			Class:  string(class),
+			Height: int(height),
+			Root:   hash.MustFromBytes(rb),
+		})
+	}
+	if r.Done() != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// MetaRoots returns the commit's extra roots, or nil when its Meta is not
+// a root-of-roots trailer — the convenience form every GC/verify walk
+// uses.
+func MetaRoots(c Commit) []RootRef {
+	refs, ok := DecodeRootRefs(c.Meta)
+	if !ok {
+		return nil
+	}
+	return refs
+}
+
+// LoadRoot checks out an index view of one class directly from a root and
+// height, without going through a commit — how callers reach roots that
+// commits carry outside Commit.Root, e.g. the secondary-index roots
+// recorded as RootRefs in Commit.Meta.
+func (r *Repo) LoadRoot(class string, root hash.Hash, height int) (core.Index, error) {
+	r.mu.RLock()
+	l, ok := r.loaders[class]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoLoader, class)
+	}
+	idx, err := l(r.s, root, height)
+	if err != nil {
+		return nil, fmt.Errorf("version: load %s root %x: %w", class, root[:6], err)
+	}
+	return idx, nil
+}
+
+// markRoot walks one extra root into a GC pass's live set, mirroring what
+// markCommit does for the primary root.
+func (r *Repo) markRoot(p *gcPass, loaders map[string]Loader, ref RootRef) error {
+	if ref.Root.IsNull() {
+		return nil
+	}
+	l, ok := loaders[ref.Class]
+	if !ok {
+		return fmt.Errorf("version: GC mark root %q: %w: %q", ref.Name, ErrNoLoader, ref.Class)
+	}
+	idx, err := l(r.s, ref.Root, ref.Height)
+	if err != nil {
+		return fmt.Errorf("version: GC mark root %q: %w", ref.Name, err)
+	}
+	if err := core.MarkReachable(idx, ref.Root, p.live); err != nil {
+		return fmt.Errorf("version: GC mark root %q: %w", ref.Name, err)
+	}
+	return nil
+}

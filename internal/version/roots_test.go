@@ -1,0 +1,193 @@
+package version_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/mpt"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+// TestRootRefsRoundTrip pins the root-of-roots Meta codec: refs round
+// trip exactly, foreign Meta payloads (absent, the ingest uvarint
+// high-water mark, truncated encodings) are rejected rather than
+// misparsed.
+func TestRootRefsRoundTrip(t *testing.T) {
+	refs := []version.RootRef{
+		{Name: "city", Class: "MPT", Height: 0, Root: hash.Of([]byte("a"))},
+		{Name: "price\x00odd", Class: "POS-Tree", Height: 7, Root: hash.Of([]byte("b"))},
+		{Name: "", Class: "MBT", Height: 0, Root: hash.Null},
+	}
+	enc := version.EncodeRootRefs(refs)
+	got, ok := version.DecodeRootRefs(enc)
+	if !ok || len(got) != len(refs) {
+		t.Fatalf("DecodeRootRefs = %v, %v", got, ok)
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+	if enc2 := version.EncodeRootRefs(nil); enc2 != nil {
+		t.Fatalf("EncodeRootRefs(nil) = %x, want nil", enc2)
+	}
+	if _, ok := version.DecodeRootRefs(nil); ok {
+		t.Fatal("decoded empty meta as RootRefs")
+	}
+	// The ingest front-end's Meta is a bare uvarint; no hwm value may
+	// parse as a root-of-roots trailer.
+	for _, hwm := range []uint64{0, 1, 39, 0xA7, 1 << 20, 1<<63 - 1} {
+		w := codec.NewWriter(10)
+		w.Uvarint(hwm)
+		if _, ok := version.DecodeRootRefs(w.Bytes()); ok {
+			t.Fatalf("hwm meta %d parsed as RootRefs", hwm)
+		}
+	}
+	for cut := 1; cut < len(enc); cut++ {
+		if _, ok := version.DecodeRootRefs(enc[:cut]); ok {
+			t.Fatalf("truncated encoding (%d bytes) parsed as RootRefs", cut)
+		}
+	}
+}
+
+// TestGCMarksMetaRoots is the regression test for the latent bug class
+// this PR closes: a tree referenced only from a commit's Meta trailer —
+// never from Commit.Root — must survive GC. Before multi-root marking,
+// markCommit walked only the primary root and the sweep reclaimed every
+// co-committed secondary tree.
+func TestGCMarksMetaRoots(t *testing.T) {
+	s := store.NewMemStore()
+	repo := version.NewRepo(s)
+	repo.RegisterLoader("MPT", func(st store.Store, root hash.Hash, _ int) (core.Index, error) {
+		return mpt.Load(st, root), nil
+	})
+
+	var primary core.Index = mpt.New(s)
+	var side core.Index = mpt.New(s)
+	var err error
+	for i := 0; i < 40; i++ {
+		if primary, err = primary.Put([]byte(fmt.Sprintf("pk-%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if side, err = side.Put([]byte(fmt.Sprintf("derived-%03d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := version.EncodeRootRefs([]version.RootRef{
+		{Name: "derived", Class: "MPT", Root: side.RootHash()},
+	})
+	head, err := repo.CommitMeta("main", primary, "multi-root", meta)
+	if err != nil {
+		t.Fatalf("CommitMeta: %v", err)
+	}
+
+	// Garbage that nothing reaches, to prove the sweep actually ran.
+	garbage := s.Put([]byte("unreachable-node"))
+
+	if _, err := repo.GC(head); err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if s.Has(garbage) {
+		t.Fatal("GC swept nothing; the assertion below would be vacuous")
+	}
+
+	// Every node of the Meta-referenced tree must have survived.
+	reach := make(map[hash.Hash]int)
+	if err := core.MarkReachable(side, side.RootHash(), reach); err != nil {
+		t.Fatalf("MarkReachable: %v", err)
+	}
+	if len(reach) == 0 {
+		t.Fatal("side tree has no nodes; vacuous")
+	}
+	for h := range reach {
+		if !s.Has(h) {
+			t.Fatalf("GC swept node %x referenced only from Commit.Meta", h[:6])
+		}
+	}
+
+	// And the tree must still be fully readable through LoadRoot.
+	refs := version.MetaRoots(head)
+	if len(refs) != 1 {
+		t.Fatalf("MetaRoots = %v", refs)
+	}
+	reloaded, err := repo.LoadRoot(refs[0].Class, refs[0].Root, refs[0].Height)
+	if err != nil {
+		t.Fatalf("LoadRoot: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		k := []byte(fmt.Sprintf("derived-%03d", i))
+		if _, ok, err := reloaded.Get(k); err != nil || !ok {
+			t.Fatalf("meta-root tree lost %q after GC: %v, %v", k, ok, err)
+		}
+	}
+
+	// The scrub must walk the meta root too: damage it and Verify must
+	// report faults.
+	if rep, err := repo.Verify(); err != nil || !rep.OK() {
+		t.Fatalf("Verify before damage = %v, %v", rep, err)
+	}
+	if deleted, err := store.Delete(s, refs[0].Root); err != nil || !deleted {
+		t.Fatalf("Delete meta root: %v, %v", deleted, err)
+	}
+	rep, err := repo.Verify()
+	if err != nil {
+		t.Fatalf("Verify after damage: %v", err)
+	}
+	if rep.OK() {
+		t.Fatal("Verify missed a damaged Meta-referenced root")
+	}
+	found := false
+	for _, f := range rep.Faults {
+		if f.Node == refs[0].Root && !f.Corrupt {
+			found = true
+			if len(f.Commits) != 1 || f.Commits[0] != head.ID {
+				t.Fatalf("fault stranding = %v, want commit %v", f.Commits, head.ID)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("faults %v do not name the missing meta root", rep.Faults)
+	}
+}
+
+// TestCommitMetaRootsResume asserts a multi-root commit survives reopen:
+// the Meta trailer rides the commit encoding, so a fresh Repo over the
+// same store decodes the same RootRefs.
+func TestCommitMetaRootsResume(t *testing.T) {
+	s := store.NewMemStore()
+	repo := version.NewRepo(s)
+	repo.RegisterLoader("MPT", func(st store.Store, root hash.Hash, _ int) (core.Index, error) {
+		return mpt.Load(st, root), nil
+	})
+	idx, err := mpt.New(s).Put([]byte("k"), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	side, err := mpt.New(s).Put([]byte("d"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := version.EncodeRootRefs([]version.RootRef{{Name: "a", Class: "MPT", Root: side.RootHash()}})
+	head, err := repo.CommitMeta("main", idx, "m", meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repo2 := version.NewRepo(s) // auto-resume through the persisted heads
+	got, ok := repo2.Head("main")
+	if !ok || got.ID != head.ID {
+		t.Fatalf("resumed head = %v, %v", got, ok)
+	}
+	if !bytes.Equal(got.Meta, meta) {
+		t.Fatalf("resumed Meta = %x, want %x", got.Meta, meta)
+	}
+	refs := version.MetaRoots(got)
+	if len(refs) != 1 || refs[0].Root != side.RootHash() {
+		t.Fatalf("resumed MetaRoots = %v", refs)
+	}
+}

@@ -220,17 +220,32 @@ func (v *verifier) walkCommits(head hash.Hash) error {
 	return nil
 }
 
-// walkVersion re-hashes every page of one commit's version tree and
+// walkVersion re-hashes every page of one commit's version tree — the
+// primary root plus every extra root its Meta trailer references — and
 // attributes any damage found to the commit.
 func (v *verifier) walkVersion(c Commit) error {
-	if c.Root.IsNull() {
+	if err := v.walkTree(c, c.Class, c.Root, c.Height); err != nil {
+		return err
+	}
+	for _, ref := range MetaRoots(c) {
+		if err := v.walkTree(c, ref.Class, ref.Root, ref.Height); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walkTree scrubs one of a commit's trees, stranding damage to the
+// commit.
+func (v *verifier) walkTree(c Commit, class string, root hash.Hash, height int) error {
+	if root.IsNull() {
 		return nil
 	}
-	l, ok := v.loaders[c.Class]
+	l, ok := v.loaders[class]
 	if !ok {
-		return fmt.Errorf("version: verify %s: %w: %q", c, ErrNoLoader, c.Class)
+		return fmt.Errorf("version: verify %s: %w: %q", c, ErrNoLoader, class)
 	}
-	idx, err := l(v.s, c.Root, c.Height)
+	idx, err := l(v.s, root, height)
 	if err != nil {
 		// Loaders read lazily in every built-in class, so a load error is a
 		// configuration problem, not damage (damage surfaces node by node
@@ -239,14 +254,14 @@ func (v *verifier) walkVersion(c Commit) error {
 	}
 	w, ok := idx.(core.NodeWalker)
 	if !ok {
-		return fmt.Errorf("version: verify %s: %s does not expose node refs", c, c.Class)
+		return fmt.Errorf("version: verify %s: %s does not expose node refs", c, class)
 	}
-	memo, ok := v.trees[c.Class]
+	memo, ok := v.trees[class]
 	if !ok {
 		memo = make(map[hash.Hash][]hash.Hash)
-		v.trees[c.Class] = memo
+		v.trees[class] = memo
 	}
-	for _, node := range v.checkTree(w, memo, c.Root) {
+	for _, node := range v.checkTree(w, memo, root) {
 		v.strand(node, c.ID)
 	}
 	return nil
