@@ -61,6 +61,8 @@ func main() {
 		"commits to retain in the retention experiment and the `version gc` verb (0 = scale default)")
 	ingestWrites := flag.Int("ingest", 0,
 		"point writes for the ingest experiment and the `ingest demo` verb (0 = scale default)")
+	overloadMS := flag.Int("overloadms", 0,
+		"measurement window in milliseconds per overload-experiment cell (0 = scale default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: siribench [-scale small|medium|full] [-store mem|sharded|disk] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       siribench [flags] version log|gc|verify\n")
@@ -99,6 +101,9 @@ func main() {
 	}
 	if *ingestWrites > 0 {
 		scale.IngestWrites = *ingestWrites
+	}
+	if *overloadMS > 0 {
+		scale.OverloadWindowMS = *overloadMS
 	}
 	// Reject unknown backends before hours of experiments start.
 	if probe, err := scale.NewStore(); err != nil {

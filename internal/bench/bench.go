@@ -74,6 +74,14 @@ type Scale struct {
 	IngestCommitEvery int
 	IngestMergeEvery  int
 
+	// Overload parameters (the serving-layer overload-protection
+	// extension): each cell drives OverloadBaseConns × load-multiplier
+	// closed-loop writers against one servlet for OverloadWindowMS, with
+	// load shedding on (MaxInflight = OverloadBaseConns) and off.
+	// cmd/siribench's -overloadms flag overrides OverloadWindowMS.
+	OverloadWindowMS  int
+	OverloadBaseConns int
+
 	// SecondaryRows is the dataset size for the secondary-index experiment
 	// (the secondary indexes + planner extension): rows loaded through a
 	// table maintaining one derived-attribute secondary, then probed with
@@ -220,7 +228,8 @@ func TinyScale() Scale {
 		Fig1Records: 500, Fig1Updates: 50, Fig1Checkpoints: []int{2, 4},
 		RetentionVersions: 8, RetentionUpdates: 40, RetentionKeep: 3,
 		IngestWrites: 2000, IngestCommitEvery: 100, IngestMergeEvery: 1000,
-		SecondaryRows: 1200,
+		SecondaryRows:    1200,
+		OverloadWindowMS: 250, OverloadBaseConns: 4,
 	}
 }
 
@@ -242,7 +251,8 @@ func SmallScale() Scale {
 		Fig1Records: 5000, Fig1Updates: 100, Fig1Checkpoints: []int{10, 20, 30, 40, 50},
 		RetentionVersions: 20, RetentionUpdates: 200, RetentionKeep: 5,
 		IngestWrites: 8000, IngestCommitEvery: 200, IngestMergeEvery: 2000,
-		SecondaryRows: 4000,
+		SecondaryRows:    4000,
+		OverloadWindowMS: 400, OverloadBaseConns: 4,
 	}
 }
 
@@ -264,7 +274,8 @@ func MediumScale() Scale {
 		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
 		RetentionVersions: 50, RetentionUpdates: 1000, RetentionKeep: 5,
 		IngestWrites: 40000, IngestCommitEvery: 500, IngestMergeEvery: 20000,
-		SecondaryRows: 20000,
+		SecondaryRows:    20000,
+		OverloadWindowMS: 1000, OverloadBaseConns: 8,
 	}
 }
 
@@ -285,7 +296,8 @@ func FullScale() Scale {
 		Fig1Records: 100000, Fig1Updates: 1000, Fig1Checkpoints: []int{100, 200, 300, 400, 500},
 		RetentionVersions: 50, RetentionUpdates: 1000, RetentionKeep: 5,
 		IngestWrites: 200000, IngestCommitEvery: 1000, IngestMergeEvery: 20000,
-		SecondaryRows: 100000,
+		SecondaryRows:    100000,
+		OverloadWindowMS: 2000, OverloadBaseConns: 8,
 	}
 }
 

@@ -54,6 +54,7 @@ func Experiments() []Experiment {
 		{"faults", "crash-recovery time vs segment count + verify-on-read overhead (extension)", FaultsExp},
 		{"ingest", "write-optimized ingest: WAL+memtable sustained throughput vs direct per-batch commits, read-during-merge latency (extension)", IngestExp},
 		{"secondary", "secondary indexes + planner: insert overhead with maintenance, node reads for narrow queries indexed vs scanned (extension)", SecondaryExp},
+		{"overload", "serving-layer overload: goodput and p99 vs offered load 1x-8x, load shedding on vs off (extension)", OverloadExp},
 	}
 	out := make([]Experiment, len(defs))
 	for i, d := range defs {

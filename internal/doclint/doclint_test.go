@@ -37,6 +37,7 @@ var auditedPackages = []string{
 	"internal/mbt",
 	"internal/mpt",
 	"internal/mvmbt",
+	"internal/netchaos",
 	"internal/postree",
 	"internal/prolly",
 	"internal/query",

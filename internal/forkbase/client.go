@@ -1,6 +1,7 @@
 package forkbase
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -12,6 +13,16 @@ import (
 	"repro/internal/query"
 	"repro/internal/store"
 )
+
+// ErrBusy reports that the server shed the request under overload (or a
+// degraded store) without doing any work. Safe to retry with backoff; the
+// client does so automatically within its retry budget.
+var ErrBusy = errors.New("forkbase: server busy")
+
+// ErrCircuitOpen reports that the client's circuit breaker is open: enough
+// consecutive requests were shed that the client fails fast for a cooldown
+// window instead of adding retry load to a server that is already drowning.
+var ErrCircuitOpen = errors.New("forkbase: circuit breaker open")
 
 // Loader rebuilds a read-only index view over a (remote) store from a root
 // digest; each index class provides one as a closure over its config, e.g.
@@ -40,6 +51,20 @@ type Options struct {
 	// CacheBytes bounds the client node cache (0 disables caching, the
 	// configuration used to isolate remote-access costs).
 	CacheBytes int64
+	// BreakerThreshold is how many consecutive busy sheds trip the circuit
+	// breaker; once open, calls fail fast with ErrCircuitOpen until
+	// BreakerCooldown passes, then one probe attempt half-opens it. 0 means
+	// the default of 8; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// half-opening. Default 250ms.
+	BreakerCooldown time.Duration
+	// NoBudget stops the client from propagating its per-call deadline to
+	// the server. With budgets on (the default), each request carries the
+	// call's remaining time so the server can abort work the client will
+	// never collect; NoBudget reproduces the legacy protocol, used as the
+	// control arm in the overload experiment.
+	NoBudget bool
 }
 
 func (o Options) withDefaults() Options {
@@ -54,6 +79,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBase <= 0 {
 		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 8
+	}
+	if o.BreakerThreshold < 0 {
+		o.BreakerThreshold = 0 // disabled
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 250 * time.Millisecond
 	}
 	return o
 }
@@ -79,6 +113,12 @@ type Client struct {
 
 	loader Loader
 	nodes  *store.CachedStore
+
+	// Circuit breaker state, under c.mu. shedStreak counts consecutive
+	// busy responses across calls; at BreakerThreshold the breaker opens
+	// until breakerUntil.
+	shedStreak   int
+	breakerUntil time.Time
 
 	root   hash.Hash
 	height int
@@ -138,12 +178,19 @@ func (c *Client) Close() error {
 }
 
 // roundTrip sends one request and reads one response, retrying transient
-// failures: connection errors drop and redial the connection; msgErrRetry
-// responses keep it and just back off. msgErr is a permanent failure and
-// returns immediately.
+// failures: connection errors drop and redial the connection; msgErrRetry,
+// msgErrBusy, and msgErrDeadline responses keep it and just back off. msgErr
+// is a permanent failure and returns immediately. Consecutive busy sheds
+// trip the circuit breaker (see Options.BreakerThreshold); an open breaker
+// fails fast with ErrCircuitOpen until its cooldown passes, then the next
+// call half-opens it as a probe.
 func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.opts.BreakerThreshold > 0 && time.Now().Before(c.breakerUntil) {
+		return 0, nil, fmt.Errorf("%w: cooling down until %s",
+			ErrCircuitOpen, c.breakerUntil.Format(time.RFC3339Nano))
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -157,9 +204,15 @@ func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
 			}
 			c.conn = conn
 		}
-		// The per-call deadline: nothing below can block past it.
+		// The per-call deadline: nothing below can block past it. Unless
+		// budget propagation is off, the request carries this attempt's
+		// budget so the server can abort work we will never collect.
 		_ = c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
-		if err := writeMsg(c.conn, typ, payload); err != nil {
+		typWire, wire := typ, payload
+		if !c.opts.NoBudget {
+			typWire, wire = msgBudget, encodeBudget(c.opts.Timeout, typ, payload)
+		}
+		if err := writeMsg(c.conn, typWire, wire); err != nil {
 			lastErr = err
 			c.dropConnLocked()
 			continue
@@ -176,7 +229,24 @@ func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
 		case msgErrRetry:
 			lastErr = fmt.Errorf("forkbase: server (transient): %s", rp)
 			continue
+		case msgErrBusy:
+			lastErr = fmt.Errorf("%w: %s", ErrBusy, rp)
+			c.shedStreak++
+			if c.opts.BreakerThreshold > 0 && c.shedStreak >= c.opts.BreakerThreshold {
+				// Enough consecutive sheds: open the breaker and stop this
+				// call's retries too — more attempts only feed the overload.
+				// The streak is kept, so when the cooldown half-opens the
+				// breaker, a shed probe re-trips immediately while a success
+				// resets it fully.
+				c.breakerUntil = time.Now().Add(c.opts.BreakerCooldown)
+				return 0, nil, fmt.Errorf("%w after consecutive sheds: %w", ErrCircuitOpen, lastErr)
+			}
+			continue
+		case msgErrDeadline:
+			lastErr = fmt.Errorf("%w: server: %s", ErrBudgetExceeded, rp)
+			continue
 		}
+		c.shedStreak = 0
 		return rt, rp, nil
 	}
 	return 0, nil, fmt.Errorf("forkbase: request %d failed after %d attempts: %w",

@@ -11,16 +11,52 @@
 // carrying node fetches, batched writes, and root queries. Any core.Index
 // implementation can be served, which is how the Forkbase (POS-Tree) versus
 // Noms (Prolly Tree) comparison of §5.6.2 is run on identical plumbing.
-// Errors come in two flavors: msgErr is permanent and fails the request,
+// Errors come in four flavors: msgErr is permanent and fails the request;
 // msgErrRetry marks a transient server-side condition (a commit raced a GC
-// pass past the server's own retry budget) the client resends after.
+// pass past the server's own retry budget) the client resends after;
+// msgErrBusy means the server shed the request under overload (or refused
+// a write on a space-degraded store) without doing any work; msgErrDeadline
+// means the server aborted the request because its propagated budget ran
+// out. All but msgErr keep the connection. Requests may be wrapped in a
+// msgBudget envelope carrying the client's remaining per-call time; servers
+// that predate the envelope never see it (clients can disable it with
+// Options.NoBudget), and servers accept bare requests unchanged, so the
+// extension is backward compatible in both directions.
+//
+// # Overload protection
+//
+// ServerOptions bounds every axis on which an overloaded or hostile peer
+// could otherwise grow server state without limit: MaxConns (admission —
+// an accept over the limit is answered msgErrBusy and closed), MaxInflight
+// (execution — a request with no free slot is shed with msgErrBusy, the
+// connection kept), IdleTimeout (conns that dial and stall are reaped) and
+// MaxFrameBytes (an oversized frame is rejected before its payload is
+// read). Shedding is deliberate: under sustained overload a queue only
+// converts shed-able load into latency until every admitted request times
+// out — the congestion collapse the bench package's "overload" experiment
+// measures, comparing goodput and p99 with the limits on versus off.
+//
+// # Deadline propagation
+//
+// Clients wrap each request in a msgBudget envelope carrying the call's
+// remaining time. The server fixes the deadline when it reads the frame —
+// so queueing counts against the budget — and aborts work the client will
+// never collect: before dispatch, before applying a write batch it had to
+// wait to start, and every budgetCheckRows rows inside a range scan. The
+// abort surfaces as msgErrDeadline (ErrBudgetExceeded) and a retry carries
+// a fresh budget.
 //
 // # Fault handling
 //
 // Every client call runs under a per-round-trip deadline and retries
 // transient failures with capped exponential backoff and jitter — torn
 // connections are redialed, msgErrRetry responses resent (Options tunes
-// all three knobs). Resending a write batch is safe: applying the same
+// all three knobs). Enough consecutive msgErrBusy sheds trip a client-side
+// circuit breaker: calls fail fast with ErrCircuitOpen for a cooldown
+// instead of feeding retries to a server that is already drowning, then a
+// single probe half-opens it — a shed probe re-trips immediately, a
+// success closes it (Options.BreakerThreshold/BreakerCooldown). Resending
+// a write batch is safe: applying the same
 // entries to the already-advanced head yields the identical version, so
 // the retry is idempotent by content addressing. A servlet built with
 // NewServletRepo commits every accepted batch to a version.Repo branch

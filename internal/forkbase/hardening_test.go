@@ -87,9 +87,14 @@ func TestClientRetriesOnServerRetryResponse(t *testing.T) {
 		}
 		defer conn.Close()
 		for {
-			typ, _, err := readMsg(conn)
+			typ, payload, err := readMsg(conn)
 			if err != nil {
 				return
+			}
+			if typ == msgBudget {
+				if _, typ, _, err = decodeBudget(payload); err != nil {
+					return
+				}
 			}
 			if typ != msgGetRoot {
 				writeMsg(conn, msgErr, []byte("unexpected request"))

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -23,6 +24,21 @@ const (
 	msgErrRetry = 8  // response: transient error text, safe to resend
 	msgQuery    = 9  // request: one query.Query predicate, served server-side
 	msgRows     = 10 // response: plan flags + result rows
+	// msgErrBusy is the overload/degraded signal: the server shed this
+	// request (connection limit, in-flight limit, or a degraded store) and
+	// did no work. Retryable with backoff; the client's circuit breaker
+	// counts consecutive ones.
+	msgErrBusy = 11
+	// msgBudget is a request envelope: a uvarint of the client's remaining
+	// per-call budget in milliseconds, then the inner request (type byte +
+	// payload). Servers abort work that cannot finish in budget. A request
+	// sent bare (no envelope) carries no budget — old clients keep working.
+	msgBudget = 12
+	// msgErrDeadline reports that the server aborted the request because
+	// its propagated budget ran out mid-work. Transient from the wire's
+	// point of view (a retry gets a fresh budget); the text is the typed
+	// ErrBudgetExceeded cause.
+	msgErrDeadline = 13
 )
 
 // maxMessage bounds a single message (64 MiB) to fail fast on corruption.
@@ -43,21 +59,49 @@ func writeMsg(w io.Writer, typ byte, payload []byte) error {
 	return nil
 }
 
-// readMsg reads one framed message.
+// readMsg reads one framed message under the protocol-wide size bound.
 func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
+	return readMsgLimit(r, maxMessage)
+}
+
+// readMsgLimit reads one framed message, rejecting frames over limit. The
+// server reads requests under its configured (usually much smaller) frame
+// cap; responses and unconfigured readers use the protocol-wide bound.
+func readMsgLimit(r io.Reader, limit uint32) (typ byte, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n == 0 || n > maxMessage {
-		return 0, nil, fmt.Errorf("forkbase: bad message length %d", n)
+	if n == 0 || n > limit {
+		return 0, nil, fmt.Errorf("forkbase: bad message length %d (limit %d)", n, limit)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return 0, nil, fmt.Errorf("forkbase: read body: %w", err)
 	}
 	return buf[0], buf[1:], nil
+}
+
+// encodeBudget wraps one request frame in a msgBudget envelope carrying the
+// client's remaining per-call budget. Budgets round up to a whole
+// millisecond so a small positive budget never encodes as "no budget".
+func encodeBudget(budget time.Duration, typ byte, payload []byte) []byte {
+	ms := uint64((budget + time.Millisecond - 1) / time.Millisecond)
+	buf := make([]byte, 0, binary.MaxVarintLen64+1+len(payload))
+	buf = binary.AppendUvarint(buf, ms)
+	buf = append(buf, typ)
+	return append(buf, payload...)
+}
+
+// decodeBudget unwraps a msgBudget envelope into the budget and the inner
+// request.
+func decodeBudget(data []byte) (time.Duration, byte, []byte, error) {
+	ms, n := binary.Uvarint(data)
+	if n <= 0 || n >= len(data) {
+		return 0, 0, nil, fmt.Errorf("forkbase: bad budget envelope")
+	}
+	return time.Duration(ms) * time.Millisecond, data[n], data[n+1:], nil
 }
 
 // encodeEntries serializes a batch of entries.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -12,12 +13,66 @@ import (
 	"repro/internal/hash"
 	"repro/internal/query"
 	"repro/internal/secondary"
+	"repro/internal/store"
 	"repro/internal/version"
 )
 
 // heighter is implemented by tree indexes that need their height shipped to
 // clients for Load.
 type heighter interface{ Height() int }
+
+// ErrBudgetExceeded reports that the server aborted a request because the
+// client's propagated per-call budget ran out mid-work: finishing would
+// have burned CPU for an answer nobody was still waiting for. The wire
+// carries it as msgErrDeadline; a retry gets a fresh budget.
+var ErrBudgetExceeded = errors.New("forkbase: request budget exceeded")
+
+// ServerOptions configures a Servlet's overload protection. The zero value
+// selects the defaults noted per field, so ServerOptions{} is a working
+// production-shaped configuration; negative values disable a limit.
+type ServerOptions struct {
+	// MaxConns bounds concurrently served connections. An accept over the
+	// limit is answered with a retryable msgErrBusy and closed — admission
+	// control, not queueing. 0 = default 256; negative = unlimited.
+	MaxConns int
+	// MaxInflight bounds requests executing at once across all
+	// connections. A request arriving with every slot taken is shed with
+	// msgErrBusy (the connection survives) instead of queueing — under
+	// sustained overload queues only convert shed-able load into latency
+	// collapse. 0 = default 64; negative = unlimited.
+	MaxInflight int
+	// IdleTimeout reaps connections that have not sent a request for this
+	// long, bounding the cost of clients that dial and stall. 0 = default
+	// 2 minutes; negative = never reap.
+	IdleTimeout time.Duration
+	// MaxFrameBytes caps a single request frame; an oversized frame is a
+	// protocol error that drops the connection before the payload is read.
+	// 0 (or anything over the protocol-wide 64 MiB bound) = that bound.
+	MaxFrameBytes int
+}
+
+// Default ServerOptions limits.
+const (
+	defaultMaxConns    = 256
+	defaultMaxInflight = 64
+	defaultIdleTimeout = 2 * time.Minute
+)
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxConns == 0 {
+		o.MaxConns = defaultMaxConns
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = defaultMaxInflight
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = defaultIdleTimeout
+	}
+	if o.MaxFrameBytes <= 0 || o.MaxFrameBytes > maxMessage {
+		o.MaxFrameBytes = maxMessage
+	}
+	return o
+}
 
 // Servlet owns the authoritative index version and serves node fetches and
 // write batches. One Servlet matches the paper's single-servlet setup.
@@ -28,11 +83,16 @@ type heighter interface{ Height() int }
 // server-side; if the retry budget is exhausted the client gets an explicit
 // msgErrRetry and resends.
 type Servlet struct {
-	ln net.Listener
+	ln   net.Listener
+	opts ServerOptions
+	// inflight is the request-execution semaphore (nil = unlimited): a
+	// request that cannot take a slot without blocking is shed.
+	inflight chan struct{}
 
-	mu    sync.Mutex
-	idx   core.Index
-	conns map[net.Conn]struct{}
+	mu      sync.Mutex
+	idx     core.Index
+	conns   map[net.Conn]struct{}
+	closing bool // set by the first Close; later Closes only wait
 
 	repo   *version.Repo // nil for a memory-head servlet
 	branch string
@@ -42,9 +102,24 @@ type Servlet struct {
 	closed chan struct{}
 }
 
-// NewServlet returns a servlet whose initial head is idx, held in memory.
+// NewServlet returns a servlet whose initial head is idx, held in memory,
+// with default overload protection (see ServerOptions).
 func NewServlet(idx core.Index) *Servlet {
-	return &Servlet{idx: idx, conns: make(map[net.Conn]struct{}), closed: make(chan struct{})}
+	return &Servlet{
+		idx:    idx,
+		opts:   ServerOptions{}.withDefaults(),
+		conns:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+}
+
+// WithOptions replaces the servlet's overload-protection settings. Call it
+// before Start; it returns s for chaining:
+//
+//	srv := forkbase.NewServlet(idx).WithOptions(forkbase.ServerOptions{MaxInflight: 8})
+func (s *Servlet) WithOptions(o ServerOptions) *Servlet {
+	s.opts = o.withDefaults()
+	return s
 }
 
 // NewServletRepo returns a servlet whose head is the given branch of repo:
@@ -81,6 +156,9 @@ func (s *Servlet) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("forkbase: listen: %w", err)
 	}
+	if s.opts.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, s.opts.MaxInflight)
+	}
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -90,7 +168,17 @@ func (s *Servlet) Start(addr string) (string, error) {
 // Close drains the servlet: it stops accepting, lets every in-flight
 // request finish and its response flush, unblocks handlers parked waiting
 // for a next request, and returns when all connection handlers have exited.
+// Close is idempotent — concurrent or repeated calls all wait for the same
+// drain; only the first closes the listener (and reports its error).
 func (s *Servlet) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closing = true
+	s.mu.Unlock()
 	close(s.closed)
 	var err error
 	if s.ln != nil {
@@ -138,6 +226,17 @@ func (s *Servlet) acceptLoop() {
 			return
 		default:
 		}
+		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+			// Admission control: tell the dialer to back off and retry
+			// rather than letting the conn set grow without bound. The
+			// write deadline keeps a non-reading peer from parking the
+			// accept loop.
+			s.mu.Unlock()
+			_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+			_ = writeMsg(conn, msgErrBusy, []byte("forkbase: connection limit reached"))
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -171,11 +270,35 @@ func (s *Servlet) handleConn(conn net.Conn) {
 			if errors.Is(err, io.EOF) {
 				return
 			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// Idle reap: the connection sat without a request past
+				// IdleTimeout. Drop it silently — there is no request to
+				// answer and a stalled peer is not reading anyway.
+				return
+			}
 			if errors.Is(err, version.ErrCommitRaced) {
 				// Transient by contract: the commit lost to a concurrent GC
 				// pass beyond the server-side retry budget. Tell the client
 				// to resend and keep the connection.
 				if writeMsg(conn, msgErrRetry, []byte(err.Error())) != nil {
+					return
+				}
+				continue
+			}
+			if errors.Is(err, store.ErrNoSpace) {
+				// Degraded store: writes are rejected but reads still work.
+				// Busy (retryable) rather than permanent, and the connection
+				// survives so reads keep flowing.
+				if writeMsg(conn, msgErrBusy, []byte(err.Error())) != nil {
+					return
+				}
+				continue
+			}
+			if errors.Is(err, ErrBudgetExceeded) {
+				// The client's propagated budget ran out mid-work; it has
+				// already timed out locally. Keep the connection for the
+				// retry that carries a fresh budget.
+				if writeMsg(conn, msgErrDeadline, []byte(err.Error())) != nil {
 					return
 				}
 				continue
@@ -190,11 +313,108 @@ func (s *Servlet) handleConn(conn net.Conn) {
 	}
 }
 
-// serveOne reads one request and computes the response.
+// serveOne reads one request, applies admission (frame cap, idle deadline,
+// budget decode, load shedding), and computes the response.
 func (s *Servlet) serveOne(conn net.Conn) (byte, []byte, error) {
-	typ, payload, err := readMsg(conn)
+	if s.opts.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+	typ, payload, err := readMsgLimit(conn, uint32(s.opts.MaxFrameBytes))
 	if err != nil {
 		return 0, nil, err
+	}
+	// A budget envelope fixes the request's deadline the moment it is read:
+	// queueing delay downstream counts against the budget, as it should —
+	// time spent waiting is time the client no longer has.
+	var deadline time.Time
+	if typ == msgBudget {
+		budget, inner, innerPayload, err := decodeBudget(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if budget > 0 {
+			deadline = time.Now().Add(budget)
+		}
+		typ, payload = inner, innerPayload
+	}
+	if !s.acquireSlot() {
+		// Every execution slot is busy: shed rather than queue. A queue
+		// would only add latency until every admitted request times out —
+		// the congestion-collapse mode the overload experiment measures.
+		return msgErrBusy, []byte("forkbase: server overloaded, request shed"), nil
+	}
+	defer s.releaseSlot()
+	return s.dispatch(typ, payload, deadline)
+}
+
+// acquireSlot takes an execution slot without blocking; false means shed.
+func (s *Servlet) acquireSlot() bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Servlet) releaseSlot() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+// budgetExpired reports whether a request deadline has passed. The zero
+// deadline (no budget propagated) never expires.
+func budgetExpired(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+// budgetCheckRows is how many rows a budget-bounded range scan emits
+// between deadline checks: frequent enough to bound overshoot, cheap
+// enough to not tax the scan.
+const budgetCheckRows = 32
+
+// budgetSource wraps a query source so scans abort once the request's
+// propagated budget runs out, instead of burning server CPU on an answer
+// the client has already given up on.
+type budgetSource struct {
+	src      query.Source
+	deadline time.Time
+}
+
+func (b budgetSource) Get(key []byte) ([]byte, bool, error) {
+	if budgetExpired(b.deadline) {
+		return nil, false, fmt.Errorf("%w: during point lookup", ErrBudgetExceeded)
+	}
+	return b.src.Get(key)
+}
+
+func (b budgetSource) Range(lo, hi []byte, fn func(key, value []byte) bool) error {
+	rows, expired := 0, false
+	err := b.src.Range(lo, hi, func(key, value []byte) bool {
+		if rows%budgetCheckRows == 0 && budgetExpired(b.deadline) {
+			expired = true
+			return false
+		}
+		rows++
+		return fn(key, value)
+	})
+	if err != nil {
+		return err
+	}
+	if expired {
+		return fmt.Errorf("%w: after %d rows scanned", ErrBudgetExceeded, rows)
+	}
+	return nil
+}
+
+// dispatch executes one decoded request against the head.
+func (s *Servlet) dispatch(typ byte, payload []byte, deadline time.Time) (byte, []byte, error) {
+	if budgetExpired(deadline) {
+		return 0, nil, fmt.Errorf("%w: expired before dispatch", ErrBudgetExceeded)
 	}
 	switch typ {
 	case msgGetNode:
@@ -216,12 +436,20 @@ func (s *Servlet) serveOne(conn net.Conn) (byte, []byte, error) {
 			return 0, nil, err
 		}
 		if s.tbl != nil {
-			return s.commitTableBatch(entries)
+			return s.commitTableBatch(entries, deadline)
 		}
 		if s.repo != nil {
-			return s.commitBatch(entries)
+			return s.commitBatch(entries, deadline)
 		}
 		s.mu.Lock()
+		// Memory-head commits serialize on s.mu; waiting behind other write
+		// batches burns the budget, and nothing has been applied yet, so
+		// aborting here is clean. This is the abort path the overload
+		// experiment's shed-off arm exercises under congestion.
+		if budgetExpired(deadline) {
+			s.mu.Unlock()
+			return 0, nil, fmt.Errorf("%w: before applying write batch", ErrBudgetExceeded)
+		}
 		next, err := s.idx.PutBatch(entries)
 		if err == nil {
 			s.idx = next
@@ -246,13 +474,23 @@ func (s *Servlet) serveOne(conn net.Conn) (byte, []byte, error) {
 		}
 		// Snapshot an engine under the lock, execute outside it: the
 		// index versions it binds are immutable, so a concurrent write
-		// batch advances the head without disturbing this query.
+		// batch advances the head without disturbing this query. With a
+		// propagated budget, wrap the source so long scans abort when the
+		// client's remaining time runs out.
 		s.mu.Lock()
 		var eng query.Engine
 		if s.tbl != nil {
-			eng = query.PlannerFor(query.IndexSource(s.tbl.Primary()), s.tbl)
+			var src query.Source = query.IndexSource(s.tbl.Primary())
+			if !deadline.IsZero() {
+				src = budgetSource{src: src, deadline: deadline}
+			}
+			eng = query.PlannerFor(src, s.tbl)
 		} else {
-			eng = query.NewPlanner(query.IndexSource(s.idx))
+			var src query.Source = query.IndexSource(s.idx)
+			if !deadline.IsZero() {
+				src = budgetSource{src: src, deadline: deadline}
+			}
+			eng = query.NewPlanner(src)
 		}
 		s.mu.Unlock()
 		rows, plan, err := eng.Query(q)
@@ -271,13 +509,20 @@ func (s *Servlet) serveOne(conn net.Conn) (byte, []byte, error) {
 // budget the raced error propagates and handleConn maps it to msgErrRetry.
 // The repo serializes commits itself, so s.mu is held only to publish the
 // new head for node serving.
-func (s *Servlet) commitBatch(entries []core.Entry) (byte, []byte, error) {
+func (s *Servlet) commitBatch(entries []core.Entry, deadline time.Time) (byte, []byte, error) {
 	var next core.Index
 	_, err := version.CommitRetry(s.repo, s.branch,
 		fmt.Sprintf("forkbase: put %d entries", len(entries)),
 		func(idx core.Index) (core.Index, error) {
 			if idx == nil {
 				return nil, fmt.Errorf("forkbase: branch %q disappeared", s.branch)
+			}
+			// Check inside the mutate: CommitRetry may re-run it after a
+			// raced commit plus backoff, by which time the budget may be
+			// gone. Aborting here leaves no partial state — the commit that
+			// would publish the work never happens.
+			if budgetExpired(deadline) {
+				return nil, fmt.Errorf("%w: before applying write batch", ErrBudgetExceeded)
 			}
 			n, err := idx.PutBatch(entries)
 			if err != nil {
@@ -301,9 +546,14 @@ func (s *Servlet) commitBatch(entries []core.Entry) (byte, []byte, error) {
 // table's mutation methods are not concurrency-safe, so the whole apply
 // runs under s.mu. A raced co-commit (ErrCommitRaced) leaves the table
 // state coherent and propagates for handleConn to map to msgErrRetry.
-func (s *Servlet) commitTableBatch(entries []core.Entry) (byte, []byte, error) {
+func (s *Servlet) commitTableBatch(entries []core.Entry, deadline time.Time) (byte, []byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Check after taking s.mu: waiting behind another table batch burns the
+	// budget, and the table has not been touched yet, so aborting is clean.
+	if budgetExpired(deadline) {
+		return 0, nil, fmt.Errorf("%w: before applying table batch", ErrBudgetExceeded)
+	}
 	if err := s.tbl.PutBatch(entries); err != nil {
 		return 0, nil, err
 	}

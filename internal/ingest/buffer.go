@@ -52,6 +52,15 @@ type Options struct {
 	// CrashPoints) immediately before the step it names — the fault
 	// injection seam the crash matrix drives through faultstore.Hook.
 	CrashHook func(point string)
+	// WriteErr, when set, is consulted before every WAL file write
+	// ("append", "flush", "rotate"); a non-nil return rejects that
+	// operation with a typed retryable error and no state change — the
+	// resource-exhaustion seam, wired to faultstore.WriteErr in the
+	// degrade matrix. A rejected append never dirties the memtable, so a
+	// degraded buffer keeps serving reads of everything it already held
+	// and resumes writes after a heal with no replay anomalies. Never set
+	// in production.
+	WriteErr func(op string) error
 }
 
 // memEntry is one memtable record: the latest buffered write for a key.
@@ -183,7 +192,7 @@ func Open(repo *version.Repo, opts Options) (*Buffer, error) {
 		bu.base = newBaseView(idx, pin)
 	}
 
-	w, records, report, err := openWAL(opts.Dir, opts.SegmentBytes, opts.SyncOnFlush, crash)
+	w, records, report, err := openWAL(opts.Dir, opts.SegmentBytes, opts.SyncOnFlush, crash, opts.WriteErr)
 	if err != nil {
 		if bu.base != nil {
 			bu.base.release()

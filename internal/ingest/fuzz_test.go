@@ -15,7 +15,7 @@ import (
 func buildSeedSegment(t testing.TB) []byte {
 	t.Helper()
 	dir := t.TempDir()
-	w, _, _, err := openWAL(dir, 0, false, nil)
+	w, _, _, err := openWAL(dir, 0, false, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func FuzzWALReplay(f *testing.F) {
 		if err := os.WriteFile(seg, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		w, recs, rep, err := openWAL(dir, 0, false, nil)
+		w, recs, rep, err := openWAL(dir, 0, false, nil, nil)
 		if err != nil {
 			t.Fatalf("openWAL on fuzzed segment errored (must repair, not fail): %v", err)
 		}
@@ -94,7 +94,7 @@ func FuzzWALReplay(f *testing.F) {
 
 		// Truncation is idempotent: the repaired directory replays to the
 		// same records with nothing further torn.
-		w2, recs2, rep2, err := openWAL(dir, 0, false, nil)
+		w2, recs2, rep2, err := openWAL(dir, 0, false, nil, nil)
 		if err != nil {
 			t.Fatalf("second openWAL errored: %v", err)
 		}

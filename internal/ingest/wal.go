@@ -157,6 +157,11 @@ type wal struct {
 	segmentBytes int64
 	syncOnFlush  bool
 	crash        func(point string)
+	// writeErr is the degrade hook (Options.WriteErr): consulted before
+	// every file-mutating step; a non-nil return rejects the operation with
+	// a typed retryable error WITHOUT poisoning the sticky err — after a
+	// heal the WAL resumes appending exactly where it left off.
+	writeErr func(op string) error
 
 	mu         sync.Mutex
 	active     *os.File
@@ -186,12 +191,15 @@ func walSegmentName(id int) string { return fmt.Sprintf("%s%08d%s", walPrefix, i
 // returns the log (appending to a fresh segment) plus every intact record
 // in sequence order. The caller filters the records against its high-water
 // mark; the report accounts for both.
-func openWAL(dir string, segmentBytes int64, syncOnFlush bool, crash func(string)) (*wal, []walRecord, ReplayReport, error) {
+func openWAL(dir string, segmentBytes int64, syncOnFlush bool, crash func(string), writeErr func(string) error) (*wal, []walRecord, ReplayReport, error) {
 	if segmentBytes <= 0 {
 		segmentBytes = defaultWALSegmentBytes
 	}
 	if crash == nil {
 		crash = func(string) {}
+	}
+	if writeErr == nil {
+		writeErr = func(string) error { return nil }
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, ReplayReport{}, fmt.Errorf("ingest: wal: %w", err)
@@ -207,6 +215,7 @@ func openWAL(dir string, segmentBytes int64, syncOnFlush bool, crash func(string
 		segmentBytes: segmentBytes,
 		syncOnFlush:  syncOnFlush,
 		crash:        crash,
+		writeErr:     writeErr,
 		sealed:       make(map[int]uint64),
 	}
 	var records []walRecord
@@ -325,6 +334,12 @@ func (w *wal) append(key, value []byte, tombstone bool) (uint64, error) {
 	if w.err != nil {
 		return 0, w.err
 	}
+	if err := w.writeErr("append"); err != nil {
+		// Rejected before a sequence number is assigned or a byte is
+		// buffered: the write simply did not happen, the caller's memtable
+		// stays untouched, and the error is retryable after a heal.
+		return 0, fmt.Errorf("ingest: wal append: %w", err)
+	}
 	seq := w.appendSeq + 1
 	enc := codec.GetWriter()
 	encodeWALRecord(enc, walRecord{seq: seq, key: key, value: value, tombstone: tombstone})
@@ -401,6 +416,10 @@ func (w *wal) rotate() error {
 	if w.activeSize == 0 {
 		return nil // already fresh
 	}
+	if err := w.writeErr("rotate"); err != nil {
+		// Degraded, not broken: retryable after a heal, so never sticky.
+		return fmt.Errorf("ingest: wal rotate: %w", err)
+	}
 	if err := w.rotateLocked(); err != nil {
 		w.err = err
 		return err
@@ -443,6 +462,10 @@ func (w *wal) flush() error {
 	}
 	if w.flushedSeq >= target {
 		return nil
+	}
+	if err := w.writeErr("flush"); err != nil {
+		// Degraded, not broken: retryable after a heal, so never sticky.
+		return fmt.Errorf("ingest: wal flush: %w", err)
 	}
 	covered := w.appendSeq // everything buffered right now goes out together
 	if err := w.w.Flush(); err != nil {

@@ -1,0 +1,18 @@
+// Package netchaos is a deterministic in-process TCP fault injector for
+// tests: a proxy that relays connections to a fixed target while injecting
+// wire-level faults — dropped accepts, torn (truncated) streams, latency
+// and jitter, throughput throttling, and timed partitions.
+//
+// It is the network-layer sibling of the storage-layer faultstore package,
+// and follows the same discipline: fault scheduling is counter-based (every
+// Nth accept, every Nth relayed chunk) and randomness comes only from the
+// Config's seed, so a fault sequence reproduces under a fixed config and
+// traffic pattern. Configs swap live via SetConfig, which is how the
+// serving-layer chaos soak rotates fault modes over one long run.
+//
+// A deliberate invariant: a truncation fault always cuts the connection
+// after forwarding the torn half-chunk. The receiver observes a torn frame
+// then EOF and recovers by reconnecting — the proxy never lets a peer read
+// bytes from the middle of a stream as if they were a frame boundary,
+// because no length-prefixed protocol can recover from that.
+package netchaos

@@ -1,0 +1,198 @@
+package netchaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until EOF.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func roundTrip(t *testing.T, addr string, msg []byte) ([]byte, error) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(msg); err != nil {
+		return nil, err
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	target := echoServer(t)
+	p, err := New(target, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	msg := bytes.Repeat([]byte("chaos"), 2000) // spans multiple chunks
+	got, err := roundTrip(t, p.Addr(), msg)
+	if err != nil {
+		t.Fatalf("clean round trip: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("proxy corrupted a clean relay")
+	}
+	c := p.Counters()
+	if c.Accepts != 1 || c.BytesC2S != int64(len(msg)) || c.BytesS2C != int64(len(msg)) {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestProxyDropsAccepts(t *testing.T) {
+	target := echoServer(t)
+	p, err := New(target, Config{DropAcceptEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	failures := 0
+	for i := 0; i < 6; i++ {
+		if _, err := roundTrip(t, p.Addr(), []byte("ping")); err != nil {
+			failures++
+		}
+	}
+	if c := p.Counters(); c.DroppedAccepts != 3 {
+		t.Fatalf("dropped %d accepts, want every 2nd of 6", c.DroppedAccepts)
+	}
+	if failures != 3 {
+		t.Fatalf("%d round trips failed, want 3", failures)
+	}
+}
+
+func TestProxyTruncatesAndCuts(t *testing.T) {
+	target := echoServer(t)
+	// Every chunk is torn: the write is cut mid-stream and the connection
+	// dies — the reader must see an error, never a quietly short echo that
+	// looks complete.
+	p, err := New(target, Config{TruncateEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	msg := bytes.Repeat([]byte("x"), 1000)
+	if got, err := roundTrip(t, p.Addr(), msg); err == nil && bytes.Equal(got, msg) {
+		t.Fatal("round trip survived TruncateEvery=1 intact")
+	}
+	if c := p.Counters(); c.TruncatedConns == 0 {
+		t.Fatalf("no truncations counted: %+v", c)
+	}
+}
+
+func TestProxyPartitionStallsThenHeals(t *testing.T) {
+	target := echoServer(t)
+	p, err := New(target, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Partition(150 * time.Millisecond)
+	start := time.Now()
+	got, err := roundTrip(t, p.Addr(), []byte("through the blackhole"))
+	if err != nil {
+		t.Fatalf("round trip after partition heal: %v", err)
+	}
+	if string(got) != "through the blackhole" {
+		t.Fatalf("healed relay corrupted: %q", got)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("partition did not stall traffic: round trip took %v", elapsed)
+	}
+}
+
+func TestProxySetConfigSwapsLive(t *testing.T) {
+	target := echoServer(t)
+	p, err := New(target, Config{DropAcceptEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := roundTrip(t, p.Addr(), []byte("doomed")); err == nil {
+		t.Fatal("DropAcceptEvery=1 let a connection through")
+	}
+	p.SetConfig(Config{})
+	got, err := roundTrip(t, p.Addr(), []byte("clean"))
+	if err != nil || string(got) != "clean" {
+		t.Fatalf("round trip after SetConfig(clean) = %q, %v", got, err)
+	}
+}
+
+func TestProxySeededJitterIsDeterministic(t *testing.T) {
+	// Two proxies with the same seed draw the same jitter sequence; this
+	// pins the generator so refactors do not silently reintroduce global
+	// randomness.
+	a, err := New(echoServer(t), Config{Seed: 7, Jitter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(echoServer(t), Config{Seed: 7, Jitter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 8; i++ {
+		da := a.rng.Int63n(int64(time.Millisecond))
+		db := b.rng.Int63n(int64(time.Millisecond))
+		if da != db {
+			t.Fatalf("draw %d diverged: %d vs %d", i, da, db)
+		}
+	}
+}
+
+func TestProxyCloseIsIdempotentAndCutsConns(t *testing.T) {
+	target := echoServer(t)
+	p, err := New(target, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, p.Addr(), []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("relayed connection survived proxy Close")
+	}
+}

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hash"
+)
+
+// ErrNoSpace reports a write rejected because the backing medium is out of
+// space (or an injected equivalent). It is a *retryable* condition, unlike
+// a corrupt segment: reads, scrubs and metadata lookups keep working, no
+// torn state is left behind, and once space is reclaimed (faultstore.Heal
+// in tests, an operator freeing disk in production) the same write
+// succeeds. Match with errors.Is; the serving layer maps it to the
+// retryable busy response so clients back off instead of failing hard.
+var ErrNoSpace = errors.New("store: no space left on device")
+
+// writeErr consults the injected write-failure hook, if any. A non-nil
+// return means the store must not touch its files for the named operation.
+func (d *DiskStore) writeErr(op string) error {
+	if d.opts.WriteErr == nil {
+		return nil
+	}
+	return d.opts.WriteErr(op)
+}
+
+// degradePutLocked parks one record in memory while the write path is
+// failing: the node stays readable through the pending map (and survives a
+// dedup re-Put), and its digest is queued for replay so the first healthy
+// operation lands it in a segment exactly as if the Put had happened then.
+// No file state is touched — a crash while degraded loses only writes that
+// were already failing, never tears a segment. Caller holds d.mu.
+func (d *DiskStore) degradePutLocked(h hash.Hash, data []byte, cause error) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.pending[h] = cp
+	d.pendingBytes += len(cp)
+	d.unwritten = append(d.unwritten, h)
+	d.degraded = fmt.Errorf("store: disk: degraded read-only: %w", cause)
+	d.ctr.uniqueNodes.Add(1)
+	d.ctr.uniqueBytes.Add(int64(len(data)))
+}
+
+// replayUnwrittenLocked appends every record parked while the store was
+// degraded, in arrival order, through the normal append path. Called at the
+// top of the healthy write paths (put, flush); clearing d.unwritten before
+// the loop keeps the segment-roll flush inside appendRecordLocked from
+// re-entering. Caller holds d.mu.
+func (d *DiskStore) replayUnwrittenLocked() {
+	if len(d.unwritten) == 0 {
+		return
+	}
+	queued := d.unwritten
+	d.unwritten = nil
+	d.degraded = nil
+	for _, h := range queued {
+		data, ok := d.pending[h]
+		if !ok {
+			continue // deleted while degraded
+		}
+		d.appendRecordLocked(h, data)
+	}
+}

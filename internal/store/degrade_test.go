@@ -1,0 +1,212 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hash"
+	"repro/internal/store"
+)
+
+// noSpaceHook returns a DiskOptions.WriteErr hook gated on flag: while the
+// flag is set every write op is rejected with an error wrapping
+// store.ErrNoSpace — the injected equivalent of a full disk.
+func noSpaceHook(flag *atomic.Bool) func(op string) error {
+	return func(op string) error {
+		if flag.Load() {
+			return fmt.Errorf("%s: %w", op, store.ErrNoSpace)
+		}
+		return nil
+	}
+}
+
+// TestDiskStoreDegradesReadOnlyOnNoSpace is the store half of the
+// resource-exhaustion matrix: under persistent write failure the disk
+// store serves reads (including of writes parked in memory), rejects the
+// write path with a typed retryable error, and — after the condition
+// clears — replays every parked write so nothing is lost, with no torn
+// state visible to a reopen.
+func TestDiskStoreDegradesReadOnlyOnNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	var full atomic.Bool
+	d, err := store.OpenDiskStore(dir, store.DiskOptions{
+		FlushBytes: 1 << 20,
+		WriteErr:   noSpaceHook(&full),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy prelude: some nodes on disk, a head in the meta file.
+	pre := make([]hash.Hash, 10)
+	for i := range pre {
+		pre[i] = d.Put([]byte(fmt.Sprintf("pre-%03d", i)))
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetMeta(d, "head", []byte("pre-head")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk fills.
+	full.Store(true)
+
+	// Puts park in memory: content addressing still returns the digest and
+	// the node is readable, but nothing reaches disk and Sync says so with
+	// the typed error.
+	deg := make([]hash.Hash, 10)
+	for i := range deg {
+		deg[i] = d.Put([]byte(fmt.Sprintf("deg-%03d", i)))
+	}
+	if err := d.Sync(); !errors.Is(err, store.ErrNoSpace) {
+		t.Fatalf("Sync while degraded = %v, want ErrNoSpace", err)
+	}
+	if err := store.SetMeta(d, "head", []byte("new-head")); !errors.Is(err, store.ErrNoSpace) {
+		t.Fatalf("SetMeta while degraded = %v, want ErrNoSpace", err)
+	}
+
+	// Reads: everything, durable or parked, stays readable.
+	for i, h := range pre {
+		if got, ok := d.Get(h); !ok || !bytes.Equal(got, []byte(fmt.Sprintf("pre-%03d", i))) {
+			t.Fatalf("durable node %d unreadable while degraded", i)
+		}
+	}
+	for i, h := range deg {
+		if got, ok := d.Get(h); !ok || !bytes.Equal(got, []byte(fmt.Sprintf("deg-%03d", i))) {
+			t.Fatalf("parked node %d unreadable while degraded", i)
+		}
+		if !d.Has(h) {
+			t.Fatalf("Has(parked %d) = false", i)
+		}
+	}
+	// The rejected head update really was rejected everywhere.
+	if v, ok, err := store.GetMeta(d, "head"); err != nil || !ok || string(v) != "pre-head" {
+		t.Fatalf("meta while degraded = %q, %v, %v; want the pre-degrade head", v, ok, err)
+	}
+
+	// Degrade errors must be retryable, not sticky: the same calls keep
+	// returning ErrNoSpace rather than a poisoned-store error.
+	if err := d.Sync(); !errors.Is(err, store.ErrNoSpace) {
+		t.Fatalf("second Sync while degraded = %v, want ErrNoSpace again", err)
+	}
+
+	// Space returns: the next write path replays every parked node.
+	full.Store(false)
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync after heal: %v", err)
+	}
+	if err := store.SetMeta(d, "head", []byte("new-head")); err != nil {
+		t.Fatalf("SetMeta after heal: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: all twenty nodes durable, the healed head present, no torn
+	// segments — the degrade window left no scar on disk.
+	re, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if rec := re.Recovery(); rec.TornSegments != 0 {
+		t.Fatalf("reopen after degrade found torn segments: %+v", rec)
+	}
+	for i, h := range pre {
+		if _, ok := re.Get(h); !ok {
+			t.Fatalf("pre node %d lost across degrade", i)
+		}
+	}
+	for i, h := range deg {
+		if got, ok := re.Get(h); !ok || !bytes.Equal(got, []byte(fmt.Sprintf("deg-%03d", i))) {
+			t.Fatalf("degraded-window node %d lost across heal+reopen", i)
+		}
+	}
+	if v, ok, err := store.GetMeta(re, "head"); err != nil || !ok || string(v) != "new-head" {
+		t.Fatalf("meta after reopen = %q, %v, %v", v, ok, err)
+	}
+}
+
+// TestDiskStoreDegradeDeleteOfParkedNode: deleting a node that only ever
+// lived in the degraded parking buffer removes it cleanly — the heal-time
+// replay must not resurrect it.
+func TestDiskStoreDegradeDeleteOfParkedNode(t *testing.T) {
+	dir := t.TempDir()
+	var full atomic.Bool
+	d, err := store.OpenDiskStore(dir, store.DiskOptions{
+		FlushBytes: 1 << 20,
+		WriteErr:   noSpaceHook(&full),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Store(true)
+	keep := d.Put([]byte("parked-keep"))
+	drop := d.Put([]byte("parked-drop"))
+	if ok, err := d.Delete(drop); err != nil || !ok {
+		t.Fatalf("delete of parked node = %v, %v", ok, err)
+	}
+	if _, ok := d.Get(drop); ok {
+		t.Fatal("deleted parked node still readable")
+	}
+	full.Store(false)
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync after heal: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok := re.Get(keep); !ok {
+		t.Fatal("surviving parked node lost")
+	}
+	if _, ok := re.Get(drop); ok {
+		t.Fatal("heal replay resurrected a deleted node")
+	}
+}
+
+// TestDiskStoreDegradeCrashLosesOnlyParkedWrites: a crash during the
+// degraded window behaves like any crash with unflushed writes — parked
+// nodes (which could not reach disk) are lost, everything durable before
+// the window survives, and the store opens clean.
+func TestDiskStoreDegradeCrashLosesOnlyParkedWrites(t *testing.T) {
+	dir := t.TempDir()
+	var full atomic.Bool
+	d, err := store.OpenDiskStore(dir, store.DiskOptions{
+		FlushBytes: 1 << 20,
+		WriteErr:   noSpaceHook(&full),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := d.Put([]byte("durable-before"))
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	full.Store(true)
+	parked := d.Put([]byte("parked-lost"))
+	d.CrashClose()
+
+	re, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if rec := re.Recovery(); rec.TornSegments != 0 {
+		t.Fatalf("crash during degrade tore a segment: %+v", rec)
+	}
+	if _, ok := re.Get(pre); !ok {
+		t.Fatal("durable node lost")
+	}
+	if _, ok := re.Get(parked); ok {
+		t.Fatal("parked node survived a crash it could not have been written through")
+	}
+}

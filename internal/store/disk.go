@@ -74,6 +74,12 @@ type DiskStore struct {
 	activeSize int64 // logical size of the active segment, buffered included
 	err        error // first write/flush error, surfaced by Sync/Close
 	closed     bool
+	// unwritten queues digests parked in pending while the write path is
+	// degraded (DiskOptions.WriteErr failing); the first healthy write or
+	// flush replays them into segments in arrival order. degraded holds the
+	// wrapped cause while the queue is non-empty (see degrade.go).
+	unwritten []hash.Hash
+	degraded  error
 
 	bar barrierHolder
 }
@@ -104,6 +110,14 @@ type DiskOptions struct {
 	// unwinds through the store's deferred unlocks, leaving the on-disk
 	// state for a reopen to recover. Never set in production.
 	CrashHook func(point string)
+	// WriteErr, when set, is consulted before every file-mutating step
+	// ("put", "flush", "meta", "delete", "sweep"); a non-nil return makes
+	// the store degrade to read-only for that operation instead of touching
+	// its files — modeling persistent resource exhaustion (ENOSPC). While
+	// degraded, Puts stay readable from memory and are queued; the first
+	// healthy write or flush replays them, so healing loses nothing. Wire
+	// it to faultstore.WriteErr in tests; never set in production.
+	WriteErr func(op string) error
 }
 
 // Named crash points a DiskOptions.CrashHook observes. Each fires
@@ -395,6 +409,12 @@ func (d *DiskStore) putLocked(h hash.Hash, data []byte) {
 		d.ctr.dedupHits.Add(1)
 		return
 	}
+	if _, ok := d.pending[h]; ok {
+		// Only degraded-mode entries live in pending without a loc; the
+		// normal path registers a loc before this check can be reached.
+		d.ctr.dedupHits.Add(1)
+		return
+	}
 	if d.closed {
 		d.fail(errors.New("store: disk: Put after Close"))
 		return
@@ -412,6 +432,28 @@ func (d *DiskStore) putLocked(h hash.Hash, data []byte) {
 		d.fail(fmt.Errorf("store: disk: node of %d bytes exceeds the record limit (%d); kept memory-resident, not persisted", len(data), maxRecordBytes))
 		return
 	}
+	if err := d.writeErr("put"); err != nil {
+		d.degradePutLocked(h, data, err)
+		return
+	}
+	d.replayUnwrittenLocked()
+	d.appendRecordLocked(h, data)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.pending[h] = cp
+	d.pendingBytes += len(cp)
+	d.ctr.uniqueNodes.Add(1)
+	d.ctr.uniqueBytes.Add(int64(len(data)))
+	if d.pendingBytes >= d.opts.FlushBytes {
+		_ = d.flushLocked()
+	}
+}
+
+// appendRecordLocked writes one record's bytes into the active segment's
+// buffer, rolling the segment when needed, and registers its location. The
+// caller manages the pending map and unique accounting (the replay path
+// already did both when the record was parked). Caller holds d.mu.
+func (d *DiskStore) appendRecordLocked(h hash.Hash, data []byte) {
 	rec := recordHeaderSize + int64(len(data))
 	if d.activeSize > 0 && d.activeSize+rec > d.opts.SegmentBytes {
 		d.crash(CrashSegmentRoll)
@@ -431,17 +473,8 @@ func (d *DiskStore) putLocked(h hash.Hash, data []byte) {
 	if _, err := d.w.Write(data); err != nil {
 		d.fail(err)
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	d.pending[h] = cp
-	d.pendingBytes += len(cp)
 	d.locs[h] = recordLoc{seg: int32(d.activeID), n: int32(len(data)), off: d.activeSize + recordHeaderSize}
 	d.activeSize += rec
-	d.ctr.uniqueNodes.Add(1)
-	d.ctr.uniqueBytes.Add(int64(len(data)))
-	if d.pendingBytes >= d.opts.FlushBytes {
-		_ = d.flushLocked()
-	}
 }
 
 // fail records the first error for Sync/Close to report; later errors are
@@ -457,6 +490,15 @@ func (d *DiskStore) fail(err error) {
 // map. On failure pending entries are kept so reads stay correct. Caller
 // holds d.mu.
 func (d *DiskStore) flushLocked() error {
+	if err := d.writeErr("flush"); err != nil {
+		// Degraded, not broken: the error is typed and retryable, so it is
+		// NOT folded into the sticky lifetime error — after a heal the next
+		// flush succeeds and replays everything parked meanwhile.
+		err = fmt.Errorf("store: disk: degraded read-only: %w", err)
+		d.degraded = err
+		return err
+	}
+	d.replayUnwrittenLocked()
 	if err := d.w.Flush(); err != nil {
 		err = fmt.Errorf("store: disk: flush: %w", err)
 		d.fail(err)
@@ -517,12 +559,16 @@ func (d *DiskStore) Get(h hash.Hash) ([]byte, bool) {
 	return buf, true
 }
 
-// Has implements Store.
+// Has implements Store. The pending check covers degraded-mode entries,
+// which have no loc until they are replayed.
 func (d *DiskStore) Has(h hash.Hash) bool {
 	d.mu.RLock()
 	_, ok := d.locs[h]
 	if !ok {
 		_, ok = d.resident[h]
+	}
+	if !ok {
+		_, ok = d.pending[h]
 	}
 	d.mu.RUnlock()
 	return ok
@@ -535,7 +581,7 @@ func (d *DiskStore) Stats() Stats { return d.ctr.snapshot() }
 func (d *DiskStore) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.locs) + len(d.resident)
+	return len(d.locs) + len(d.resident) + len(d.unwritten)
 }
 
 // SizeOf returns the stored size of h in bytes, or 0 if absent.
@@ -545,7 +591,10 @@ func (d *DiskStore) SizeOf(h hash.Hash) int {
 	if r, ok := d.resident[h]; ok {
 		return len(r)
 	}
-	return int(d.locs[h].n)
+	if loc, ok := d.locs[h]; ok {
+		return int(loc.n)
+	}
+	return len(d.pending[h]) // degraded-mode entries: pending without a loc
 }
 
 // Dir returns the directory holding the segment files.
@@ -571,7 +620,9 @@ func (d *DiskStore) Sync() error {
 		return d.err
 	}
 	if err := d.flushLocked(); err != nil {
-		return d.err
+		// A degraded (injected, retryable) flush failure is returned
+		// directly — it is not part of the sticky lifetime error.
+		return err
 	}
 	if err := d.active.Sync(); err != nil {
 		d.fail(fmt.Errorf("store: disk: sync: %w", err))
@@ -590,7 +641,11 @@ func (d *DiskStore) Close() error {
 		return d.err
 	}
 	d.closed = true
-	_ = d.flushLocked()
+	if err := d.flushLocked(); err != nil {
+		// Closing while degraded abandons the parked writes; surface that
+		// instead of reporting a clean close.
+		d.fail(err)
+	}
 	d.closeFiles()
 	if d.removeOnClose {
 		if err := os.RemoveAll(d.dirPath); err != nil {

@@ -52,6 +52,15 @@ func (d *DiskStore) deleteLocked(h hash.Hash) bool {
 	}
 	loc, ok := d.locs[h]
 	if !ok {
+		// A degraded-mode entry lives only in pending, queued for replay;
+		// dropping the pending bytes makes the replay loop skip its digest.
+		if p, ok := d.pending[h]; ok {
+			delete(d.pending, h)
+			d.pendingBytes -= len(p)
+			d.ctr.uniqueNodes.Add(-1)
+			d.ctr.uniqueBytes.Add(-int64(len(p)))
+			return true
+		}
 		return false
 	}
 	delete(d.locs, h)

@@ -44,6 +44,15 @@ type Config struct {
 	// FlushFailEvery makes every Nth Flush return ErrInjected.
 	FlushFailEvery int
 
+	// NoSpace, unlike the counter faults, is a *persistent* condition:
+	// while set, every write-path operation fails with an error wrapping
+	// store.ErrNoSpace (Puts are dropped, Delete/SetMeta/Flush/Sweep error)
+	// and reads keep working — the injected equivalent of a full disk.
+	// Heal clears it. The WriteErr method exposes the same schedule as a
+	// store.DiskOptions.WriteErr / ingest.Options.WriteErr hook, so the
+	// disk store and the WAL degrade in lockstep with the wrapper.
+	NoSpace bool
+
 	// Delay, when positive, is slept before every DelayEvery-th forwarded
 	// operation (every operation when DelayEvery <= 1), plus uniform
 	// seeded jitter in [0, DelayJitter).
@@ -67,6 +76,7 @@ type Counters struct {
 	FlushFaults  int64 // Flushes failed with ErrInjected
 	Delays       int64 // operations that slept
 	CorruptReads int64 // VerifyReads mismatches served as misses
+	NoSpaceHits  int64 // operations rejected by the persistent NoSpace mode
 }
 
 // CrashPanic is the value a fired crash point panics with. Tests recover it
@@ -125,7 +135,7 @@ type FaultStore struct {
 	getN, putN, delN, sweepN, metaN, flushN, opN atomic.Int64
 
 	ctr struct {
-		get, put, del, sweep, meta, flush, delays, corrupt atomic.Int64
+		get, put, del, sweep, meta, flush, delays, corrupt, nospace atomic.Int64
 	}
 
 	mu   sync.Mutex
@@ -147,12 +157,41 @@ func Wrap(base store.Store, cfg Config) *FaultStore {
 // Unwrap returns the wrapped store.
 func (f *FaultStore) Unwrap() store.Store { return f.base }
 
-// Heal disables every transient-fault and latency schedule (armed crash
-// points stay armed). The two-phase tests use it: inject, observe the
-// failure, heal, assert the retry leaves clean state.
+// Heal disables every transient-fault and latency schedule, including the
+// persistent NoSpace mode (armed crash points stay armed). The two-phase
+// tests use it: inject, observe the failure, heal, assert the retry leaves
+// clean state.
 func (f *FaultStore) Heal() {
 	old := f.cfg.Load()
 	f.cfg.Store(&Config{Seed: old.Seed, VerifyReads: old.VerifyReads})
+}
+
+// SetConfig replaces the fault schedule wholesale, mid-flight — the knob
+// matrix tests turn to flip a healthy store into a degraded one (e.g.
+// Config{NoSpace: true}) and back without rebuilding the wrapper. Arrival
+// counters keep running; only the schedule changes.
+func (f *FaultStore) SetConfig(cfg Config) {
+	f.cfg.Store(&cfg)
+}
+
+// noSpace reports (and counts) a rejection under the persistent NoSpace
+// mode, returning an error wrapping store.ErrNoSpace tagged with op.
+func (f *FaultStore) noSpace(op string) error {
+	f.ctr.nospace.Add(1)
+	return fmt.Errorf("faultstore: %s: %w", op, store.ErrNoSpace)
+}
+
+// WriteErr is the degrade hook for store.DiskOptions.WriteErr and
+// ingest.Options.WriteErr: it fails with store.ErrNoSpace while the
+// persistent NoSpace mode is set and passes otherwise, so a DiskStore or
+// WAL wired through it degrades and heals in lockstep with this wrapper.
+// Like Hook, wire it through a pointer variable when the hooked component
+// must be constructed before the wrapper.
+func (f *FaultStore) WriteErr(op string) error {
+	if !f.cfg.Load().NoSpace {
+		return nil
+	}
+	return f.noSpace(op)
 }
 
 // Counters snapshots the injected-fault accounting.
@@ -166,6 +205,7 @@ func (f *FaultStore) Counters() Counters {
 		FlushFaults:  f.ctr.flush.Load(),
 		Delays:       f.ctr.delays.Load(),
 		CorruptReads: f.ctr.corrupt.Load(),
+		NoSpaceHits:  f.ctr.nospace.Load(),
 	}
 }
 
@@ -248,6 +288,10 @@ func (f *FaultStore) delay() {
 // digest is returned but nothing reaches the wrapped store.
 func (f *FaultStore) Put(data []byte) hash.Hash {
 	f.delay()
+	if f.cfg.Load().NoSpace {
+		f.ctr.nospace.Add(1)
+		return hash.Of(data)
+	}
 	if due(&f.putN, f.cfg.Load().PutFailEvery) {
 		f.ctr.put.Add(1)
 		return hash.Of(data)
@@ -300,6 +344,10 @@ func (f *FaultStore) PutBatchHashed(hashes []hash.Hash, items [][]byte) {
 	if len(items) == 0 {
 		return
 	}
+	if f.cfg.Load().NoSpace {
+		f.ctr.nospace.Add(int64(len(items)))
+		return
+	}
 	crashAt := -1
 	f.mu.Lock()
 	if _, ok := f.arms[CrashPutBatchMid]; ok {
@@ -326,6 +374,9 @@ func (f *FaultStore) PutBatchHashed(hashes []hash.Hash, items [][]byte) {
 // Delete implements store.Deleter.
 func (f *FaultStore) Delete(h hash.Hash) (bool, error) {
 	f.delay()
+	if f.cfg.Load().NoSpace {
+		return false, f.noSpace("delete")
+	}
 	if due(&f.delN, f.cfg.Load().DeleteFailEvery) {
 		f.ctr.del.Add(1)
 		return false, fmt.Errorf("delete: %w", ErrInjected)
@@ -339,6 +390,9 @@ func (f *FaultStore) Delete(h hash.Hash) (bool, error) {
 // exactly as if the sweep had never been attempted.
 func (f *FaultStore) Sweep(live store.LiveFunc) (store.SweepStats, error) {
 	f.delay()
+	if f.cfg.Load().NoSpace {
+		return store.SweepStats{}, f.noSpace("sweep")
+	}
 	if due(&f.sweepN, f.cfg.Load().SweepFailEvery) {
 		f.ctr.sweep.Add(1)
 		return store.SweepStats{}, fmt.Errorf("sweep: %w", ErrInjected)
@@ -350,6 +404,9 @@ func (f *FaultStore) Sweep(live store.LiveFunc) (store.SweepStats, error) {
 // SetMeta implements store.MetaStore.
 func (f *FaultStore) SetMeta(key string, value []byte) error {
 	f.delay()
+	if f.cfg.Load().NoSpace {
+		return f.noSpace("setmeta")
+	}
 	if due(&f.metaN, f.cfg.Load().MetaFailEvery) {
 		f.ctr.meta.Add(1)
 		return fmt.Errorf("setmeta: %w", ErrInjected)
@@ -377,6 +434,9 @@ func (f *FaultStore) DisarmBarrier() { store.DisarmBarrier(f.base) }
 
 // Flush implements store.Flusher.
 func (f *FaultStore) Flush() error {
+	if f.cfg.Load().NoSpace {
+		return f.noSpace("flush")
+	}
 	if due(&f.flushN, f.cfg.Load().FlushFailEvery) {
 		f.ctr.flush.Add(1)
 		return fmt.Errorf("flush: %w", ErrInjected)

@@ -152,6 +152,11 @@ const metaFileName = "meta.bin"
 // fsynced after — so a crash at any point leaves either the old or the new
 // state, never a torn mix.
 func (d *DiskStore) SetMeta(key string, value []byte) error {
+	if err := d.writeErr("meta"); err != nil {
+		// Degraded read-only: fail BEFORE the in-memory mirror moves, so a
+		// rejected head update is rejected everywhere, not just on disk.
+		return fmt.Errorf("store: disk: meta: degraded read-only: %w", err)
+	}
 	d.meta.set(key, value)
 	entries := d.meta.snapshot()
 	d.metaFileMu.Lock()

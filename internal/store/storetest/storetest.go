@@ -65,6 +65,7 @@ func RunStoreTests(t *testing.T, newStore Factory) {
 		{"CloseStability", testCloseStability},
 		{"TransientPutRetryNoGhosts", testTransientPutRetryNoGhosts},
 		{"SweepFaultLeavesUsageConsistent", testSweepFaultLeavesUsageConsistent},
+		{"UsableAfterNoSpaceWindow", testUsableAfterNoSpaceWindow},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) { tc.fn(t, newStore) })
@@ -821,6 +822,59 @@ func testSweepFaultLeavesUsageConsistent(t *testing.T, newStore Factory) {
 	}
 	if _, ok := s.Get(hs[1]); ok {
 		t.Fatal("dead node survived post-heal sweep")
+	}
+}
+
+// testUsableAfterNoSpaceWindow drives the backend through a persistent
+// write-failure window (faultstore's NoSpace mode, the injected full disk)
+// and checks the degradation contract every backend owes its callers:
+// while degraded, reads of previously written data keep working and the
+// write path fails typed-and-retryable (errors.Is(store.ErrNoSpace));
+// after the condition clears, writes succeed again and the store's
+// accounting shows no ghost of the rejected window.
+func testUsableAfterNoSpaceWindow(t *testing.T, newStore Factory) {
+	s := newStore(t)
+	fs := faultstore.Wrap(s, faultstore.Config{})
+	const n = 20
+	hs := make([]hash.Hash, n)
+	for i := 0; i < n; i++ {
+		hs[i] = fs.Put(blob(i))
+	}
+	if err := store.Flush(fs); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.SetConfig(faultstore.Config{NoSpace: true})
+	// Writes: dropped (Put) or rejected typed (Flush), never torn.
+	ghost := fs.Put(blob(n))
+	if fs.Has(ghost) {
+		t.Fatal("Put during the no-space window reached the store")
+	}
+	if err := store.Flush(fs); !errors.Is(err, store.ErrNoSpace) {
+		t.Fatalf("Flush during no-space = %v, want ErrNoSpace", err)
+	}
+	// Reads of everything written before the window still work.
+	for i, h := range hs {
+		if got, ok := fs.Get(h); !ok || !bytes.Equal(got, blob(i)) {
+			t.Fatalf("node %d unreadable during the no-space window", i)
+		}
+	}
+	if fs.Counters().NoSpaceHits == 0 {
+		t.Fatal("no-space mode injected nothing")
+	}
+
+	// Heal: the same writes retry through, and the store carries no ghost
+	// records from the rejected window.
+	fs.Heal()
+	redo := fs.Put(blob(n))
+	if got, ok := fs.Get(redo); !ok || !bytes.Equal(got, blob(n)) {
+		t.Fatal("write after heal unreadable")
+	}
+	if err := store.Flush(fs); err != nil {
+		t.Fatalf("Flush after heal: %v", err)
+	}
+	if st := s.Stats(); st.UniqueNodes != n+1 {
+		t.Fatalf("UniqueNodes = %d after heal, want %d (ghost or lost records)", st.UniqueNodes, n+1)
 	}
 }
 

@@ -1,0 +1,127 @@
+package version_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/mpt"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+// TestCommitRejectedWhileStoreDegraded is the version half of the
+// resource-exhaustion matrix: with the disk store degraded read-only
+// (persistent ENOSPC), a commit is rejected up front with a typed
+// retryable error — the head never advances onto storage that cannot hold
+// it — reads and Verify keep working, and after the space returns the
+// same commit succeeds with no data loss and a clean reopen.
+func TestCommitRejectedWhileStoreDegraded(t *testing.T) {
+	dir := t.TempDir()
+	var full atomic.Bool
+	d, err := store.OpenDiskStore(dir, store.DiskOptions{
+		FlushBytes: 1 << 20,
+		WriteErr: func(op string) error {
+			if full.Load() {
+				return fmt.Errorf("%s: %w", op, store.ErrNoSpace)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repo := version.NewRepo(d)
+	repo.RegisterLoader("MPT", func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+		return mpt.Load(s, root), nil
+	})
+	var idx core.Index = mpt.New(d)
+	for i := 0; i < 20; i++ {
+		idx, err = idx.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed, err := repo.Commit("main", idx, "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk fills. A commit of new work must fail typed and leave the
+	// head exactly where it was.
+	full.Store(true)
+	next, err := idx.Put([]byte("while-full"), []byte("x"))
+	if err != nil {
+		t.Fatal(err) // index mutation itself stages in memory, no disk write
+	}
+	if _, err := repo.Commit("main", next, "degraded commit"); !errors.Is(err, store.ErrNoSpace) {
+		t.Fatalf("commit while degraded = %v, want ErrNoSpace", err)
+	}
+	if head, ok := repo.Head("main"); !ok || head.ID != seed.ID {
+		t.Fatalf("head moved under a rejected commit: %+v, %v", head, ok)
+	}
+
+	// Reads and the scrubber still work against the degraded store.
+	got, err := repo.CheckoutBranch("main")
+	if err != nil {
+		t.Fatalf("checkout while degraded: %v", err)
+	}
+	if v, ok, err := got.Get([]byte("k007")); err != nil || !ok || string(v) != "v007" {
+		t.Fatalf("read while degraded = %q, %v, %v", v, ok, err)
+	}
+	rep, err := repo.Verify()
+	if err != nil {
+		t.Fatalf("verify while degraded: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("degraded store fails scrub: %s, faults %v", rep, rep.Faults)
+	}
+
+	// Space returns: the retried commit lands, nothing lost.
+	full.Store(false)
+	c2, err := repo.Commit("main", next, "retry after heal")
+	if err != nil {
+		t.Fatalf("commit after heal: %v", err)
+	}
+	if c2.ID == seed.ID {
+		t.Fatal("healed commit did not advance the head")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk: both commits durable, graph scrubs clean.
+	re, err := store.OpenDiskStore(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if rec := re.Recovery(); rec.TornSegments != 0 {
+		t.Fatalf("degrade window tore a segment: %+v", rec)
+	}
+	repo2 := version.NewRepo(re)
+	repo2.RegisterLoader("MPT", func(s store.Store, root hash.Hash, _ int) (core.Index, error) {
+		return mpt.Load(s, root), nil
+	})
+	if err := repo2.ResumeBranch("main", c2.ID); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := repo2.CheckoutBranch("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := idx2.Get([]byte("while-full")); err != nil || !ok || string(v) != "x" {
+		t.Fatalf("write from degraded window lost after heal: %q, %v, %v", v, ok, err)
+	}
+	rep2, err := repo2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.OK() {
+		t.Fatalf("reopened graph fails scrub: %s, faults %v", rep2, rep2.Faults)
+	}
+}

@@ -160,6 +160,16 @@ func (r *Repo) CommitMeta(branch string, idx core.Index, message string, meta []
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Probe the store's write path before anything moves: a degraded store
+	// (disk full — store.ErrNoSpace — or any other flush failure) rejects
+	// the commit with the typed cause while the branch head, the commit log
+	// and every reader stay exactly where they were. The staged index nodes
+	// the caller already Put are parked in the store's memory and land on
+	// disk when the store heals, so retrying the same commit after a heal
+	// succeeds with no data loss.
+	if err := store.Flush(r.s); err != nil {
+		return Commit{}, fmt.Errorf("version: commit rejected, store write path degraded: %w", err)
+	}
 	c := Commit{
 		Root:    idx.RootHash(),
 		Class:   idx.Name(),
